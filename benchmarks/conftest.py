@@ -1,0 +1,41 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure at the budget set by
+the ``REPRO_BUDGET`` environment variable (``smoke`` / ``quick`` /
+``full``; default ``quick``), checks the qualitative shape against the
+paper, and writes the rendered table to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def budget() -> str:
+    return os.environ.get("REPRO_BUDGET", "quick")
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiments are long deterministic simulations; repeating them for
+    statistical timing would multiply hours for no insight.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

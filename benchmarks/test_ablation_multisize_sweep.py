@@ -1,0 +1,59 @@
+"""Ablation: one-pass multi-configuration DM sweep vs per-size runs.
+
+The Sugumar-style economics from Figure 1's caption: trace generation
+dominates trace-driven cost, so answering a whole cache-size sweep from
+one annotated execution beats re-running Cache2000 per size — and,
+unlike the fully-associative stack shortcut, the DM sweep is *exact*.
+"""
+
+from benchmarks.conftest import run_once
+from repro.caches.config import CacheConfig
+from repro.experiments import budget_refs
+from repro.harness.runner import run_trace_driven
+from repro.harness.tables import format_table
+from repro.tracing.multisize import run_multisize_sweep
+from repro.workloads.registry import get_workload
+
+SIZES_KB = (1, 2, 4, 8, 16, 32)
+
+
+def _sweep(budget):
+    user_refs = budget_refs(budget) // 2
+    spec = get_workload("mpeg_play")
+    sweep = run_multisize_sweep(
+        spec, user_refs, tuple(kb * 1024 for kb in SIZES_KB)
+    )
+    separate = {
+        kb: run_trace_driven(spec, CacheConfig(size_bytes=kb * 1024), user_refs)
+        for kb in SIZES_KB
+    }
+    return sweep, separate
+
+
+def test_ablation_multisize_sweep(benchmark, budget, save_result):
+    sweep, separate = run_once(benchmark, _sweep, budget)
+    rows = [
+        [
+            f"{kb}K",
+            sweep.miss_counts[kb * 1024],
+            separate[kb].misses,
+        ]
+        for kb in SIZES_KB
+    ]
+    total_separate = sum(r.overhead_cycles for r in separate.values())
+    table = format_table(
+        ["Size", "Sweep misses", "Per-size misses"],
+        rows,
+        title="Ablation: one-pass multi-size DM sweep (mpeg_play user trace)",
+    )
+    table += (
+        f"\nmodeled cost: sweep {sweep.overhead_cycles:,} cycles vs "
+        f"{total_separate:,} for {len(SIZES_KB)} separate runs "
+        f"({total_separate / sweep.overhead_cycles:.1f}x)"
+    )
+    save_result("ablation_multisize_sweep", table)
+
+    # exact agreement at every size, at a fraction of the cost
+    for kb in SIZES_KB:
+        assert sweep.miss_counts[kb * 1024] == separate[kb].misses
+    assert sweep.overhead_cycles < total_separate / 2

@@ -1,0 +1,96 @@
+"""Sources of measurement bias (section 4.2), beyond Figure 4.
+
+The paper names three ways Tapeworm's presence perturbs what it
+measures.  Time dilation has its own figure (Figure 4); this bench
+exercises the other two:
+
+* **boot-time memory reservation** — Tapeworm claims 64 pages at boot,
+  shrinking the free pool; on a memory-constrained machine that alone
+  induces paging ("we minimize this problem by adding enough additional
+  physical memory so that paging is avoided altogether");
+* **interrupt masking** — kernel code running with interrupts disabled
+  cannot take ECC traps, so a small fraction of kernel misses goes
+  uncounted.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro._types import PAGE_SIZE, Component
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import Tapeworm, TapewormConfig
+from repro.experiments import budget_refs
+from repro.harness.runner import RunOptions, run_trap_driven
+from repro.harness.tables import format_table
+from repro.kernel.kernel import Kernel
+from repro.machine.machine import Machine, MachineConfig
+from repro.workloads.registry import get_workload
+
+
+def _paging_activity(reserved_frames: int) -> int:
+    """Evictions suffered by a fixed workload on a 48-frame machine."""
+    machine = Machine(
+        MachineConfig(memory_bytes=48 * PAGE_SIZE, n_vpages=128)
+    )
+    kernel = Kernel(
+        machine=machine,
+        alloc_policy="sequential",
+        reserved_frames=reserved_frames,
+    )
+    task = kernel.spawn("tenant", Component.USER)
+    rng = np.random.default_rng(3)
+    for _ in range(40):
+        vpns = rng.integers(0, 44, size=16)
+        kernel.run_chunk(
+            task, np.sort(vpns.astype(np.int64) * PAGE_SIZE)
+        )
+    return kernel.vm.evictions
+
+
+def _masking_bias(budget: str):
+    report = run_trap_driven(
+        get_workload("ousterhout"),  # the most kernel-heavy workload
+        TapewormConfig(cache=CacheConfig(size_bytes=4096)),
+        RunOptions(total_refs=budget_refs(budget), trial_seed=4),
+    )
+    return report
+
+
+def _sweep(budget):
+    paging = {
+        reserved: _paging_activity(reserved) for reserved in (2, 16, 32)
+    }
+    report = _masking_bias(budget)
+    return paging, report
+
+
+def test_bias_sources(benchmark, budget, save_result):
+    paging, report = run_once(benchmark, _sweep, budget)
+    kernel_misses = report.stats.misses[Component.KERNEL]
+    masked_share = report.masked_traps / max(
+        report.masked_traps + kernel_misses, 1
+    )
+    rows = [
+        [f"{reserved} frames reserved", evictions]
+        for reserved, evictions in paging.items()
+    ]
+    table = format_table(
+        ["Boot reservation", "Page-outs induced"],
+        rows,
+        title="Bias source: Tapeworm's boot-time memory claim (48-frame machine)",
+    )
+    table += (
+        f"\n\nBias source: interrupt masking (ousterhout, all activity)"
+        f"\n  kernel misses counted : {kernel_misses}"
+        f"\n  trap attempts masked  : {report.masked_traps}"
+        f"\n  masked share of kernel misses: {masked_share:.1%}"
+    )
+    save_result("bias_sources", table)
+
+    # a bigger reservation induces (weakly) more paging
+    assert paging[32] >= paging[16] >= paging[2]
+    assert paging[32] > paging[2]
+    # masking loses only a small slice of kernel misses ("only a very
+    # small fraction of kernel code is affected")
+    assert report.masked_traps > 0
+    assert masked_share < 0.25

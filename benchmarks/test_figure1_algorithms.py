@@ -1,0 +1,16 @@
+"""Regenerates Figure 1: the two core loops, observed event by event."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure1 import DEMO_ADDRESSES, render, run_figure1
+
+
+def test_figure1(benchmark, budget, save_result):
+    result = run_once(benchmark, run_figure1)
+    save_result("figure1", render(result))
+    # identical results from both algorithms
+    assert result.trace_misses == result.trap_misses
+    # the structural difference: trace-driven works per reference,
+    # trap-driven per miss
+    assert result.trace_work == len(DEMO_ADDRESSES)
+    assert result.trap_work == result.trap_misses
+    assert result.trap_work < result.trace_work

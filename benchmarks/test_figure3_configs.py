@@ -1,0 +1,40 @@
+"""Regenerates Figure 3: slowdowns across simulation configurations.
+
+Paper shapes: set sampling cuts slowdown in direct proportion to the
+sampled fraction; larger caches are cheaper to simulate in every panel.
+(Associativity's miss-count benefit does not transfer to our synthetic
+loop streams — see EXPERIMENTS.md — so the associativity panel is
+asserted only for the cost-side shape.)
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure3 import SIZES_KB, render, run_figure3
+
+
+def test_figure3(benchmark, budget, save_result):
+    result = run_once(benchmark, run_figure3, budget)
+    save_result("figure3", render(result))
+
+    # sampling: proportional slowdown reduction at every size
+    for size_kb in SIZES_KB:
+        full = result.point("sampling", 1, size_kb).slowdown
+        for denominator in (2, 4, 8):
+            sampled = result.point("sampling", denominator, size_kb).slowdown
+            assert sampled < full / denominator * 1.6
+    # larger caches simulate faster in every panel
+    for dimension, value in (
+        ("associativity", 1),
+        ("line_bytes", 16),
+        ("sampling", 1),
+    ):
+        series = sorted(
+            result.series(dimension, value), key=lambda p: p.size_kb
+        )
+        slowdowns = [p.slowdown for p in series]
+        assert all(a >= b for a, b in zip(slowdowns, slowdowns[1:]))
+    # longer lines -> fewer traps -> faster simulation
+    for size_kb in SIZES_KB:
+        assert (
+            result.point("line_bytes", 64, size_kb).slowdown
+            < result.point("line_bytes", 16, size_kb).slowdown
+        )

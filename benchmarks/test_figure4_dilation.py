@@ -1,0 +1,23 @@
+"""Regenerates Figure 4: measurement error due to time dilation.
+
+Paper shape: measured misses grow with dilation, steepest at low
+slowdowns, leveling off toward +10-15% near slowdown 10.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure4 import render, run_figure4
+
+
+def test_figure4(benchmark, budget, save_result):
+    result = run_once(benchmark, run_figure4, budget)
+    save_result("figure4", render(result))
+
+    points = sorted(result.points, key=lambda p: p.slowdown)
+    # dilation spans the paper's range (sub-1x to ~10x slowdowns)
+    assert points[0].slowdown < 1.5
+    assert points[-1].slowdown > 4.0
+    # error grows with dilation and lands in the paper's band
+    assert points[-1].increase_pct > 3.0
+    assert points[-1].increase_pct < 40.0
+    # more ticks at higher dilation: the mechanism itself
+    assert points[-1].ticks > points[0].ticks

@@ -1,0 +1,12 @@
+"""Regenerates Table 11: Tapeworm code distribution."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table11 import render, run_table11
+
+
+def test_table11(benchmark, budget, save_result):
+    result = run_once(benchmark, run_table11)
+    save_result("table11", render(result))
+    # the portability claim: machine-dependent code is a sliver
+    assert result.percent("machine-dependent kernel") < 10  # paper: 5%
+    assert result.percent("machine-independent user") > 50  # paper: 82%

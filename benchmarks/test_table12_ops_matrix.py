@@ -1,0 +1,15 @@
+"""Regenerates Table 12: privileged operations across microprocessors."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table12 import render, run_table12
+from repro.machine.ops import PROCESSORS
+
+
+def test_table12(benchmark, budget, save_result):
+    result = run_once(benchmark, run_table12)
+    save_result("table12", render(result))
+    assert len(result.assessments) == len(PROCESSORS)
+    # the paper's two actual ports
+    assert result.assessment("MIPS R3000").can_simulate_caches
+    assert not result.assessment("Intel i486").can_simulate_caches
+    assert result.assessment("Intel i486").can_simulate_tlbs

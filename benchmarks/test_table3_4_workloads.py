@@ -1,0 +1,20 @@
+"""Regenerates Tables 3 and 4: the workload and OS summary."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.table34 import render, run_table34
+
+
+def test_table3_4(benchmark, budget, save_result):
+    result = run_once(benchmark, run_table34, budget)
+    save_result("table3_4", render(result))
+    # shape: system-heavy workloads measure system-heavy, task counts exact
+    by_name = {row.meta.name: row for row in result.rows}
+    assert by_name["kenbus"].measured.frac_kernel > 0.35
+    assert by_name["eqntott"].measured.frac_user > 0.90
+    for row in result.rows:
+        assert row.measured.user_task_count == row.meta.user_task_count
+        assert row.measured.frac_kernel == pytest.approx(
+            row.meta.frac_kernel, abs=0.08
+        )

@@ -1,0 +1,15 @@
+"""Regenerates Table 5: miss-handler cycle breakdown and break-even."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table5 import render, run_table5
+
+
+def test_table5(benchmark, budget, save_result):
+    result = run_once(benchmark, run_table5, budget)
+    save_result("table5", render(result))
+    assert result.tapeworm_cycles_per_miss == 246
+    assert 2.5 < result.break_even_hits_per_miss < 6  # paper: ~4
+    # the five routines of Table 5, summing to the total
+    rows = result.breakdown.rows()
+    assert len(rows) == 5
+    assert abs(sum(c for _, c in rows) - 246) <= 3

@@ -1,0 +1,20 @@
+"""Regenerates Table 7: total measurement variation.
+
+Paper shape: with a physically-indexed 16 KB cache and 1/8 sampling,
+trial-to-trial standard deviations are large — 7% to 76% of the mean.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table7 import render, run_table7
+
+
+def test_table7(benchmark, budget, save_result):
+    result = run_once(benchmark, run_table7, budget)
+    save_result("table7", render(result))
+
+    pcts = {name: stats.stdev_pct for name, stats in result.stats.items()}
+    # every workload varies; some vary a lot
+    assert all(pct > 0 for pct in pcts.values())
+    assert max(pcts.values()) > 10
+    # spread spans an order of magnitude across workloads, as in the paper
+    assert max(pcts.values()) > 3 * min(pcts.values())

@@ -1,0 +1,23 @@
+"""Regenerates Table 8: sampling-only variation (espresso).
+
+Paper shape: with page allocation removed (virtual indexing), unsampled
+runs have exactly zero variance while 1/8-sampled runs scatter around
+the unsampled value.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table8 import render, run_table8
+
+
+def test_table8(benchmark, budget, save_result):
+    result = run_once(benchmark, run_table8, budget)
+    save_result("table8", render(result))
+
+    for size_kb, stats in result.unsampled.items():
+        assert stats.stdev == 0.0, f"unsampled variance at {size_kb}K"
+    assert any(stats.stdev > 0 for stats in result.sampled.values())
+    # sampled estimates track the unsampled truth
+    for size_kb in result.sampled:
+        truth = result.unsampled[size_kb].mean
+        if truth > 200:
+            assert abs(result.sampled[size_kb].mean - truth) / truth < 0.5

@@ -1,0 +1,22 @@
+"""Regenerates Table 9: page-allocation variation (mpeg_play).
+
+Paper shape: virtual indexing shows zero variance at every size;
+physical indexing shows zero at 4 KB (pages overlap) and nonzero above,
+with relative variance peaking near the workload's text size.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table9 import render, run_table9
+
+
+def test_table9(benchmark, budget, save_result):
+    result = run_once(benchmark, run_table9, budget)
+    save_result("table9", render(result))
+
+    for size_kb, stats in result.virtual.items():
+        assert stats.stdev == 0.0, f"virtual variance at {size_kb}K"
+    assert result.physical[4].stdev == 0.0  # all pages overlap at 4 KB
+    above_page = [
+        result.physical[size].stdev for size in result.physical if size > 4
+    ]
+    assert any(s > 0 for s in above_page)

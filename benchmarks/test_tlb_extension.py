@@ -1,0 +1,33 @@
+"""Extension bench: software-managed TLB studies ([Nagle93] flavor).
+
+Shapes: misses fall (weakly) with TLB size; superpages trade page-size
+coverage for entries; the fork-heavy OS workload (sdet) takes more TLB
+misses than the single-task one at equal geometry.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.tlb_extension import (
+    PAGE_KB,
+    TLB_SIZES,
+    render,
+    run_tlb_extension,
+)
+
+
+def test_tlb_extension(benchmark, budget, save_result):
+    result = run_once(benchmark, run_tlb_extension, budget)
+    save_result("tlb_extension", render(result))
+
+    for workload in ("xlisp", "sdet"):
+        # monotone (weakly) in entries at the base page size
+        series = [
+            result.point(workload, n, 4).misses for n in TLB_SIZES
+        ]
+        assert all(a >= b for a, b in zip(series, series[1:]))
+        # superpages reduce misses at fixed entries
+        small_pages = result.point(workload, 32, 4).misses
+        big_pages = result.point(workload, 32, 64).misses
+        assert big_pages < small_pages * 0.6
+    # fork/exec churn keeps the OS-intensive workload missing even at
+    # large TLBs (its tasks never live long enough to warm one)
+    assert result.point("sdet", 128, 4).misses > 100

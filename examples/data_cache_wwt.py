@@ -1,0 +1,82 @@
+"""Data-cache simulation: blocked on the DECstation, fine on a WWT-class host.
+
+Section 4.4's subtlest limitation, demonstrated end to end.  On the
+DECstation 5000/200 the D-cache does not allocate on write: a store to
+a location Tapeworm trapped simply *overwrites* it, regenerating good
+ECC — the trap evaporates without the miss handler ever running, and
+the simulation silently loses misses.  On an allocate-on-write host
+(like the Wisconsin Wind Tunnel's CM-5 nodes [Reinhardt93]) stores trap
+like loads and data caches simulate correctly.
+
+This script runs the same load/store stream on both machine models and
+prints what each simulation *thinks* happened, plus the install-time
+guard that stops you from trying on the wrong machine.
+
+Run:  python examples/data_cache_wwt.py
+"""
+
+import numpy as np
+
+from repro import CacheConfig, Component, TapewormConfig
+from repro.core.flexibility import StructureKind
+from repro.core.tapeworm import Tapeworm
+from repro.errors import UnsupportedStructure
+from repro.kernel.kernel import Kernel
+from repro.machine.machine import Machine, MachineConfig
+
+LOADS = np.arange(0, 2048, 16, dtype=np.int64)
+STORES = np.arange(2048, 4096, 16, dtype=np.int64)
+
+
+def run_on(allocate_on_write: bool) -> None:
+    label = "WWT-class (allocate-on-write)" if allocate_on_write else "DECstation 5000/200"
+    machine = Machine(
+        MachineConfig(
+            memory_bytes=8 * 1024 * 1024,
+            n_vpages=512,
+            allocate_on_write=allocate_on_write,
+        )
+    )
+    kernel = Kernel(machine=machine, alloc_policy="sequential")
+    config = TapewormConfig(
+        cache=CacheConfig(size_bytes=8192),
+        kind=StructureKind.DATA_CACHE,
+    )
+    tapeworm = Tapeworm(kernel, config)
+    try:
+        tapeworm.install()
+    except UnsupportedStructure as exc:
+        print(f"{label}:\n  install refused: {exc}\n")
+        print("  ...forcing an instruction-cache install to show the damage:")
+        tapeworm = Tapeworm(
+            kernel,
+            TapewormConfig(cache=CacheConfig(size_bytes=8192)),
+        )
+        tapeworm.install()
+
+    task = kernel.spawn("db_engine", Component.USER)
+    tapeworm.tw_attributes(task.tid, simulate=1, inherit=0)
+
+    vas = np.concatenate([LOADS, STORES])
+    writes = np.array([False] * len(LOADS) + [True] * len(STORES))
+    result = kernel.run_chunk(task, vas, writes=writes)
+
+    true_misses = len(LOADS) + len(STORES)  # every line is cold
+    print(f"{label}:")
+    print(f"  true cold misses        : {true_misses}")
+    print(f"  misses Tapeworm counted : {tapeworm.stats.total_misses}")
+    print(f"  traps silently erased   : {result.silent_clears}")
+    lost = true_misses - tapeworm.stats.total_misses
+    if lost:
+        print(f"  -> {lost} store misses vanished: D-cache results would be garbage\n")
+    else:
+        print("  -> exact: data caches are simulable on this host\n")
+
+
+def main() -> None:
+    run_on(allocate_on_write=False)
+    run_on(allocate_on_write=True)
+
+
+if __name__ == "__main__":
+    main()

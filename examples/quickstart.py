@@ -1,0 +1,49 @@
+"""Quickstart: simulate an I-cache under a workload, trap-driven.
+
+Boots the simulated DECstation, installs Tapeworm for a 4 KB
+direct-mapped instruction cache, runs the mpeg_play workload model with
+every component included (user task, X and BSD servers, kernel), and
+prints the miss breakdown and the slowdown Tapeworm imposed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CacheConfig,
+    Component,
+    RunOptions,
+    TapewormConfig,
+    get_workload,
+    run_trap_driven,
+)
+
+
+def main() -> None:
+    spec = get_workload("mpeg_play")
+    config = TapewormConfig(cache=CacheConfig(size_bytes=4096))
+    options = RunOptions(total_refs=300_000, trial_seed=1)
+
+    print(f"Simulating {config.cache.describe()} I-cache under {spec.name}...")
+    report = run_trap_driven(spec, config, options)
+
+    print(f"\nreferences executed : {report.total_refs:,}")
+    print(f"simulated misses    : {report.stats.total_misses:,}")
+    for component in Component:
+        misses = report.stats.misses[component]
+        refs = report.refs[component]
+        print(
+            f"  {component.value:<12} {misses:>8,} misses over "
+            f"{refs:>9,} refs (local ratio "
+            f"{report.local_miss_ratio(component):.4f})"
+        )
+    print(f"\nkernel traps taken  : {report.traps:,}")
+    print(f"overhead cycles     : {report.overhead_cycles:,}")
+    print(f"slowdown            : {report.slowdown:.2f}x")
+    print(
+        f"\nextrapolated to the paper's full-length run: "
+        f"{report.misses_paper_scale() / 1e6:.1f}M misses"
+    )
+
+
+if __name__ == "__main__":
+    main()

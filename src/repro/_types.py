@@ -1,0 +1,83 @@
+"""Shared primitive types, enums and constants used across the library.
+
+The simulated host machine is modeled on the paper's DECstation 5000/200:
+a 25 MHz MIPS R3000 with 4 KB pages, ECC-protected memory checked on
+4-word (16-byte) cache-line refills, and a software-managed TLB.
+"""
+
+from __future__ import annotations
+
+import enum
+
+# ---------------------------------------------------------------------------
+# Host machine constants (DECstation 5000/200 model)
+# ---------------------------------------------------------------------------
+
+#: Host CPU clock rate, cycles per second (25 MHz R3000).
+HOST_CLOCK_HZ = 25_000_000
+
+#: Host page size in bytes (R3000 / Ultrix / Mach 3.0 use 4 KB pages).
+PAGE_SIZE = 4096
+
+#: Bytes per machine word.
+WORD_SIZE = 4
+
+#: ECC granularity: check bits cover one 32-bit word, but the memory
+#: controller only *checks* them on 4-word cache-line refills, which limits
+#: trap granularity (paper section 4.4).
+ECC_CHECK_GRANULE_WORDS = 4
+
+#: Number of ECC check bits per 32-bit word (SEC-DED over 32 data bits).
+ECC_CHECK_BITS = 7
+
+#: Clock interrupt period in seconds (Ultrix/Mach tick of 100 Hz).
+CLOCK_TICK_SECONDS = 0.01
+
+#: Clock interrupt period in host cycles.
+CLOCK_TICK_CYCLES = int(HOST_CLOCK_HZ * CLOCK_TICK_SECONDS)
+
+
+class Component(enum.Enum):
+    """Workload component, as broken out in Tables 4 and 6 of the paper.
+
+    ``USER`` covers every task forked beneath the workload's shell;
+    ``BSD_SERVER`` and ``X_SERVER`` are the system server tasks that exist
+    before the workload starts; ``KERNEL`` is the Mach kernel itself.
+    """
+
+    USER = "user"
+    BSD_SERVER = "bsd_server"
+    X_SERVER = "x_server"
+    KERNEL = "kernel"
+
+    @property
+    def is_system(self) -> bool:
+        """True for the components the paper calls *system* components."""
+        return self is not Component.USER
+
+
+class Indexing(enum.Enum):
+    """How a simulated cache indexes its sets (paper section 3.2)."""
+
+    PHYSICAL = "physical"
+    VIRTUAL = "virtual"
+
+
+class WritePolicy(enum.Enum):
+    """Write policies.  Trap-driven simulation is restricted to write-back
+    (paper section 4.4): a write buffer cannot be modeled with traps."""
+
+    WRITE_BACK = "write_back"
+
+
+class TrapMechanism(enum.Enum):
+    """Privileged operation used to implement ``tw_set_trap`` (Table 2)."""
+
+    ECC = "ecc"
+    PAGE_VALID = "page_valid"
+    BREAKPOINT = "breakpoint"
+
+
+#: Task id reserved for the OS kernel in ``tw_attributes`` calls (Table 1:
+#: "A tid of zero signifies the kernel").
+KERNEL_TID = 0

@@ -1,0 +1,22 @@
+"""Analytic companions to the measurements.
+
+The paper explains Table 9's variance structure with Kessler's
+probabilistic model of cache page conflicts; this package provides that
+model so measured variance can be checked against theory.
+"""
+
+from repro.analysis.kessler import (
+    expected_occupied_bins,
+    expected_conflicting_pages,
+    stdev_occupied_bins,
+    relative_conflict_stdev,
+    conflict_peak_cache_pages,
+)
+
+__all__ = [
+    "expected_occupied_bins",
+    "expected_conflicting_pages",
+    "stdev_occupied_bins",
+    "relative_conflict_stdev",
+    "conflict_peak_cache_pages",
+]

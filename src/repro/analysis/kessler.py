@@ -1,0 +1,91 @@
+"""Kessler's probabilistic model of cache page conflicts [Kessler91].
+
+A physically-indexed cache of ``c`` page-sized bins receives a
+workload's ``n`` pages at frame addresses the OS chose effectively at
+random.  Pages landing in the same bin conflict.  The paper uses this
+model to explain Table 9: "with random page allocation, the probability
+of cache conflicts peaks when the size of the cache roughly equals the
+address space size of the workload, and decreases for larger and
+smaller caches."
+
+With placement uniform and independent (the balls-in-bins model), the
+number of *occupied* bins K has closed-form mean and variance via
+indicator variables (see :func:`stdev_occupied_bins`), and the
+*conflicting* pages are the overflow ``n - K``: every page beyond the
+first in a bin must share.  Since ``n`` is fixed, the run-to-run
+variance of the conflict count equals Var[K].
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _check(n_pages: int, cache_pages: int) -> None:
+    if n_pages < 0:
+        raise ValueError(f"n_pages must be non-negative, got {n_pages}")
+    if cache_pages < 1:
+        raise ValueError(f"cache_pages must be positive, got {cache_pages}")
+
+
+def expected_occupied_bins(n_pages: int, cache_pages: int) -> float:
+    """E[number of cache bins holding at least one page]."""
+    _check(n_pages, cache_pages)
+    c = cache_pages
+    return c * (1.0 - (1.0 - 1.0 / c) ** n_pages)
+
+
+def expected_conflicting_pages(n_pages: int, cache_pages: int) -> float:
+    """E[pages that overflow their bin] = n - E[occupied bins]."""
+    return n_pages - expected_occupied_bins(n_pages, cache_pages)
+
+
+def stdev_occupied_bins(n_pages: int, cache_pages: int) -> float:
+    """Standard deviation of the occupied-bin count.
+
+    From the indicator decomposition K = sum_i 1[bin i occupied]:
+
+        P(bin empty)            p1 = (1 - 1/c)^n
+        P(two given bins empty) p2 = (1 - 2/c)^n
+        Var[K] = c p1 (1 - p1) + c (c-1) (p2 - p1^2)
+    """
+    _check(n_pages, cache_pages)
+    c = cache_pages
+    if c == 1:
+        return 0.0
+    p1 = (1.0 - 1.0 / c) ** n_pages
+    p2 = (1.0 - 2.0 / c) ** n_pages
+    variance = c * p1 * (1.0 - p1) + c * (c - 1) * (p2 - p1 * p1)
+    return math.sqrt(max(variance, 0.0))
+
+
+def relative_conflict_stdev(n_pages: int, cache_pages: int) -> float:
+    """Stdev of the conflict count relative to its mean (a diagnostic;
+    grows without bound as conflicts become rare)."""
+    mean = expected_conflicting_pages(n_pages, cache_pages)
+    if mean <= 0:
+        return 0.0
+    # Var[conflicts] = Var[n - K] = Var[K]
+    return stdev_occupied_bins(n_pages, cache_pages) / mean
+
+
+def conflict_peak_cache_pages(
+    n_pages: int, max_cache_pages: int = 4096
+) -> int:
+    """Cache size (in pages) at which conflict variance peaks.
+
+    Run-to-run miss variance tracks the *absolute* spread of the
+    conflict count: tiny caches conflict in every run (low spread),
+    huge caches almost never conflict (low spread), and the spread
+    peaks when the cache roughly equals the footprint — the paper's
+    reading of Kessler's model against Table 9.
+    """
+    _check(n_pages, 1)
+    best_c, best_value = 1, -1.0
+    c = 1
+    while c <= max_cache_pages:
+        value = stdev_occupied_bins(n_pages, c)
+        if value > best_value:
+            best_c, best_value = c, value
+        c *= 2
+    return best_c

@@ -1,0 +1,39 @@
+"""Simulated memory structures: caches, TLBs, hierarchies.
+
+These are the *software data structures* both simulation styles maintain:
+``tw_replace()`` inserts into them on every trap, and the Cache2000
+analogue searches them on every trace address.  They are deliberately
+independent of the driving style — the integration tests rely on the two
+drivers producing identical miss counts over the same structure.
+"""
+
+from repro.caches.config import CacheConfig, TLBConfig
+from repro.caches.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.caches.cache import SetAssociativeCache, MissOutcome
+from repro.caches.tlb import SimulatedTLB
+from repro.caches.multilevel import SplitCache, TwoLevelCache
+from repro.caches.stack import StackSimulator
+from repro.caches.stats import CacheStats
+
+__all__ = [
+    "CacheConfig",
+    "TLBConfig",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "make_policy",
+    "SetAssociativeCache",
+    "MissOutcome",
+    "SimulatedTLB",
+    "SplitCache",
+    "TwoLevelCache",
+    "StackSimulator",
+    "CacheStats",
+]

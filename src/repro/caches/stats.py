@@ -1,0 +1,77 @@
+"""Miss/reference accounting, broken down by workload component.
+
+Table 6 attributes misses to the user tasks, the BSD and X servers, and
+the kernel; miss ratios there are "relative to the total number of
+instructions in the workload, not just the instructions in a given
+workload component."  :class:`CacheStats` carries enough to compute both
+conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._types import Component
+
+
+@dataclass
+class CacheStats:
+    """Counters for one simulated structure over one run."""
+
+    misses: dict[Component, int] = field(
+        default_factory=lambda: {c: 0 for c in Component}
+    )
+    refs: dict[Component, int] = field(
+        default_factory=lambda: {c: 0 for c in Component}
+    )
+    #: misses whose trap was masked (kernel interrupt-mask bias)
+    masked_misses: int = 0
+    #: L2 misses when simulating a two-level hierarchy
+    l2_misses: int = 0
+
+    def count_miss(self, component: Component, n: int = 1) -> None:
+        self.misses[component] += n
+
+    def count_refs(self, component: Component, n: int) -> None:
+        self.refs[component] += n
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+    @property
+    def total_refs(self) -> int:
+        return sum(self.refs.values())
+
+    def miss_ratio(self, component: Component | None = None) -> float:
+        """Misses per *total* reference (the Table 6 convention).
+
+        Pass a component to get that component's contribution to the
+        overall ratio; the per-component ratios plus interference then sum
+        to the all-activity ratio, as in the paper.
+        """
+        total = self.total_refs
+        if total == 0:
+            return 0.0
+        misses = (
+            self.total_misses if component is None else self.misses[component]
+        )
+        return misses / total
+
+    def local_miss_ratio(self, component: Component) -> float:
+        """Misses per reference *of that component* (Figure 2 convention)."""
+        refs = self.refs[component]
+        if refs == 0:
+            return 0.0
+        return self.misses[component] / refs
+
+    def merge(self, other: "CacheStats") -> None:
+        for component in Component:
+            self.misses[component] += other.misses[component]
+            self.refs[component] += other.refs[component]
+        self.masked_misses += other.masked_misses
+        self.l2_misses += other.l2_misses
+
+    def scaled_misses(self, factor: float) -> dict[Component, float]:
+        """Miss counts extrapolated to paper scale (see DESIGN.md §2)."""
+        return {c: self.misses[c] * factor for c in Component}

@@ -1,0 +1,327 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``
+    One trap-driven simulation with explicit parameters.
+``trace``
+    One Pixie+Cache2000 trace-driven simulation.
+``reproduce``
+    Regenerate a paper table or figure and print it.
+``workloads``
+    List the workload models and their Table 3/4 metadata.
+``assess-port``
+    Apply the Table 12 port-feasibility reasoning to one processor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._types import Component, Indexing
+from repro.caches.config import CacheConfig, TLBConfig
+from repro.core.tapeworm import TapewormConfig
+from repro.errors import ReproError
+from repro.harness.runner import RunOptions, run_trace_driven, run_trap_driven
+from repro.harness.tables import format_table
+from repro.workloads.registry import WORKLOAD_NAMES, all_workloads, get_workload
+
+#: experiment name -> module under repro.experiments
+EXPERIMENTS = {
+    "figure1": "figure1",
+    "table3_4": "table34",
+    "figure2": "figure2",
+    "table5": "table5",
+    "figure3": "figure3",
+    "table6": "table6",
+    "table7": "table7",
+    "table8": "table8",
+    "table9": "table9",
+    "table10": "table10",
+    "figure4": "figure4",
+    "table11": "table11",
+    "table12": "table12",
+    "tlb_extension": "tlb_extension",
+}
+
+#: experiments whose runners take no budget argument
+_STATIC_EXPERIMENTS = {"figure1", "table11", "table12"}
+
+
+def _parse_size(text: str) -> int:
+    """'4K' / '64K' / '1M' / plain bytes -> bytes."""
+    text = text.strip().upper()
+    multiplier = 1
+    if text.endswith("K"):
+        multiplier, text = 1024, text[:-1]
+    elif text.endswith("M"):
+        multiplier, text = 1024 * 1024, text[:-1]
+    try:
+        return int(text) * multiplier
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad size: {text!r}") from None
+
+
+def _components(names: str) -> frozenset[Component]:
+    if names == "all":
+        return frozenset(Component)
+    mapping = {
+        "user": Component.USER,
+        "kernel": Component.KERNEL,
+        "bsd": Component.BSD_SERVER,
+        "x": Component.X_SERVER,
+    }
+    try:
+        return frozenset(mapping[n] for n in names.split(","))
+    except KeyError as exc:
+        raise argparse.ArgumentTypeError(
+            f"unknown component {exc.args[0]!r}; use user,kernel,bsd,x or all"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tapeworm II (ASPLOS 1994) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="one trap-driven simulation")
+    run.add_argument("--workload", choices=WORKLOAD_NAMES, default="mpeg_play")
+    run.add_argument("--structure", choices=("cache", "tlb"), default="cache")
+    run.add_argument("--cache-size", type=_parse_size, default=4096)
+    run.add_argument("--line-bytes", type=int, default=16)
+    run.add_argument("--associativity", type=int, default=1)
+    run.add_argument(
+        "--indexing", choices=("physical", "virtual"), default="physical"
+    )
+    run.add_argument("--tlb-entries", type=int, default=64)
+    run.add_argument("--page-bytes", type=_parse_size, default=4096)
+    run.add_argument("--replacement", default="lru")
+    run.add_argument("--sampling", type=int, default=1, metavar="K")
+    run.add_argument("--refs", type=int, default=300_000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--simulate", type=_components, default=frozenset(Component),
+        help="components to register: comma list of user,kernel,bsd,x or 'all'",
+    )
+
+    trace = sub.add_parser("trace", help="one Pixie+Cache2000 simulation")
+    trace.add_argument("--workload", choices=WORKLOAD_NAMES, default="mpeg_play")
+    trace.add_argument("--cache-size", type=_parse_size, default=4096)
+    trace.add_argument("--line-bytes", type=int, default=16)
+    trace.add_argument("--associativity", type=int, default=1)
+    trace.add_argument("--sampling", type=int, default=1)
+    trace.add_argument("--refs", type=int, default=300_000)
+
+    reproduce = sub.add_parser("reproduce", help="regenerate a paper table/figure")
+    reproduce.add_argument(
+        "experiment", choices=sorted(EXPERIMENTS) + ["all"]
+    )
+    reproduce.add_argument(
+        "--budget", choices=("smoke", "quick", "full"), default="quick"
+    )
+
+    sub.add_parser("workloads", help="list workload models")
+
+    profile = sub.add_parser(
+        "profile", help="locality profile of one workload's streams"
+    )
+    profile.add_argument("workload", choices=WORKLOAD_NAMES)
+    profile.add_argument("--refs", type=int, default=60_000)
+
+    assess = sub.add_parser(
+        "assess-port", help="Table 12 feasibility for one processor"
+    )
+    assess.add_argument("processor")
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = get_workload(args.workload)
+    if args.structure == "tlb":
+        config = TapewormConfig(
+            structure="tlb",
+            tlb=TLBConfig(
+                n_entries=args.tlb_entries, page_bytes=args.page_bytes
+            ),
+            replacement=args.replacement,
+            sampling=args.sampling,
+            sampling_seed=args.seed,
+        )
+    else:
+        config = TapewormConfig(
+            cache=CacheConfig(
+                size_bytes=args.cache_size,
+                line_bytes=args.line_bytes,
+                associativity=args.associativity,
+                indexing=Indexing(args.indexing),
+            ),
+            replacement=args.replacement,
+            sampling=args.sampling,
+            sampling_seed=args.seed,
+        )
+    options = RunOptions(
+        total_refs=args.refs,
+        trial_seed=args.seed,
+        simulate=args.simulate,
+        include_data_refs=args.structure == "tlb",
+    )
+    report = run_trap_driven(spec, config, options)
+    print(f"workload      : {report.workload}")
+    print(f"configuration : {report.configuration}")
+    print(f"references    : {report.total_refs:,}")
+    print(f"misses        : {report.stats.total_misses:,}")
+    if report.sampling > 1:
+        print(f"estimated     : {report.estimated_misses:,.0f} (x{report.sampling})")
+    for component in Component:
+        print(
+            f"  {component.value:<12}: {report.stats.misses[component]:>8,} "
+            f"(local ratio {report.local_miss_ratio(component):.4f})"
+        )
+    print(f"slowdown      : {report.slowdown:.2f}x")
+    print(f"paper scale   : {report.misses_paper_scale() / 1e6:.2f}M misses")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    spec = get_workload(args.workload)
+    config = CacheConfig(
+        size_bytes=args.cache_size,
+        line_bytes=args.line_bytes,
+        associativity=args.associativity,
+    )
+    report = run_trace_driven(
+        spec, config, args.refs, sampling=args.sampling
+    )
+    print(f"workload      : {report.workload}")
+    print(f"configuration : {report.configuration}")
+    print(f"refs traced   : {report.refs_traced:,}")
+    print(f"misses        : {report.misses:,}")
+    print(f"miss ratio    : {report.miss_ratio:.4f}")
+    print(f"slowdown      : {report.slowdown:.2f}x")
+    return 0
+
+
+def _reproduce_one(name: str, budget: str) -> None:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{EXPERIMENTS[name]}")
+    runner = getattr(module, f"run_{EXPERIMENTS[name]}")
+    result = runner() if name in _STATIC_EXPERIMENTS else runner(budget)
+    print(module.render(result))
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    if args.experiment == "all":
+        for name in EXPERIMENTS:
+            _reproduce_one(name, args.budget)
+            print()
+        return 0
+    _reproduce_one(args.experiment, args.budget)
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    rows = [
+        [
+            spec.name,
+            f"{spec.meta.instructions_millions:g}M",
+            f"{spec.meta.run_time_secs:g}s",
+            f"{spec.meta.frac_user:.0%}",
+            spec.meta.user_task_count,
+            spec.meta.description[:48],
+        ]
+        for spec in all_workloads()
+    ]
+    print(
+        format_table(
+            ["Workload", "Instr", "Time", "User", "Tasks", "Description"],
+            rows,
+            title="Workload models (Table 3/4)",
+        )
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Stack-distance locality profile per task stream — the calibration
+    view used to fit the workloads to Table 6."""
+    from repro.caches.stack import StackSimulator
+
+    spec = get_workload(args.workload)
+    sizes_kb = (1, 4, 16, 64)
+    rows = []
+    seen_binaries = set()
+    for task_spec in spec.tasks.values():
+        if task_spec.binary in seen_binaries:
+            continue
+        seen_binaries.add(task_spec.binary)
+        stream = task_spec.build_stream(spec.name)
+        simulator = StackSimulator(line_bytes=16)
+        simulator.process(stream.next_chunk(args.refs))
+        rows.append(
+            [
+                task_spec.name,
+                f"{stream.footprint_bytes() // 1024}K",
+            ]
+            + [
+                f"{simulator.miss_ratio(kb * 1024 // 16):.4f}"
+                for kb in sizes_kb
+            ]
+        )
+    print(
+        format_table(
+            ["Stream", "Footprint"] + [f"{kb}K" for kb in sizes_kb],
+            rows,
+            title=(
+                f"{spec.name}: fully-associative LRU miss ratios "
+                f"({args.refs:,} refs per stream)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_assess_port(args: argparse.Namespace) -> int:
+    from repro.machine.ops import assess_port
+
+    try:
+        assessment = assess_port(args.processor)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(f"processor          : {assessment.processor}")
+    print(
+        "mechanisms         : "
+        + (", ".join(m.value for m in assessment.mechanisms) or "none")
+    )
+    print(f"cache simulation   : {'yes' if assessment.can_simulate_caches else 'no'}")
+    print(f"TLB simulation     : {'yes' if assessment.can_simulate_tlbs else 'no'}")
+    print(f"finest trap (bytes): {assessment.finest_granularity_bytes}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "trace": _cmd_trace,
+        "reproduce": _cmd_reproduce,
+        "workloads": _cmd_workloads,
+        "profile": _cmd_profile,
+        "assess-port": _cmd_assess_port,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

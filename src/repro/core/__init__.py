@@ -1,0 +1,37 @@
+"""Tapeworm II — the trap-driven memory-system simulator.
+
+This package is the paper's contribution.  Tapeworm lives in the kernel,
+sets memory traps (ECC check bits for cache-line granularity, page valid
+bits for page granularity) on every location *absent* from a simulated
+cache or TLB, and lets the host hardware filter hits at full speed.  Each
+trap is a simulated miss: the handler counts it, clears the trap on the
+missing line, runs the replacement policy, and sets a trap on whatever was
+displaced (Figure 1, right).
+
+Public entry points:
+
+* :class:`~repro.core.tapeworm.Tapeworm` — the simulator.
+* :class:`~repro.core.tapeworm.TapewormConfig` — what to simulate and how.
+* :class:`~repro.core.costs.HandlerCostModel` — the Table 5 cycle model.
+* :class:`~repro.core.sampling.SetSampler` — hardware set sampling.
+"""
+
+from repro.core.costs import HandlerCostModel, CostBreakdown
+from repro.core.primitives import TrapPrimitives
+from repro.core.registration import PageRegistry
+from repro.core.sampling import SetSampler
+from repro.core.replace import Replacer
+from repro.core.tapeworm import Tapeworm, TapewormConfig
+from repro.core.report import TrapRunReport
+
+__all__ = [
+    "HandlerCostModel",
+    "CostBreakdown",
+    "TrapPrimitives",
+    "PageRegistry",
+    "SetSampler",
+    "Replacer",
+    "Tapeworm",
+    "TapewormConfig",
+    "TrapRunReport",
+]

@@ -1,0 +1,75 @@
+"""Section 4.4's flexibility limits, enforced.
+
+Trap-driven simulation models structures whose contents are a *set of
+memory locations* with set/clear-able traps on the complement.  That
+rules some things out inherently, and the host machine rules out more:
+
+* **write buffers** — "queues that only hold their contents for only a
+  short time, cannot be simulated with the Tapeworm algorithm", which
+  also restricts simulations to a write-back write policy;
+* **instruction pipelines** — "the trap-driven approach seems to be
+  limited to the simulation of memory system hierarchies";
+* **data caches on the DECstation 5000/200** — its no-allocate-on-write
+  policy "causes ECC traps to be cleared without invoking the Tapeworm
+  miss handlers"; machines that allocate on write (the WWT's platform)
+  can simulate data caches;
+* **line sizes** — ECC is checked on 4-word refills, so simulated lines
+  must be multiples of 16 bytes (enforced in
+  :mod:`repro.core.primitives`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import UnsupportedStructure
+from repro.machine.machine import Machine
+
+
+class StructureKind(enum.Enum):
+    """What a user might ask a simulator to model."""
+
+    INSTRUCTION_CACHE = "instruction_cache"
+    DATA_CACHE = "data_cache"
+    UNIFIED_CACHE = "unified_cache"
+    TLB = "tlb"
+    WRITE_BUFFER = "write_buffer"
+    INSTRUCTION_PIPELINE = "instruction_pipeline"
+
+
+#: structures no trap-driven simulator can model, on any machine
+INHERENTLY_UNSUPPORTED = frozenset(
+    {StructureKind.WRITE_BUFFER, StructureKind.INSTRUCTION_PIPELINE}
+)
+
+#: structures involving the data stream, which need allocate-on-write
+NEEDS_WRITE_ALLOCATION = frozenset(
+    {StructureKind.DATA_CACHE, StructureKind.UNIFIED_CACHE}
+)
+
+
+def assert_trap_simulable(kind: StructureKind, machine: Machine) -> None:
+    """Raise :class:`UnsupportedStructure` unless a trap-driven
+    simulator can model ``kind`` on ``machine``.
+
+    Trace-driven simulation has no such limits — that asymmetry is the
+    flexibility trade the paper's section 4.4 weighs.
+    """
+    if kind in INHERENTLY_UNSUPPORTED:
+        raise UnsupportedStructure(
+            f"{kind.value} cannot be simulated by the trap-driven "
+            "approach: traps model set-membership of memory locations, "
+            "not transient queues or pipeline state (paper section 4.4); "
+            "use the trace-driven driver for such structures"
+        )
+    if (
+        kind in NEEDS_WRITE_ALLOCATION
+        and not machine.config.allocate_on_write
+    ):
+        raise UnsupportedStructure(
+            f"{kind.value} simulation is blocked on this machine: its "
+            "no-allocate-on-write policy clears ECC traps without "
+            "invoking the miss handler (paper section 4.4); configure "
+            "MachineConfig(allocate_on_write=True) to model a "
+            "write-allocate host, as the Wisconsin Wind Tunnel's was"
+        )

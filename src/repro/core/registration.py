@@ -1,0 +1,114 @@
+"""Page registration bookkeeping for ``tw_register_page`` / ``tw_remove_page``.
+
+Tapeworm records every ``(tid, physical page, virtual page)`` mapping the
+VM system registers, for two reasons spelled out in section 3.2:
+
+* shared physical pages carry a **reference count** — a second mapping of
+  an already-registered frame sets no new traps ("this enables a new task
+  to benefit from shared entries brought into the cache by another task"),
+  and the frame is only flushed from the simulated cache when the last
+  mapping is removed;
+* virtually-indexed simulations need the recorded virtual-to-physical
+  correspondence to translate a displaced *virtual* line back to the
+  *physical* location a trap must be set on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._types import PAGE_SIZE
+from repro.errors import TapewormError
+
+
+@dataclass
+class FrameRecord:
+    """Registration state of one physical frame."""
+
+    refcount: int = 0
+    #: every (tid, vpn) currently mapping this frame
+    mappings: set[tuple[int, int]] = field(default_factory=set)
+
+
+class PageRegistry:
+    """Who maps what, among the pages in the Tapeworm domain."""
+
+    def __init__(self) -> None:
+        self._frames: dict[int, FrameRecord] = {}
+        self._by_mapping: dict[tuple[int, int], int] = {}  # (tid, vpn) -> pfn
+
+    @staticmethod
+    def _split(pa: int, va: int) -> tuple[int, int]:
+        return pa // PAGE_SIZE, va // PAGE_SIZE
+
+    def register(self, tid: int, pa: int, va: int) -> bool:
+        """Record one mapping; True when this is the frame's *first*
+        mapping (i.e. traps must be set on its memory locations)."""
+        pfn, vpn = self._split(pa, va)
+        key = (tid, vpn)
+        if key in self._by_mapping:
+            raise TapewormError(
+                f"mapping (tid={tid}, vpn={vpn}) registered twice"
+            )
+        record = self._frames.setdefault(pfn, FrameRecord())
+        record.refcount += 1
+        record.mappings.add(key)
+        self._by_mapping[key] = pfn
+        return record.refcount == 1
+
+    def remove(self, tid: int, pa: int, va: int) -> bool:
+        """Drop one mapping; True when the frame's count reached zero
+        (i.e. the page must be flushed and its traps cleared)."""
+        pfn, vpn = self._split(pa, va)
+        key = (tid, vpn)
+        if self._by_mapping.get(key) != pfn:
+            raise TapewormError(
+                f"mapping (tid={tid}, vpn={vpn}) was never registered "
+                f"against frame {pfn}"
+            )
+        record = self._frames[pfn]
+        record.refcount -= 1
+        record.mappings.discard(key)
+        del self._by_mapping[key]
+        if record.refcount == 0:
+            del self._frames[pfn]
+            return True
+        return False
+
+    # -- lookups
+
+    def refcount(self, pa: int) -> int:
+        record = self._frames.get(pa // PAGE_SIZE)
+        return 0 if record is None else record.refcount
+
+    def is_registered_frame(self, pa: int) -> bool:
+        return pa // PAGE_SIZE in self._frames
+
+    def is_registered_mapping(self, tid: int, va: int) -> bool:
+        return (tid, va // PAGE_SIZE) in self._by_mapping
+
+    def pa_of(self, tid: int, va: int) -> int | None:
+        """Physical address recorded for a task's virtual address."""
+        pfn = self._by_mapping.get((tid, va // PAGE_SIZE))
+        if pfn is None:
+            return None
+        return pfn * PAGE_SIZE + va % PAGE_SIZE
+
+    def mappings_of_frame(self, pa: int) -> set[tuple[int, int]]:
+        """All (tid, vpn) pairs sharing one frame."""
+        record = self._frames.get(pa // PAGE_SIZE)
+        return set() if record is None else set(record.mappings)
+
+    def mappings_of_task(self, tid: int) -> list[tuple[int, int]]:
+        """(vpn, pfn) pairs registered for one task."""
+        return [
+            (vpn, pfn)
+            for (mtid, vpn), pfn in self._by_mapping.items()
+            if mtid == tid
+        ]
+
+    def registered_frames(self) -> set[int]:
+        return set(self._frames)
+
+    def __len__(self) -> int:
+        return len(self._by_mapping)

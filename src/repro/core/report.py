@@ -1,0 +1,57 @@
+"""Result records for trap-driven runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._types import Component
+from repro.caches.stats import CacheStats
+
+
+@dataclass
+class TrapRunReport:
+    """Everything one Tapeworm run produces.
+
+    ``slowdown`` follows the paper's definition: simulation overhead
+    cycles divided by the *normal* (uninstrumented) run's cycles.
+    Sampled runs report both raw sampled misses (in ``stats``) and the
+    expansion-scaled ``estimated_misses``.
+    """
+
+    workload: str
+    configuration: str
+    trial_seed: int
+    stats: CacheStats = field(default_factory=CacheStats)
+    estimated_misses: float = 0.0
+    base_cycles: int = 0
+    overhead_cycles: int = 0
+    slowdown: float = 0.0
+    traps: int = 0
+    masked_traps: int = 0
+    page_faults: int = 0
+    ticks: int = 0
+    sampling: int = 1
+    #: total references executed while the run was simulated, per component
+    refs: dict[Component, int] = field(default_factory=dict)
+    #: miss counts scaled to the paper's full-length workloads
+    scale_factor: float = 1.0
+
+    @property
+    def total_refs(self) -> int:
+        return sum(self.refs.values())
+
+    def local_miss_ratio(self, component: Component) -> float:
+        refs = self.refs.get(component, 0)
+        if refs == 0:
+            return 0.0
+        return self.stats.misses[component] / refs
+
+    def overall_miss_ratio(self) -> float:
+        total = self.total_refs
+        if total == 0:
+            return 0.0
+        return self.estimated_misses / total
+
+    def misses_paper_scale(self) -> float:
+        """Estimated misses extrapolated to the paper-length workload."""
+        return self.estimated_misses * self.scale_factor

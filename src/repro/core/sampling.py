@@ -1,0 +1,76 @@
+"""Hardware set sampling via trap patterns.
+
+Trace-driven set sampling pre-filters a trace to the addresses mapping to
+a chosen subset of cache sets, paying a software pass over every address.
+Tapeworm instead "exploits its trapping framework to make the host
+hardware perform this function at much lower cost": ``tw_register_page``
+simply skips setting traps on memory locations outside the sample, so
+unsampled locations never trap and are filtered for free.  Slowdown then
+falls in direct proportion to the sampling fraction (Figure 3), at the
+price of higher measurement variance (Tables 7, 8).
+
+The sampled subset is chosen per trial from a seeded RNG — re-running
+with a different seed is the paper's "different samples can be obtained
+simply by changing the pattern of traps on registered Tapeworm pages."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class SetSampler:
+    """Selects 1/``fraction_denominator`` of a structure's sets."""
+
+    def __init__(
+        self,
+        n_sets: int,
+        fraction_denominator: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if fraction_denominator < 1:
+            raise ConfigError(
+                f"sampling denominator must be >= 1, got {fraction_denominator}"
+            )
+        if n_sets < fraction_denominator:
+            raise ConfigError(
+                f"cannot sample 1/{fraction_denominator} of {n_sets} sets"
+            )
+        self.n_sets = n_sets
+        self.fraction_denominator = fraction_denominator
+        self.seed = seed
+        if fraction_denominator == 1:
+            self._sampled = np.ones(n_sets, dtype=bool)
+        else:
+            rng = np.random.default_rng(seed)
+            chosen = rng.choice(
+                n_sets, size=n_sets // fraction_denominator, replace=False
+            )
+            self._sampled = np.zeros(n_sets, dtype=bool)
+            self._sampled[chosen] = True
+
+    @property
+    def is_sampling(self) -> bool:
+        return self.fraction_denominator > 1
+
+    @property
+    def expansion_factor(self) -> int:
+        """Multiplier that turns sampled miss counts into estimates of
+        the full-cache totals."""
+        return self.fraction_denominator
+
+    def covers_set(self, set_index: int) -> bool:
+        return bool(self._sampled[set_index])
+
+    def sampled_sets(self) -> np.ndarray:
+        return np.nonzero(self._sampled)[0]
+
+    def mask_for_sets(self, set_indices: np.ndarray) -> np.ndarray:
+        """Vectorized membership test for an array of set indices."""
+        return self._sampled[set_indices]
+
+    def estimate(self, sampled_count: int) -> float:
+        """Unbiased estimator of a full-structure count."""
+        return sampled_count * self.expansion_factor

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the Tapeworm II reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """A simulation configuration is invalid (bad cache geometry, etc.)."""
+
+
+class MachineError(ReproError):
+    """The simulated machine was used incorrectly."""
+
+
+class MemoryFault(MachineError):
+    """An access touched an unmapped or invalid physical address."""
+
+
+class DoubleBitError(MachineError):
+    """The ECC logic detected an uncorrectable (double-bit) memory error."""
+
+
+class KernelError(ReproError):
+    """The simulated kernel was driven into an invalid state."""
+
+
+class NoSuchTask(KernelError):
+    """A task id does not name a live task."""
+
+
+class TapewormError(ReproError):
+    """Tapeworm itself was misused (bad primitive arguments, etc.)."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace buffer is malformed."""
+
+
+class UnsupportedStructure(ReproError):
+    """The requested structure cannot be simulated by this driver.
+
+    Raised, e.g., when asking the trap-driven simulator for a write buffer
+    or a write-allocate data cache on the DECstation machine model (paper
+    section 4.4 discusses exactly these flexibility limits).
+    """

@@ -1,0 +1,27 @@
+"""One module per table/figure of the paper's evaluation (section 4).
+
+Each module exposes ``run_*(budget=...)`` returning a structured result,
+and ``render(result)`` producing a paper-style text table.  ``budget``
+selects the reference volume: ``"quick"`` for CI-scale runs (seconds),
+``"full"`` for calibration-grade runs (minutes).  Shapes — orderings,
+crossovers, variance structure — are stable across budgets; absolute
+counts scale with run length.
+"""
+
+from repro.errors import ConfigError
+
+#: total simulated references per budget tier
+BUDGET_REFS = {
+    "smoke": 60_000,
+    "quick": 300_000,
+    "full": 2_000_000,
+}
+
+
+def budget_refs(budget: str) -> int:
+    try:
+        return BUDGET_REFS[budget]
+    except KeyError:
+        raise ConfigError(
+            f"unknown budget {budget!r}; choose from {sorted(BUDGET_REFS)}"
+        ) from None

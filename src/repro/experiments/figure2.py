@@ -1,0 +1,119 @@
+"""Figure 2: Tapeworm vs Cache2000 slowdowns across cache sizes.
+
+The paper simulates mpeg_play's user task (Tapeworm attributes exclude
+the X/BSD servers and kernel) in direct-mapped I-caches with 4-word lines
+from 1 KB to 1 MB, and reports the miss ratio plus both simulators'
+slowdowns.  The expected shape: Cache2000 stays at ~20-30x regardless of
+cache size, while Tapeworm starts ~3-5x cheaper and falls toward zero as
+the miss ratio vanishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._types import Component
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import TapewormConfig
+from repro.experiments import budget_refs
+from repro.harness.runner import RunOptions, run_trace_driven, run_trap_driven
+from repro.harness.tables import format_table
+from repro.workloads.registry import get_workload
+
+#: the paper's cache-size sweep, in KB
+CACHE_SIZES_KB = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Figure 2's published rows for comparison in EXPERIMENTS.md
+PAPER_ROWS = {
+    1: (0.118, 30.2, 6.27),
+    2: (0.097, 28.8, 5.16),
+    4: (0.064, 27.0, 3.84),
+    8: (0.023, 24.2, 1.20),
+    16: (0.017, 23.5, 0.87),
+    32: (0.002, 22.4, 0.11),
+    64: (0.002, 22.3, 0.10),
+    128: (0.000, 22.0, 0.01),
+    256: (0.000, 22.1, 0.00),
+    512: (0.000, 22.1, 0.00),
+    1024: (0.000, 22.3, 0.00),
+}
+
+
+@dataclass(frozen=True)
+class Figure2Row:
+    size_kb: int
+    miss_ratio: float
+    cache2000_slowdown: float
+    tapeworm_slowdown: float
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    rows: tuple[Figure2Row, ...]
+    total_refs: int
+    user_refs: int
+
+
+def run_figure2(
+    budget: str = "quick",
+    workload: str = "mpeg_play",
+    trial_seed: int = 3,
+    sizes_kb: tuple[int, ...] = CACHE_SIZES_KB,
+) -> Figure2Result:
+    """Regenerate Figure 2's table."""
+    spec = get_workload(workload)
+    total_refs = budget_refs(budget)
+    options = RunOptions(
+        total_refs=total_refs,
+        trial_seed=trial_seed,
+        simulate=frozenset({Component.USER}),
+    )
+    rows = []
+    user_refs = 0
+    for size_kb in sizes_kb:
+        config = CacheConfig(size_bytes=size_kb * 1024)
+        trap = run_trap_driven(spec, TapewormConfig(cache=config), options)
+        user_refs = trap.refs[Component.USER]
+        trace = run_trace_driven(spec, config, user_refs)
+        rows.append(
+            Figure2Row(
+                size_kb=size_kb,
+                miss_ratio=trap.local_miss_ratio(Component.USER),
+                cache2000_slowdown=trace.slowdown,
+                tapeworm_slowdown=trap.slowdown,
+            )
+        )
+    return Figure2Result(
+        rows=tuple(rows), total_refs=total_refs, user_refs=user_refs
+    )
+
+
+def render(result: Figure2Result) -> str:
+    table_rows = []
+    for row in result.rows:
+        paper = PAPER_ROWS.get(row.size_kb)
+        table_rows.append(
+            [
+                f"{row.size_kb}K",
+                row.miss_ratio,
+                row.cache2000_slowdown,
+                row.tapeworm_slowdown,
+                paper[1] if paper else "",
+                paper[2] if paper else "",
+            ]
+        )
+    return format_table(
+        [
+            "Cache Size",
+            "Miss Ratio",
+            "Cache2000 Slowdown",
+            "Tapeworm Slowdown",
+            "(paper C2000)",
+            "(paper TW)",
+        ],
+        table_rows,
+        title=(
+            "Figure 2: trace-driven vs trap-driven slowdowns "
+            "(mpeg_play user task, direct-mapped, 4-word lines)"
+        ),
+    )

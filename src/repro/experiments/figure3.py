@@ -1,0 +1,130 @@
+"""Figure 3: Tapeworm slowdowns across simulation configurations.
+
+Three sweeps over mpeg_play at small cache sizes:
+
+* associativity 1 / 2 / 4 — higher associativity costs slightly more per
+  miss but misses less, so simulations get *faster*;
+* line size 4 / 8 / 16 words — same effect;
+* set sampling 1, 1/2, 1/4, 1/8 — "slowdowns decrease in direct
+  proportion to the fraction of sets sampled."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._types import Component
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import TapewormConfig
+from repro.experiments import budget_refs
+from repro.harness.runner import RunOptions, run_trap_driven
+from repro.harness.tables import format_table
+from repro.workloads.registry import get_workload
+
+SIZES_KB = (1, 2, 4, 8)
+ASSOCIATIVITIES = (1, 2, 4)
+LINE_BYTES = (16, 32, 64)
+SAMPLING = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    dimension: str
+    value: int
+    size_kb: int
+    slowdown: float
+    misses: int
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    points: tuple[SweepPoint, ...]
+
+    def series(self, dimension: str, value: int) -> list[SweepPoint]:
+        return [
+            p
+            for p in self.points
+            if p.dimension == dimension and p.value == value
+        ]
+
+    def point(self, dimension: str, value: int, size_kb: int) -> SweepPoint:
+        for p in self.series(dimension, value):
+            if p.size_kb == size_kb:
+                return p
+        raise KeyError((dimension, value, size_kb))
+
+
+def run_figure3(
+    budget: str = "quick",
+    workload: str = "mpeg_play",
+    trial_seed: int = 3,
+) -> Figure3Result:
+    spec = get_workload(workload)
+    options = RunOptions(
+        total_refs=budget_refs(budget),
+        trial_seed=trial_seed,
+        simulate=frozenset({Component.USER}),
+    )
+    points = []
+    for assoc in ASSOCIATIVITIES:
+        for size_kb in SIZES_KB:
+            config = TapewormConfig(
+                cache=CacheConfig(size_bytes=size_kb * 1024, associativity=assoc)
+            )
+            report = run_trap_driven(spec, config, options)
+            points.append(
+                SweepPoint(
+                    "associativity", assoc, size_kb,
+                    report.slowdown, report.stats.total_misses,
+                )
+            )
+    for line in LINE_BYTES:
+        for size_kb in SIZES_KB:
+            config = TapewormConfig(
+                cache=CacheConfig(size_bytes=size_kb * 1024, line_bytes=line)
+            )
+            report = run_trap_driven(spec, config, options)
+            points.append(
+                SweepPoint(
+                    "line_bytes", line, size_kb,
+                    report.slowdown, report.stats.total_misses,
+                )
+            )
+    for denominator in SAMPLING:
+        for size_kb in SIZES_KB:
+            config = TapewormConfig(
+                cache=CacheConfig(size_bytes=size_kb * 1024),
+                sampling=denominator,
+                sampling_seed=trial_seed,
+            )
+            report = run_trap_driven(spec, config, options)
+            points.append(
+                SweepPoint(
+                    "sampling", denominator, size_kb,
+                    report.slowdown, report.stats.total_misses,
+                )
+            )
+    return Figure3Result(points=tuple(points))
+
+
+def render(result: Figure3Result) -> str:
+    sections = []
+    for dimension, values, label in (
+        ("associativity", ASSOCIATIVITIES, "way"),
+        ("line_bytes", LINE_BYTES, "byte lines"),
+        ("sampling", SAMPLING, "1/k sampling"),
+    ):
+        rows = []
+        for size_kb in SIZES_KB:
+            row = [f"{size_kb}K"]
+            for value in values:
+                row.append(result.point(dimension, value, size_kb).slowdown)
+            rows.append(row)
+        sections.append(
+            format_table(
+                ["Size"] + [f"{v} {label}" for v in values],
+                rows,
+                title=f"Figure 3 ({dimension}): Tapeworm slowdowns",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,74 @@
+"""Tables 3 and 4: workload descriptions and Monster measurements.
+
+Table 3 is the workload catalogue; Table 4 reports what the Monster
+monitor measured: instruction counts, run time, per-component time
+fractions, and the user-task count.  Here the same quantities are read
+off the simulated machine after an uninstrumented run, and shown next to
+the paper's numbers (which the specs are calibrated to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import budget_refs
+from repro.harness.monster import Monster, MonsterReading
+from repro.harness.runner import RunOptions, run_uninstrumented
+from repro.harness.tables import format_table
+from repro.workloads.base import WorkloadMeta
+from repro.workloads.registry import all_workloads
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    meta: WorkloadMeta
+    measured: MonsterReading
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    rows: tuple[Table4Row, ...]
+    total_refs: int
+
+
+def run_table34(budget: str = "quick", trial_seed: int = 0) -> Table4Result:
+    total_refs = budget_refs(budget)
+    rows = []
+    for spec in all_workloads():
+        kernel = run_uninstrumented(
+            spec, RunOptions(total_refs=total_refs, trial_seed=trial_seed)
+        )
+        rows.append(
+            Table4Row(meta=spec.meta, measured=Monster(kernel).reading(spec))
+        )
+    return Table4Result(rows=tuple(rows), total_refs=total_refs)
+
+
+def render(result: Table4Result) -> str:
+    table_rows = []
+    for row in result.rows:
+        meta, measured = row.meta, row.measured
+        table_rows.append(
+            [
+                meta.name,
+                measured.instructions,
+                f"{measured.frac_kernel:.1%}/{meta.frac_kernel:.1%}",
+                f"{measured.frac_bsd:.1%}/{meta.frac_bsd:.1%}",
+                f"{measured.frac_x:.1%}/{meta.frac_x:.1%}",
+                f"{measured.frac_user:.1%}/{meta.frac_user:.1%}",
+                f"{measured.user_task_count}/{meta.user_task_count}",
+            ]
+        )
+    return format_table(
+        [
+            "Workload",
+            "Instr (scaled)",
+            "Kernel (ours/paper)",
+            "BSD (ours/paper)",
+            "X (ours/paper)",
+            "User (ours/paper)",
+            "Tasks (ours/paper)",
+        ],
+        table_rows,
+        title="Table 3/4: workload and operating system summary",
+    )

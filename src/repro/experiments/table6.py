@@ -1,0 +1,154 @@
+"""Table 6: miss contributions of the workload components.
+
+Per workload, five trap-driven runs of a 4 KB direct-mapped I-cache:
+
+* four *dedicated-cache* runs, each simulating one component alone
+  (user tasks / servers / kernel), realized by setting Tapeworm
+  attributes so only that component's pages are registered;
+* one *all-activity* run where every component shares the cache.
+
+Interference is the all-activity count minus the dedicated sum.  For the
+single-task workloads, a Pixie+Cache2000 run fills the paper's "From
+Traces" column; the multi-task workloads get a blank there, exactly as
+in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._types import Component
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import TapewormConfig
+from repro.experiments import budget_refs
+from repro.harness.runner import RunOptions, run_trace_driven, run_trap_driven
+from repro.harness.tables import format_table
+from repro.workloads.registry import WORKLOAD_NAMES, get_workload
+
+#: the paper's Table 6 misses in millions (miss ratios in parentheses
+#: there), for EXPERIMENTS.md comparison: (user, servers, kernel, all)
+PAPER_MILLIONS = {
+    "eqntott": (0.07, 2.52, 2.44, 8.44),
+    "espresso": (1.80, 2.28, 1.96, 9.53),
+    "jpeg_play": (3.14, 14.58, 9.21, 36.28),
+    "kenbus": (7.50, 11.89, 12.78, 45.70),
+    "mpeg_play": (37.91, 33.92, 19.27, 112.5),
+    "ousterhout": (1.93, 18.62, 21.72, 61.39),
+    "sdet": (20.14, 25.18, 18.09, 104.6),
+    "xlisp": (90.02, 6.31, 2.98, 135.8),
+}
+
+SERVER_COMPONENTS = frozenset(
+    {Component.BSD_SERVER, Component.X_SERVER}
+)
+
+#: which workloads Pixie can trace (single user task)
+SINGLE_TASK = ("xlisp", "espresso", "eqntott", "mpeg_play", "jpeg_play")
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    workload: str
+    from_traces: int | None
+    user: int
+    servers: int
+    kernel: int
+    all_activity: int
+    total_refs: int
+
+    @property
+    def interference(self) -> int:
+        return self.all_activity - (self.user + self.servers + self.kernel)
+
+    def ratio(self, count: int) -> float:
+        return count / self.total_refs if self.total_refs else 0.0
+
+
+@dataclass(frozen=True)
+class Table6Result:
+    rows: tuple[Table6Row, ...]
+
+    def row(self, workload: str) -> Table6Row:
+        for row in self.rows:
+            if row.workload == workload:
+                return row
+        raise KeyError(workload)
+
+
+def _dedicated_misses(spec, components, options, cache) -> tuple[int, int]:
+    report = run_trap_driven(
+        spec,
+        TapewormConfig(cache=cache),
+        RunOptions(
+            total_refs=options.total_refs,
+            trial_seed=options.trial_seed,
+            simulate=frozenset(components),
+        ),
+    )
+    return report.stats.total_misses, report.total_refs
+
+
+def run_table6(
+    budget: str = "quick",
+    trial_seed: int = 5,
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+) -> Table6Result:
+    cache = CacheConfig(size_bytes=4096)
+    options = RunOptions(total_refs=budget_refs(budget), trial_seed=trial_seed)
+    rows = []
+    for name in workloads:
+        spec = get_workload(name)
+        user, _ = _dedicated_misses(spec, {Component.USER}, options, cache)
+        servers, _ = _dedicated_misses(spec, SERVER_COMPONENTS, options, cache)
+        kernel, _ = _dedicated_misses(spec, {Component.KERNEL}, options, cache)
+        all_activity, total_refs = _dedicated_misses(
+            spec, set(Component), options, cache
+        )
+        from_traces = None
+        if name in SINGLE_TASK:
+            user_refs = int(round(options.total_refs * spec.meta.frac_user))
+            from_traces = run_trace_driven(spec, cache, user_refs).misses
+        rows.append(
+            Table6Row(
+                workload=name,
+                from_traces=from_traces,
+                user=user,
+                servers=servers,
+                kernel=kernel,
+                all_activity=all_activity,
+                total_refs=total_refs,
+            )
+        )
+    return Table6Result(rows=tuple(rows))
+
+
+def render(result: Table6Result) -> str:
+    table_rows = []
+    for row in sorted(result.rows, key=lambda r: r.workload):
+        table_rows.append(
+            [
+                row.workload,
+                row.from_traces if row.from_traces is not None else "",
+                f"{row.user} ({row.ratio(row.user):.3f})",
+                f"{row.servers} ({row.ratio(row.servers):.3f})",
+                f"{row.kernel} ({row.ratio(row.kernel):.3f})",
+                f"{row.all_activity} ({row.ratio(row.all_activity):.3f})",
+                f"{row.interference} ({row.ratio(row.interference):.3f})",
+            ]
+        )
+    return format_table(
+        [
+            "Workload",
+            "From Traces",
+            "User Tasks",
+            "Servers",
+            "Kernel",
+            "All Activity",
+            "Interference",
+        ],
+        table_rows,
+        title=(
+            "Table 6: miss count (miss ratio) contributions, "
+            "4 KB direct-mapped I-cache, 4-word lines"
+        ),
+    )

@@ -1,0 +1,68 @@
+"""A Monster-style hardware monitor.
+
+The paper validates Tapeworm with "a hardware monitoring system, called
+Monster, based on a DAS 9200 logic analyzer", which unobtrusively counts
+instructions and attributes time to tasks (Table 4).  On the simulated
+machine the same observations come from the CPU's per-component counters
+— unobtrusive by construction, since reading them costs the simulated
+machine nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._types import HOST_CLOCK_HZ, Component
+from repro.kernel.kernel import Kernel
+from repro.workloads.base import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class MonsterReading:
+    """One workload's Table 4 row, as measured on the simulated machine."""
+
+    workload: str
+    instructions: int
+    run_time_secs: float
+    frac_kernel: float
+    frac_bsd: float
+    frac_x: float
+    frac_user: float
+    user_task_count: int
+
+
+class Monster:
+    """Reads instruction/cycle counters off a machine under test."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+
+    def instructions(self) -> int:
+        return sum(self.kernel.machine.cpu.refs_by_component.values())
+
+    def cycles(self) -> int:
+        return sum(self.kernel.machine.cpu.cycles_by_component.values())
+
+    def run_time_secs(self) -> float:
+        return self.cycles() / HOST_CLOCK_HZ
+
+    def component_fractions(self) -> dict[Component, float]:
+        """Share of cycles spent in each component."""
+        by_component = self.kernel.machine.cpu.cycles_by_component
+        total = sum(by_component.values())
+        if total == 0:
+            return {c: 0.0 for c in Component}
+        return {c: by_component[c] / total for c in Component}
+
+    def reading(self, spec: WorkloadSpec) -> MonsterReading:
+        fractions = self.component_fractions()
+        return MonsterReading(
+            workload=spec.name,
+            instructions=self.instructions(),
+            run_time_secs=self.run_time_secs(),
+            frac_kernel=fractions[Component.KERNEL],
+            frac_bsd=fractions[Component.BSD_SERVER],
+            frac_x=fractions[Component.X_SERVER],
+            frac_user=fractions[Component.USER],
+            user_task_count=self.kernel.tasks.user_task_count(),
+        )

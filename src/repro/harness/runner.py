@@ -1,0 +1,379 @@
+"""Run a workload under the trap-driven or trace-driven driver.
+
+``run_trap_driven`` boots a fresh simulated DECstation, installs Tapeworm,
+sets per-task attributes for the requested components (the shell gets the
+paper's ``(simulate=0, inherit=1)`` so the whole fork tree is measured
+without the shell itself), and then just *runs* the workload — traps do
+the rest.
+
+``run_trace_driven`` is the Pixie+Cache2000 path: no kernel, no machine —
+only the primary user task's address stream, searched address by address.
+Both drivers consume identical user streams, which the cross-validation
+tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._types import Component
+from repro.caches.config import CacheConfig
+from repro.caches.replacement import make_policy
+from repro.core.report import TrapRunReport
+from repro.core.tapeworm import Tapeworm, TapewormConfig
+from repro.errors import ConfigError
+from repro.harness.slowdown import (
+    cache2000_slowdown,
+    normal_run_cycles,
+    tapeworm_slowdown,
+)
+from repro.kernel.kernel import COMPONENT_CPI, Kernel
+from repro.kernel.scheduler import Demand, Scheduler
+from repro.kernel.syscalls import SyscallInterface
+from repro.kernel.task import Task
+from repro.machine.cpu import ChunkResult
+from repro.tracing.cache2000 import Cache2000
+from repro.tracing.pixie import PixieTracer
+from repro.tracing.sampling import TraceSetSampler
+from repro.workloads.base import SYSTEM_TASK_NAMES, WorkloadSpec
+from repro.workloads.locality import MixedStream
+
+ALL_COMPONENTS = frozenset(Component)
+
+
+def _boot_kernel(options: "RunOptions") -> Kernel:
+    machine = None
+    if options.tick_cycles is not None:
+        from repro.machine.machine import Machine, MachineConfig
+
+        machine = Machine(MachineConfig(tick_cycles=options.tick_cycles))
+    return Kernel(
+        machine=machine,
+        trial_seed=options.trial_seed,
+        alloc_policy=options.alloc_policy,
+        reserved_frames=options.reserved_frames,
+    )
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Knobs for one trap-driven run."""
+
+    total_refs: int = 2_000_000
+    trial_seed: int = 0
+    alloc_policy: str = "random"
+    chunk_refs: int = 4096
+    quantum_refs: int = 8192
+    system_jitter: float = 0.25
+    #: which components are simulated (registered with Tapeworm)
+    simulate: frozenset[Component] = ALL_COMPONENTS
+    #: interleave data references into the streams (TLB simulations)
+    include_data_refs: bool = False
+    reserved_frames: int = 64
+    #: override the clock-interrupt period (None = the machine's 100 Hz
+    #: default); a huge value disables dilation for controlled studies
+    tick_cycles: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.total_refs <= 0 or self.chunk_refs <= 0:
+            raise ConfigError("total_refs and chunk_refs must be positive")
+
+
+class _WorkloadExecution:
+    """Materializes a spec onto a booted kernel and runs its phases.
+
+    ``chunk_tap``, when set, observes every executed chunk as
+    ``(tid, component, vas)`` — the hook system-wide tracers use.
+    """
+
+    chunk_tap = None
+
+    def __init__(
+        self, spec: WorkloadSpec, kernel: Kernel, options: RunOptions
+    ) -> None:
+        self.spec = spec
+        self.kernel = kernel
+        self.options = options
+        self.syscalls = SyscallInterface(kernel)
+        self.shell = kernel.spawn("shell", Component.USER)
+        self._streams: dict[str, object] = {}
+        self._tasks: dict[str, Task] = {
+            name: kernel.tasks.by_name(name)
+            for name in SYSTEM_TASK_NAMES.values()
+        }
+        self._tasks["shell"] = self.shell
+        self.totals = ChunkResult()
+
+    # -- attribute setup
+
+    def apply_attributes(self) -> None:
+        simulate = self.options.simulate
+        tapeworm = self.kernel.tapeworm
+        if tapeworm is None:
+            return
+        if Component.KERNEL in simulate:
+            tapeworm.tw_attributes(0, simulate=1, inherit=0)
+        if Component.BSD_SERVER in simulate:
+            tapeworm.tw_attributes(
+                self.kernel.bsd_server.tid, simulate=1, inherit=0
+            )
+        if Component.X_SERVER in simulate:
+            tapeworm.tw_attributes(
+                self.kernel.x_server.tid, simulate=1, inherit=0
+            )
+        if Component.USER in simulate:
+            # the canonical shell setting: measure the whole fork tree,
+            # exclude the shell itself
+            tapeworm.tw_attributes(self.shell.tid, simulate=0, inherit=1)
+
+    # -- stream and task plumbing
+
+    def _stream_for(self, task_name: str):
+        stream = self._streams.get(task_name)
+        if stream is None:
+            task_spec = self.spec.task(task_name)
+            instr = task_spec.build_stream(self.spec.name)
+            if self.options.include_data_refs:
+                data = task_spec.build_data_stream(self.spec.name)
+                stream = MixedStream(instr, data) if data else instr
+            else:
+                stream = instr
+            self._streams[task_name] = stream
+        return stream
+
+    def _fork(self, task_name: str) -> None:
+        task_spec = self.spec.task(task_name)
+        parent_name = task_spec.parent or "shell"
+        parent = self._tasks[parent_name]
+        task = self.kernel.fork(
+            parent.tid, task_name, layout=task_spec.layout()
+        )
+        self._tasks[task_name] = task
+
+    def _exit(self, task_name: str) -> None:
+        task = self._tasks.pop(task_name)
+        self.kernel.exit_task(task.tid)
+        self._streams.pop(task_name, None)
+
+    # -- the run loop
+
+    def run(self) -> None:
+        options = self.options
+        scheduler = Scheduler(
+            quantum_refs=options.quantum_refs,
+            system_jitter=options.system_jitter,
+            trial_rng=np.random.default_rng(options.trial_seed + 0xC0DE),
+        )
+        for phase in self.spec.phases:
+            for task_name in phase.forks:
+                self._fork(task_name)
+            phase_refs = int(round(options.total_refs * phase.weight))
+            # spec demands are Table 4 *time* fractions; divide by CPI to
+            # get reference weights so measured time fractions match
+            demands = []
+            for d in phase.demands:
+                component = (
+                    Component.USER
+                    if d.task_name == "shell"
+                    else self.spec.task(d.task_name).component
+                )
+                demands.append(
+                    Demand(
+                        d.task_name,
+                        component,
+                        d.weight / COMPONENT_CPI[component],
+                    )
+                )
+            for time_slice in scheduler.interleave(demands, phase_refs):
+                task = self._tasks[time_slice.task_name]
+                stream = self._stream_for(time_slice.task_name)
+                remaining = time_slice.n_refs
+                while remaining > 0:
+                    n = min(options.chunk_refs, remaining)
+                    vas = stream.next_chunk(n)
+                    result = self.kernel.run_chunk(task, vas)
+                    self.totals.merge(result)
+                    if self.chunk_tap is not None:
+                        self.chunk_tap(task.tid, task.component, vas)
+                    remaining -= n
+            for task_name in phase.exits:
+                self._exit(task_name)
+
+
+def run_uninstrumented(
+    spec: WorkloadSpec,
+    options: RunOptions | None = None,
+) -> Kernel:
+    """Run a workload with no Tapeworm installed (a 'normal' run).
+
+    Returns the kernel so a Monster monitor can read the machine's
+    counters — how Table 4 was measured.
+    """
+    options = options or RunOptions()
+    kernel = _boot_kernel(options)
+    execution = _WorkloadExecution(spec, kernel, options)
+    execution.run()
+    return kernel
+
+
+def run_system_trace_driven(
+    spec: WorkloadSpec,
+    cache_config: CacheConfig,
+    options: RunOptions | None = None,
+    buffer_refs: int = 256 * 1024,
+):
+    """One Mogul/Chen-style system-wide trace-driven run.
+
+    The workload executes on a booted kernel (no Tapeworm); an
+    annotation tap buffers every reference from every component, and
+    Cache2000 drains the buffer whenever it fills.  Returns a
+    :class:`~repro.tracing.systrace.SystemTraceReport` whose slowdown
+    is computed like the other drivers'.
+    """
+    from repro.tracing.systrace import SystemTracer
+
+    options = options or RunOptions()
+    kernel = _boot_kernel(options)
+    execution = _WorkloadExecution(spec, kernel, options)
+    tracer = SystemTracer(cache_config, buffer_refs=buffer_refs)
+    execution.chunk_tap = tracer.tap
+    execution.run()
+    tracer.finish()
+    report = tracer.report(spec.name)
+    report.slowdown = (
+        report.overhead_cycles
+        / normal_run_cycles(spec, options.total_refs)
+    )
+    return report
+
+
+def run_trap_driven(
+    spec: WorkloadSpec,
+    tw_config: TapewormConfig,
+    options: RunOptions | None = None,
+) -> TrapRunReport:
+    """One complete trap-driven simulation of a workload."""
+    options = options or RunOptions()
+    kernel = _boot_kernel(options)
+    tapeworm = Tapeworm(kernel, tw_config)
+    tapeworm.install()
+    execution = _WorkloadExecution(spec, kernel, options)
+    execution.apply_attributes()
+    execution.run()
+
+    cpu = kernel.machine.cpu
+    stats = tapeworm.snapshot_stats()
+    for component in Component:
+        stats.refs[component] = cpu.refs_by_component[component]
+    stats.masked_misses = execution.totals.masked_traps
+    report = TrapRunReport(
+        workload=spec.name,
+        configuration=_describe(tw_config),
+        trial_seed=options.trial_seed,
+        stats=stats,
+        estimated_misses=tapeworm.estimated_total_misses(),
+        base_cycles=sum(cpu.cycles_by_component.values()),
+        overhead_cycles=tapeworm.overhead_cycles,
+        traps=execution.totals.traps,
+        masked_traps=execution.totals.masked_traps,
+        page_faults=execution.totals.page_faults,
+        ticks=kernel.machine.clock.ticks_delivered,
+        sampling=tw_config.sampling,
+        refs=dict(cpu.refs_by_component),
+        scale_factor=spec.scale_factor(options.total_refs),
+    )
+    report.slowdown = tapeworm_slowdown(
+        report.overhead_cycles, spec, options.total_refs
+    )
+    return report
+
+
+def _describe(config: TapewormConfig) -> str:
+    if config.structure == "tlb":
+        base = config.tlb.describe()
+    elif config.structure == "two_level":
+        base = f"{config.cache.describe()} + L2 {config.l2.describe()}"
+    else:
+        base = config.cache.describe()
+    if config.sampling > 1:
+        base += f", 1/{config.sampling} sampling"
+    return base
+
+
+@dataclass
+class TraceRunReport:
+    """Results of one Pixie+Cache2000 run."""
+
+    workload: str
+    configuration: str
+    misses: int = 0
+    refs_simulated: int = 0
+    refs_traced: int = 0
+    generation_cycles: int = 0
+    filter_cycles: int = 0
+    processing_cycles: int = 0
+    slowdown: float = 0.0
+    sampling: int = 1
+
+    @property
+    def overhead_cycles(self) -> int:
+        return self.generation_cycles + self.filter_cycles + self.processing_cycles
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per traced user reference (Figure 2's convention)."""
+        if self.refs_traced == 0:
+            return 0.0
+        return self.misses * self.sampling / self.refs_traced
+
+    @property
+    def estimated_misses(self) -> float:
+        return self.misses * self.sampling
+
+
+def run_trace_driven(
+    spec: WorkloadSpec,
+    cache_config: CacheConfig,
+    user_refs: int,
+    sampling: int = 1,
+    sampling_seed: int = 0,
+    replacement: str = "lru",
+    chunk_refs: int = 65536,
+    force_general_path: bool = False,
+) -> TraceRunReport:
+    """One Pixie+Cache2000 simulation of a workload's primary user task."""
+    tracer = PixieTracer(spec, chunk_refs=chunk_refs)
+    simulator = Cache2000(
+        cache_config,
+        policy=make_policy(replacement),
+        force_general_path=force_general_path,
+    )
+    sampler = (
+        TraceSetSampler(cache_config, sampling, seed=sampling_seed)
+        if sampling > 1
+        else None
+    )
+    for chunk in tracer.trace_chunks(user_refs):
+        addresses = chunk.addresses
+        if sampler is not None:
+            addresses = sampler.filter_chunk(addresses)
+        simulator.simulate_chunk(addresses, tid=chunk.tid, component=chunk.component)
+
+    report = TraceRunReport(
+        workload=spec.name,
+        configuration=cache_config.describe()
+        + (f", 1/{sampling} sampling" if sampling > 1 else ""),
+        misses=simulator.stats.total_misses,
+        refs_simulated=simulator.stats.total_refs,
+        refs_traced=tracer.refs_traced,
+        generation_cycles=tracer.generation_cycles,
+        filter_cycles=sampler.preprocessing_cycles if sampler else 0,
+        processing_cycles=simulator.processing_cycles,
+        sampling=sampling,
+    )
+    report.slowdown = cache2000_slowdown(
+        report.overhead_cycles, spec, user_refs
+    )
+    return report

@@ -1,0 +1,49 @@
+"""Slowdown computation, following the paper's definition:
+
+    Slowdown = Overhead / Normal Workload Run Time
+
+*Overhead* is the time added by Tapeworm (trap handling) or by
+Pixie+Cache2000 (trace generation, filtering and processing); the
+denominator is the uninstrumented run — including every component's time,
+which is why Figure 2's Tapeworm slowdowns stay below the naive
+"miss ratio × handler cost" estimate (the simulated task is under half of
+mpeg_play's wall clock).
+"""
+
+from __future__ import annotations
+
+from repro.kernel.kernel import COMPONENT_CPI
+from repro._types import Component
+from repro.workloads.base import WorkloadSpec
+
+
+def normal_run_cycles(spec: WorkloadSpec, total_refs: int) -> float:
+    """Cycles of an uninstrumented run of ``total_refs`` references,
+    split across components by the Table 4 fractions."""
+    weights = spec.component_weights()
+    return sum(
+        total_refs * weights[component] * COMPONENT_CPI[component]
+        for component in Component
+    )
+
+
+def tapeworm_slowdown(
+    overhead_cycles: float, spec: WorkloadSpec, total_refs: int
+) -> float:
+    """Trap-driven slowdown over a run of ``total_refs`` references."""
+    return overhead_cycles / normal_run_cycles(spec, total_refs)
+
+
+def cache2000_slowdown(
+    overhead_cycles: float, spec: WorkloadSpec, user_refs: int
+) -> float:
+    """Trace-driven slowdown, normalized like the paper's Figure 2.
+
+    Pixie traces only the user task, but "slowdowns in both cases were
+    computed using the total wall-clock run time for the workload" — so
+    the denominator is the full-workload run in which the user task
+    executed ``user_refs`` references.
+    """
+    frac_user = spec.meta.frac_user
+    total_equiv = user_refs / frac_user if frac_user > 0 else user_refs
+    return overhead_cycles / normal_run_cycles(spec, int(total_equiv))

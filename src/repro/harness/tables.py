@@ -1,0 +1,55 @@
+"""Plain-text table formatting for the experiment reports.
+
+Every benchmark prints its reproduction of a paper table/figure in a
+layout close to the original, so results can be eyeballed against the
+paper directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value: object, precision: int = 3) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned monospace table."""
+    rendered = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered), 1)
+        if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(row[i].rjust(widths[i]) for i in range(len(headers)))
+        )
+    return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    """Render a percentage the way the paper's tables do: (42%)."""
+    return f"({value:.0f}%)"

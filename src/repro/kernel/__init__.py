@@ -1,0 +1,31 @@
+"""The simulated Mach-like operating system kernel.
+
+Tapeworm "resides in an OS kernel and causes a host machine's hardware to
+drive simulations with kernel traps."  This package is that kernel: tasks
+with fork trees and per-task Tapeworm attributes, a round-robin scheduler,
+a VM system whose page-allocation policy is the paper's main source of
+run-to-run variance, the BSD/X server system tasks, and the trap plumbing
+that routes hardware events to Tapeworm.
+"""
+
+from repro.kernel.task import Task, TaskState, TaskTable
+from repro.kernel.vm import AddressSpaceLayout, Region, VMSystem
+from repro.kernel.scheduler import Scheduler, TimeSlice
+from repro.kernel.servers import bsd_server_layout, x_server_layout
+from repro.kernel.kernel import Kernel
+from repro.kernel.syscalls import SyscallInterface
+
+__all__ = [
+    "Task",
+    "TaskState",
+    "TaskTable",
+    "Region",
+    "AddressSpaceLayout",
+    "VMSystem",
+    "Scheduler",
+    "TimeSlice",
+    "bsd_server_layout",
+    "x_server_layout",
+    "Kernel",
+    "SyscallInterface",
+]

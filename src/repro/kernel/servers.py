@@ -1,0 +1,78 @@
+"""Address-space layouts of the system server tasks.
+
+On the paper's Mach 3.0 system, UNIX services live in a user-level BSD
+server and display services in the X server; both "exist prior to the
+initiation of a workload" and contribute a large share of total cache
+misses (Table 6).  Their text segments are shared machine-wide — a second
+simulation of the same boot reuses the same frames — which exercises
+Tapeworm's shared-page reference counting.
+
+Region sizes are calibration constants: active server text footprints on
+the order of a few hundred kilobytes produce the server miss-ratio bands
+of Table 6 in small caches.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.vm import AddressSpaceLayout, Region
+
+#: virtual page numbers are allocated per-task, so layouts may reuse them
+_TEXT_START_VPN = 16
+_DATA_START_VPN = 1024
+
+
+def bsd_server_layout() -> AddressSpaceLayout:
+    """The user-level BSD UNIX server (version uk38 in the paper)."""
+    return AddressSpaceLayout(
+        regions=(
+            Region(
+                name="text",
+                start_vpn=_TEXT_START_VPN,
+                n_pages=96,  # 384 KB of server code
+                share_key="bsd_server_text",
+            ),
+            Region(name="data", start_vpn=_DATA_START_VPN, n_pages=64),
+        )
+    )
+
+
+def x_server_layout() -> AddressSpaceLayout:
+    """The DECstation X display server (X11R5 in the paper)."""
+    return AddressSpaceLayout(
+        regions=(
+            Region(
+                name="text",
+                start_vpn=_TEXT_START_VPN,
+                n_pages=64,  # 256 KB of server code
+                share_key="x_server_text",
+            ),
+            Region(name="data", start_vpn=_DATA_START_VPN, n_pages=48),
+        )
+    )
+
+
+def kernel_layout() -> AddressSpaceLayout:
+    """The Mach kernel's own address space.
+
+    The ``interrupt`` region holds the clock-interrupt handler: the code
+    that runs once per tick, pollutes the cache, and produces the time
+    dilation bias of Figure 4.  It is mapped separately so experiments can
+    reason about its footprint.
+    """
+    return AddressSpaceLayout(
+        regions=(
+            Region(
+                name="text",
+                start_vpn=_TEXT_START_VPN,
+                n_pages=64,  # 256 KB of kernel code
+                share_key="kernel_text",
+            ),
+            Region(
+                name="interrupt",
+                start_vpn=_TEXT_START_VPN + 64,
+                n_pages=1,
+                share_key="kernel_interrupt_text",
+            ),
+            Region(name="data", start_vpn=_DATA_START_VPN, n_pages=64),
+        )
+    )

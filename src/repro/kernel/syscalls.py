@@ -1,0 +1,61 @@
+"""The user-level control interface to Tapeworm.
+
+Table 11 shows that 82% of Tapeworm is machine-independent *user* code:
+"only a minimal amount of code actually runs in the kernel, controlled
+through a system call interface by a user-level X application."  This
+module is that system-call boundary — the only sanctioned way for
+experiment code (the analogue of the user-level application) to steer the
+in-kernel simulator.
+"""
+
+from __future__ import annotations
+
+from repro._types import Component
+from repro.errors import TapewormError
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+
+
+class SyscallInterface:
+    """System calls exposed to the user-level control application."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+
+    def _tapeworm(self):
+        tapeworm = self.kernel.tapeworm
+        if tapeworm is None:
+            raise TapewormError("Tapeworm is not installed in this kernel")
+        return tapeworm
+
+    # -- Tapeworm control (Table 1's tw_attributes, plus result readout)
+
+    def tw_attributes(self, tid: int, simulate: int, inherit: int) -> None:
+        """Assign the (simulate, inherit) pair to a task.
+
+        ``tid`` 0 names the kernel itself, as in the paper.  When
+        ``simulate`` turns on for a task with pages already mapped, those
+        pages are registered immediately; when it turns off, they are
+        removed from the Tapeworm domain.
+        """
+        self._tapeworm().tw_attributes(tid, simulate, inherit)
+
+    def tw_read_stats(self):
+        """Fetch the simulator's miss counters (a copy)."""
+        return self._tapeworm().snapshot_stats()
+
+    def tw_reset_stats(self) -> None:
+        self._tapeworm().reset_stats()
+
+    # -- ordinary process-management calls used by example applications
+
+    def fork(self, parent_tid: int, name: str, layout=None) -> Task:
+        return self.kernel.fork(parent_tid, name, layout=layout)
+
+    def spawn_shell(self, name: str = "shell") -> Task:
+        """Create a login-shell task (the customary tw_attributes target:
+        simulate=0, inherit=1 measures everything started from it)."""
+        return self.kernel.spawn(name, Component.USER)
+
+    def exit(self, tid: int) -> None:
+        self.kernel.exit_task(tid)

@@ -1,0 +1,132 @@
+"""Tasks, fork trees, and Tapeworm attribute inheritance.
+
+The paper stores two Tapeworm attributes "in an extended version of the
+OS task data structure":
+
+* ``simulate`` — non-zero registers all of the task's current and future
+  pages with Tapeworm;
+* ``inherit`` — the initial value of ``simulate`` for the task's children.
+
+After a fork::
+
+    child.simulate <- parent.inherit
+    child.inherit  <- parent.inherit
+
+Setting ``(simulate=0, inherit=1)`` on a shell therefore measures an
+entire workload's fork tree while excluding the shell itself — the
+mechanism that makes sdet's 281 tasks or kenbus's 238 trackable without
+annotating anything.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro._types import KERNEL_TID, Component
+from repro.errors import KernelError, NoSuchTask
+
+
+class TaskState(enum.Enum):
+    RUNNING = "running"
+    EXITED = "exited"
+
+
+@dataclass
+class Task:
+    """One schedulable task (the kernel itself is task 0)."""
+
+    tid: int
+    name: str
+    component: Component
+    parent_tid: int | None = None
+    simulate: int = 0
+    inherit: int = 0
+    state: TaskState = TaskState.RUNNING
+    children: list[int] = field(default_factory=list)
+
+    @property
+    def is_kernel(self) -> bool:
+        return self.tid == KERNEL_TID
+
+
+class TaskTable:
+    """Allocates task ids and applies fork-time attribute inheritance."""
+
+    def __init__(self) -> None:
+        self._tasks: dict[int, Task] = {}
+        self._next_tid = KERNEL_TID
+        self.total_created = 0
+
+    def create(
+        self,
+        name: str,
+        component: Component,
+        parent_tid: int | None = None,
+    ) -> Task:
+        """Create a task; with a parent, Tapeworm attributes inherit."""
+        tid = self._next_tid
+        self._next_tid += 1
+        task = Task(tid=tid, name=name, component=component, parent_tid=parent_tid)
+        if parent_tid is not None:
+            parent = self.get(parent_tid)
+            # the paper's inheritance rule, verbatim
+            task.simulate = parent.inherit
+            task.inherit = parent.inherit
+            parent.children.append(tid)
+        self._tasks[tid] = task
+        self.total_created += 1
+        return task
+
+    def get(self, tid: int) -> Task:
+        try:
+            return self._tasks[tid]
+        except KeyError:
+            raise NoSuchTask(f"no task with tid {tid}") from None
+
+    def exit(self, tid: int) -> Task:
+        task = self.get(tid)
+        if task.is_kernel:
+            raise KernelError("the kernel task cannot exit")
+        if task.state is TaskState.EXITED:
+            raise KernelError(f"task {tid} has already exited")
+        task.state = TaskState.EXITED
+        return task
+
+    def live_tasks(self) -> list[Task]:
+        return [t for t in self._tasks.values() if t.state is TaskState.RUNNING]
+
+    def all_tasks(self) -> list[Task]:
+        return list(self._tasks.values())
+
+    def by_name(self, name: str) -> Task:
+        for task in self._tasks.values():
+            if task.name == name and task.state is TaskState.RUNNING:
+                return task
+        raise NoSuchTask(f"no live task named {name!r}")
+
+    def has_live(self, name: str) -> bool:
+        return any(
+            t.name == name and t.state is TaskState.RUNNING
+            for t in self._tasks.values()
+        )
+
+    def user_task_count(self) -> int:
+        """Tasks ever created under the USER component (the Table 4
+        'User Task Count' — servers, kernel, and the launching shell
+        excluded, since the shell predates the workload)."""
+        return sum(
+            1
+            for t in self._tasks.values()
+            if t.component is Component.USER and t.name != "shell"
+        )
+
+    def descendants(self, tid: int) -> list[Task]:
+        """All transitive children of a task, depth-first."""
+        result: list[Task] = []
+        stack = list(self.get(tid).children)
+        while stack:
+            child = self.get(stack.pop())
+            result.append(child)
+            stack.extend(child.children)
+        return result

@@ -1,0 +1,49 @@
+"""Simulated host hardware: the DECstation 5000/200 machine model.
+
+The paper's Tapeworm II runs on real hardware and uses privileged machine
+state (ECC check bits, page valid bits, breakpoint registers) to make the
+host CPU trap to the kernel on references to "missing" memory.  This
+package simulates that hardware so the same mechanisms can be exercised in
+pure Python:
+
+* :mod:`repro.machine.memory`   — physical memory geometry and frames
+* :mod:`repro.machine.ecc`      — SEC-DED check bits + diagnostic controller
+* :mod:`repro.machine.mmu`      — page tables, valid bits, fast translation
+* :mod:`repro.machine.tlb`     — R3000-style software-managed hardware TLB
+* :mod:`repro.machine.breakpoints` — instruction/data breakpoint registers
+* :mod:`repro.machine.traps`    — trap kinds, trap frames, dispatch
+* :mod:`repro.machine.clock`    — clock-interrupt timer (time dilation)
+* :mod:`repro.machine.cpu`      — reference-stream execution engine
+* :mod:`repro.machine.ops`      — Table 12 privileged-operation matrix
+"""
+
+from repro.machine.memory import PhysicalMemory
+from repro.machine.ecc import ECCController, ECCWord, TrapClass
+from repro.machine.mmu import MMU, PageTable
+from repro.machine.tlb import HardwareTLB, TLBEntry
+from repro.machine.breakpoints import BreakpointUnit
+from repro.machine.traps import TrapKind, TrapFrame, TrapDispatcher
+from repro.machine.clock import ClockTimer
+from repro.machine.cpu import CPU, ExecContext, ChunkResult
+from repro.machine.machine import Machine, MachineConfig
+
+__all__ = [
+    "PhysicalMemory",
+    "ECCController",
+    "ECCWord",
+    "TrapClass",
+    "MMU",
+    "PageTable",
+    "HardwareTLB",
+    "TLBEntry",
+    "BreakpointUnit",
+    "TrapKind",
+    "TrapFrame",
+    "TrapDispatcher",
+    "ClockTimer",
+    "CPU",
+    "ExecContext",
+    "ChunkResult",
+    "Machine",
+    "MachineConfig",
+]

@@ -1,0 +1,45 @@
+"""The clock-interrupt timer — the machine's source of time dilation bias.
+
+The DECstation takes a clock interrupt every 10 ms of *wall-clock* time.
+When Tapeworm slows a workload down, the same amount of workload progress
+spans more wall-clock time and therefore more clock interrupts; each
+interrupt runs kernel handler code that conflicts with workload lines in
+the cache.  That is the paper's *time dilation* bias (Figure 4).  Because
+the timer counts total elapsed cycles — base work plus simulation
+overhead — the bias emerges here naturally rather than being modeled by a
+formula.
+"""
+
+from __future__ import annotations
+
+from repro._types import CLOCK_TICK_CYCLES
+from repro.errors import ConfigError
+
+
+class ClockTimer:
+    """Counts elapsed cycles and reports crossed tick boundaries."""
+
+    def __init__(self, tick_cycles: int = CLOCK_TICK_CYCLES) -> None:
+        if tick_cycles <= 0:
+            raise ConfigError(f"tick_cycles must be positive, got {tick_cycles}")
+        self.tick_cycles = tick_cycles
+        self.now = 0
+        self._next_tick = tick_cycles
+        self.ticks_delivered = 0
+
+    def advance(self, cycles: int) -> int:
+        """Advance time; returns how many tick boundaries were crossed."""
+        if cycles < 0:
+            raise ConfigError(f"cannot advance time by {cycles} cycles")
+        self.now += cycles
+        ticks = 0
+        while self.now >= self._next_tick:
+            self._next_tick += self.tick_cycles
+            ticks += 1
+        self.ticks_delivered += ticks
+        return ticks
+
+    def reset(self) -> None:
+        self.now = 0
+        self._next_tick = self.tick_cycles
+        self.ticks_delivered = 0

@@ -1,0 +1,59 @@
+"""A DMA engine — and the port hazard it creates for Tapeworm.
+
+Section 4.3: "our port of Tapeworm from a DECstation 5000/200 to a
+DECstation 5000/240 was hindered due to differences between the way
+that DMA is implemented on the two machines."  The hazard: a DMA write
+regenerates correct ECC for the data it deposits, silently erasing any
+Tapeworm trap on those locations.  The lines *look* cached to the
+simulator (no trap fires) even though the simulated cache never loaded
+them — misses go uncounted until something re-traps the region.
+
+The engine therefore supports a *shield* protocol: a cooperating device
+driver brackets each transfer with Tapeworm notifications so traps can
+be re-established (and the buffer flushed from the simulated cache,
+since real DMA would have invalidated it there too).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import MachineError
+from repro.machine.machine import Machine
+
+#: signature of the driver's post-transfer notification to Tapeworm
+TransferHook = Callable[[int, int], None]  # (pa, size)
+
+
+class DMAEngine:
+    """Memory-writing device (disk/network controller) on the machine."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.transfers = 0
+        self.bytes_written = 0
+        #: installed by a Tapeworm-aware driver; None models the naive
+        #: 5000/240 situation where Tapeworm never hears about DMA
+        self.post_transfer_hook: TransferHook | None = None
+
+    def install_hook(self, hook: TransferHook) -> None:
+        if self.post_transfer_hook is not None:
+            raise MachineError("a DMA post-transfer hook is already installed")
+        self.post_transfer_hook = hook
+
+    def write(self, pa: int, size: int) -> None:
+        """Deposit ``size`` bytes at ``pa``, regenerating ECC.
+
+        This is the hazard: correct check bits are written for the new
+        data, so any Tapeworm trap in the range evaporates without the
+        miss handler ever running.
+        """
+        self.machine.memory.check_pa(pa, size)
+        granule = 16
+        aligned_pa = pa & ~(granule - 1)
+        aligned_end = (pa + size + granule - 1) & ~(granule - 1)
+        self.machine.ecc.clear_trap(aligned_pa, aligned_end - aligned_pa)
+        self.transfers += 1
+        self.bytes_written += size
+        if self.post_transfer_hook is not None:
+            self.post_transfer_hook(pa, size)

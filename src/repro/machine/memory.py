@@ -1,0 +1,72 @@
+"""Physical memory geometry for the simulated machine.
+
+The workloads in this reproduction are synthetic reference streams, so
+physical memory does not store data bytes.  What matters to Tapeworm is the
+*identity* of physical locations: frames for the VM system to allocate, and
+ECC granules for the trap machinery to mark.  This module owns the
+geometry; the ECC state itself lives in :mod:`repro.machine.ecc` and the
+free-frame pool policy in :mod:`repro.kernel.vm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._types import ECC_CHECK_GRANULE_WORDS, PAGE_SIZE, WORD_SIZE
+from repro.errors import ConfigError, MemoryFault
+
+#: Bytes covered by one ECC check granule (4 words on the DECstation).
+GRANULE_BYTES = ECC_CHECK_GRANULE_WORDS * WORD_SIZE
+
+
+@dataclass(frozen=True)
+class PhysicalMemory:
+    """Geometry of the simulated machine's physical memory.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total installed physical memory.  Must be a whole number of pages.
+    """
+
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.size_bytes % PAGE_SIZE:
+            raise ConfigError(
+                f"physical memory must be a positive multiple of the "
+                f"{PAGE_SIZE}-byte page size, got {self.size_bytes}"
+            )
+
+    @property
+    def n_frames(self) -> int:
+        """Number of physical page frames."""
+        return self.size_bytes // PAGE_SIZE
+
+    @property
+    def n_granules(self) -> int:
+        """Number of ECC check granules (4-word units)."""
+        return self.size_bytes // GRANULE_BYTES
+
+    @property
+    def n_words(self) -> int:
+        """Number of 32-bit words."""
+        return self.size_bytes // WORD_SIZE
+
+    def check_pa(self, pa: int, size: int = 1) -> None:
+        """Raise :class:`MemoryFault` unless ``[pa, pa+size)`` is in range."""
+        if pa < 0 or size < 1 or pa + size > self.size_bytes:
+            raise MemoryFault(
+                f"physical range [{pa:#x}, {pa + size:#x}) outside "
+                f"{self.size_bytes:#x}-byte memory"
+            )
+
+    def frame_of(self, pa: int) -> int:
+        """Frame number containing physical address ``pa``."""
+        self.check_pa(pa)
+        return pa // PAGE_SIZE
+
+    def granule_of(self, pa: int) -> int:
+        """ECC granule index containing physical address ``pa``."""
+        self.check_pa(pa)
+        return pa // GRANULE_BYTES

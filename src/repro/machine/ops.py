@@ -1,0 +1,104 @@
+"""Table 12: privileged operations useful for trap-driven simulation.
+
+The paper surveys which primitives each contemporary microprocessor
+offers.  This module encodes that survey as data, plus the feasibility
+rules of Section 4.3/4.4: which trap mechanisms a given machine can back,
+and at what granularity.  ``None`` entries reproduce the paper's blank
+cells ("insufficient data").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._types import TrapMechanism
+
+#: Survey rows, verbatim from Table 12 of the paper.
+PRIVILEGED_OPS: tuple[str, ...] = (
+    "Memory Parity or ECC Traps",
+    "Instruction Breakpoint",
+    "Data Breakpoint",
+    "Invalid Page Traps",
+    "Variable Page Size",
+    "Instruction Counters",
+)
+
+#: Survey columns (processors), verbatim from Table 12.
+PROCESSORS: tuple[str, ...] = (
+    "MIPS R3000",
+    "MIPS R4000",
+    "SPARC",
+    "DEC Alpha",
+    "Tera",
+    "Intel i486",
+    "Intel Pentium",
+    "AMD 29050",
+    "HP PA-RISC",
+    "PowerPC",
+)
+
+#: The matrix itself: True=Yes, False=No, None=blank (insufficient data).
+_T, _F, _N = True, False, None
+SUPPORT_MATRIX: dict[str, tuple[bool | None, ...]] = {
+    "Memory Parity or ECC Traps": (_T, _T, _T, _T, _T, _N, _T, _N, _N, _N),
+    "Instruction Breakpoint":     (_T, _T, _T, _T, _T, _T, _T, _T, _T, _T),
+    "Data Breakpoint":            (_F, _F, _F, _F, _T, _F, _F, _F, _F, _F),
+    "Invalid Page Traps":         (_T, _T, _T, _T, _T, _T, _T, _T, _T, _T),
+    "Variable Page Size":         (_F, _T, _F, _T, _N, _F, _T, _T, _T, _T),
+    "Instruction Counters":       (_F, _F, _F, _T, _N, _F, _T, _F, _N, _F),
+}
+
+
+def supports(processor: str, operation: str) -> bool | None:
+    """Table 12 lookup; None reproduces the paper's blank entries."""
+    if operation not in SUPPORT_MATRIX:
+        raise KeyError(f"unknown privileged operation: {operation!r}")
+    if processor not in PROCESSORS:
+        raise KeyError(f"unknown processor: {processor!r}")
+    return SUPPORT_MATRIX[operation][PROCESSORS.index(processor)]
+
+
+@dataclass(frozen=True)
+class PortAssessment:
+    """Which Tapeworm trap mechanisms a processor can back, and the finest
+    trap granularity available (in bytes; None when no mechanism works)."""
+
+    processor: str
+    mechanisms: tuple[TrapMechanism, ...]
+    finest_granularity_bytes: int | None
+    can_simulate_caches: bool
+    can_simulate_tlbs: bool
+
+
+def assess_port(
+    processor: str,
+    line_bytes: int = 16,
+    page_bytes: int = 4096,
+) -> PortAssessment:
+    """Apply the paper's feasibility reasoning to one survey column.
+
+    Cache simulation needs line-granularity traps (ECC/parity, or data
+    breakpoints); TLB simulation only needs page-granularity traps, which
+    every processor's invalid-page mechanism provides.  Instruction
+    breakpoints alone cover only the I-stream and a bank-limited footprint,
+    so they do not qualify a machine for full cache simulation here.
+    """
+    mechanisms: list[TrapMechanism] = []
+    finest: int | None = None
+    if supports(processor, "Memory Parity or ECC Traps"):
+        mechanisms.append(TrapMechanism.ECC)
+        finest = line_bytes
+    if supports(processor, "Data Breakpoint"):
+        mechanisms.append(TrapMechanism.BREAKPOINT)
+        finest = line_bytes if finest is None else min(finest, line_bytes)
+    if supports(processor, "Invalid Page Traps"):
+        mechanisms.append(TrapMechanism.PAGE_VALID)
+        if finest is None:
+            finest = page_bytes
+    return PortAssessment(
+        processor=processor,
+        mechanisms=tuple(mechanisms),
+        finest_granularity_bytes=finest,
+        can_simulate_caches=finest is not None and finest <= line_bytes,
+        can_simulate_tlbs=TrapMechanism.PAGE_VALID in mechanisms,
+    )

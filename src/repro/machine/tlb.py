@@ -1,0 +1,129 @@
+"""R3000-style software-managed hardware TLB.
+
+The MIPS R3000 translates through a 64-entry fully-associative TLB.  A
+miss traps to a software refill handler — which is exactly the hook the
+first-generation Tapeworm used for TLB simulation: every hardware TLB miss
+already enters the kernel, so intercepting the refill handler sees every
+simulated-TLB event for free, provided the hardware TLB's contents are
+kept a *subset* of the simulated TLB's contents (entries displaced from
+the simulated TLB are also probed out of the hardware TLB).
+
+Entries are tagged with an address-space id (ASID) so context switches do
+not require a full flush, matching the R3000's PID field.  Replacement of
+unwired entries uses the R3000's pseudo-random register, modeled here as a
+deterministic counter cycling through the unwired range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, MachineError
+
+#: R3000 geometry: 64 entries, the first 8 of which can be wired down for
+#: kernel mappings and are never chosen by random replacement.
+R3000_TLB_ENTRIES = 64
+R3000_WIRED_ENTRIES = 8
+
+
+@dataclass(frozen=True)
+class TLBEntry:
+    """One TLB entry: (ASID, VPN) -> PFN."""
+
+    asid: int
+    vpn: int
+    pfn: int
+
+
+class HardwareTLB:
+    """A fully-associative, software-managed translation buffer."""
+
+    def __init__(
+        self,
+        n_entries: int = R3000_TLB_ENTRIES,
+        n_wired: int = R3000_WIRED_ENTRIES,
+    ) -> None:
+        if n_entries <= 0 or not 0 <= n_wired < n_entries:
+            raise ConfigError(
+                f"bad TLB geometry: {n_entries} entries, {n_wired} wired"
+            )
+        self.n_entries = n_entries
+        self.n_wired = n_wired
+        self._slots: list[TLBEntry | None] = [None] * n_entries
+        self._index: dict[tuple[int, int], int] = {}
+        self._random = n_wired  # the R3000 "random" register
+        self.hits = 0
+        self.misses = 0
+
+    def probe(self, asid: int, vpn: int) -> int | None:
+        """Look up a translation; returns the PFN or None on a miss."""
+        slot = self._index.get((asid, vpn))
+        if slot is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        entry = self._slots[slot]
+        assert entry is not None
+        return entry.pfn
+
+    def _advance_random(self) -> int:
+        slot = self._random
+        self._random += 1
+        if self._random >= self.n_entries:
+            self._random = self.n_wired
+        return slot
+
+    def insert(self, asid: int, vpn: int, pfn: int, wired: bool = False) -> None:
+        """Refill an entry (what the software miss handler does).
+
+        Wired insertions use the low slots and raise if all wired slots
+        are occupied by other mappings; unwired insertions use the random
+        register, evicting whatever that slot held.
+        """
+        key = (asid, vpn)
+        if key in self._index:
+            slot = self._index[key]
+        elif wired:
+            try:
+                slot = next(
+                    i for i in range(self.n_wired) if self._slots[i] is None
+                )
+            except StopIteration:
+                raise MachineError("all wired TLB slots are occupied") from None
+        else:
+            slot = self._advance_random()
+        old = self._slots[slot]
+        if old is not None:
+            del self._index[(old.asid, old.vpn)]
+        self._slots[slot] = TLBEntry(asid, vpn, pfn)
+        self._index[key] = slot
+
+    def probe_out(self, asid: int, vpn: int) -> bool:
+        """Invalidate one mapping if present; True when something was
+        removed.  Tapeworm uses this to preserve the hardware-subset
+        invariant when the simulated TLB displaces an entry, and when it
+        sets a page trap (a valid-bit trap must not be shadowed by a
+        stale hardware translation)."""
+        slot = self._index.pop((asid, vpn), None)
+        if slot is None:
+            return False
+        self._slots[slot] = None
+        return True
+
+    def flush_asid(self, asid: int) -> int:
+        """Invalidate every mapping of one address space."""
+        victims = [key for key in self._index if key[0] == asid]
+        for key in victims:
+            self._slots[self._index.pop(key)] = None
+        return len(victims)
+
+    def flush_all(self) -> None:
+        self._slots = [None] * self.n_entries
+        self._index.clear()
+
+    def resident_keys(self) -> set[tuple[int, int]]:
+        """The (asid, vpn) pairs currently translated by hardware."""
+        return set(self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)

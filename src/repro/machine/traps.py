@@ -1,0 +1,85 @@
+"""Trap kinds, trap frames, and the kernel trap dispatch table.
+
+Every hardware event that enters the kernel is represented as a
+:class:`TrapFrame`.  The kernel installs handlers on a
+:class:`TrapDispatcher`; Tapeworm's miss handler is just one such handler
+(for :data:`TrapKind.ECC_ERROR` or :data:`TrapKind.PAGE_INVALID`),
+registered through the kernel exactly as the paper describes — "modified
+kernel entry code" directing these traps to Tapeworm.
+
+A handler returns the number of cycles it consumed, which the CPU adds to
+the run's overhead.  This is how the paper's 246-cycle miss handler turns
+into measured slowdown.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro._types import Component
+from repro.errors import MachineError
+
+
+class TrapKind(enum.Enum):
+    """Hardware events that vector into the kernel."""
+
+    ECC_ERROR = "ecc_error"
+    PAGE_INVALID = "page_invalid"
+    PAGE_FAULT = "page_fault"
+    BREAKPOINT = "breakpoint"
+    TLB_MISS = "tlb_miss"
+    CLOCK_INTERRUPT = "clock_interrupt"
+    DOUBLE_BIT_ERROR = "double_bit_error"
+
+
+@dataclass(frozen=True)
+class TrapFrame:
+    """State pushed by the (simulated) hardware on a kernel entry."""
+
+    kind: TrapKind
+    tid: int
+    component: Component
+    va: int
+    pa: int
+    cycle: int
+
+
+#: A trap handler consumes a frame and returns the cycles it spent.
+TrapHandler = Callable[[TrapFrame], int]
+
+
+class TrapDispatcher:
+    """The kernel's trap vector table."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[TrapKind, TrapHandler] = {}
+        self.counts: dict[TrapKind, int] = {kind: 0 for kind in TrapKind}
+
+    def install(self, kind: TrapKind, handler: TrapHandler) -> None:
+        if kind in self._handlers:
+            raise MachineError(f"a handler is already installed for {kind}")
+        self._handlers[kind] = handler
+
+    def replace(self, kind: TrapKind, handler: TrapHandler) -> TrapHandler | None:
+        """Swap in a new handler, returning the old one (or None)."""
+        old = self._handlers.get(kind)
+        self._handlers[kind] = handler
+        return old
+
+    def uninstall(self, kind: TrapKind) -> None:
+        if kind not in self._handlers:
+            raise MachineError(f"no handler installed for {kind}")
+        del self._handlers[kind]
+
+    def installed(self, kind: TrapKind) -> bool:
+        return kind in self._handlers
+
+    def dispatch(self, frame: TrapFrame) -> int:
+        """Deliver a trap; returns handler cycles (0 if unhandled)."""
+        self.counts[frame.kind] += 1
+        handler = self._handlers.get(frame.kind)
+        if handler is None:
+            return 0
+        return handler(frame)

@@ -1,0 +1,38 @@
+"""The trace-driven baseline: a Pixie + Cache2000 analogue.
+
+The paper compares Tapeworm against "the Cache2000 memory simulator
+[MIPS88] driven by Pixie-generated traces [Smith91]", noting that "Pixie
+only generates user-level address traces for a single task" — the
+completeness gap trap-driven simulation closes.  This package reproduces
+that baseline: an annotator that turns a workload's primary user task
+into an address trace (at a per-reference generation cost), and a
+trace-driven simulator executing the classic search-then-replace loop of
+Figure 1 (left).
+"""
+
+from repro.tracing.trace import TraceChunk, TraceBuffer
+from repro.tracing.pixie import PixieTracer, PIXIE_GENERATION_CYCLES_PER_REF
+from repro.tracing.cache2000 import (
+    Cache2000,
+    CACHE2000_CYCLES_PER_HIT,
+    CACHE2000_MISS_PREMIUM_CYCLES,
+)
+from repro.tracing.sampling import TraceSetSampler
+from repro.tracing.stackdriver import StackDriver
+from repro.tracing.systrace import SystemTracer
+from repro.tracing.multisize import MultiSizeDMSweep, run_multisize_sweep
+
+__all__ = [
+    "TraceChunk",
+    "TraceBuffer",
+    "PixieTracer",
+    "PIXIE_GENERATION_CYCLES_PER_REF",
+    "Cache2000",
+    "CACHE2000_CYCLES_PER_HIT",
+    "CACHE2000_MISS_PREMIUM_CYCLES",
+    "TraceSetSampler",
+    "StackDriver",
+    "SystemTracer",
+    "MultiSizeDMSweep",
+    "run_multisize_sweep",
+]

@@ -1,0 +1,149 @@
+"""The Cache2000-style trace-driven simulator.
+
+The trace-driven core loop (Figure 1, left)::
+
+    while (address = next_address(trace)){
+        if (search(address))
+            hit++;
+        else {
+            miss++;
+            replace(address);
+        }
+    }
+
+Every address is searched, hit or miss — the cost structure that keeps
+trace-driven slowdowns at ~20x even for caches that never miss (Figure
+2).  Costs are calibrated so that hits cost ~53 cycles of processing
+(Table 5's per-address average at mpeg_play's 4 KB miss ratio, net of
+Pixie's generation share) and misses add a replacement premium; the
+premium makes Cache2000's slowdown fall from ~30 at a 0.118 miss ratio
+toward ~22 at zero, as in Figure 2's table.
+
+Two execution paths produce identical miss counts:
+
+* a vectorized exact path for direct-mapped caches (a stable
+  sort-by-set scan — a direct-mapped set always holds the last tag that
+  touched it, so a reference misses iff it differs from its set's
+  previous tag);
+* a general per-address path over the shared
+  :class:`~repro.caches.cache.SetAssociativeCache` for any associativity
+  and policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._types import Component, Indexing
+from repro.caches.cache import SetAssociativeCache
+from repro.caches.config import CacheConfig
+from repro.caches.replacement import LRUPolicy, ReplacementPolicy
+from repro.caches.stats import CacheStats
+from repro.errors import ConfigError
+
+#: processing cycles per address when the reference hits (search only)
+CACHE2000_CYCLES_PER_HIT = 53
+
+#: extra cycles when it misses (replacement-policy work)
+CACHE2000_MISS_PREMIUM_CYCLES = 280
+
+#: space id used to mix tids into the fast path's tag encoding
+_MAX_SPACES = 4096
+
+
+class Cache2000:
+    """Trace-driven cache simulation with Table 5 cost accounting."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        policy: ReplacementPolicy | None = None,
+        force_general_path: bool = False,
+    ) -> None:
+        self.config = config
+        self.policy = policy or LRUPolicy()
+        self.stats = CacheStats()
+        self.processing_cycles = 0
+        # the fast path is only valid for direct-mapped caches (where
+        # replacement policy is irrelevant)
+        self._vectorized = (
+            config.associativity == 1 and not force_general_path
+        )
+        if self._vectorized:
+            self._state = np.full(config.n_sets, -1, dtype=np.int64)
+            self._cache = None
+        else:
+            self._cache = SetAssociativeCache(config, self.policy)
+
+    # ------------------------------------------------------------------
+
+    def _space_of(self, tid: int) -> int:
+        if not 0 <= tid < _MAX_SPACES:
+            raise ConfigError(f"tid {tid} outside the fast path's space range")
+        return tid if self.config.indexing is Indexing.VIRTUAL else 0
+
+    def simulate_chunk(
+        self,
+        addresses: np.ndarray,
+        tid: int = 0,
+        component: Component = Component.USER,
+    ) -> int:
+        """Simulate one chunk of addresses; returns its miss count."""
+        n = len(addresses)
+        if n == 0:
+            return 0
+        if self._vectorized:
+            misses = self._simulate_vectorized(addresses, tid)
+        else:
+            misses = self._simulate_general(addresses, tid)
+        self.stats.count_refs(component, n)
+        self.stats.count_miss(component, misses)
+        self.processing_cycles += (
+            n * CACHE2000_CYCLES_PER_HIT
+            + misses * CACHE2000_MISS_PREMIUM_CYCLES
+        )
+        return misses
+
+    def _simulate_vectorized(self, addresses: np.ndarray, tid: int) -> int:
+        config = self.config
+        lines = np.asarray(addresses, dtype=np.int64) >> config.line_shift
+        sets = lines % config.n_sets
+        tags = (lines // config.n_sets) * _MAX_SPACES + self._space_of(tid)
+        order = np.argsort(sets, kind="stable")
+        sets_sorted = sets[order]
+        tags_sorted = tags[order]
+        first = np.empty(len(sets_sorted), dtype=bool)
+        first[0] = True
+        np.not_equal(sets_sorted[1:], sets_sorted[:-1], out=first[1:])
+        previous = np.empty_like(tags_sorted)
+        previous[1:] = tags_sorted[:-1]
+        previous[first] = self._state[sets_sorted[first]]
+        misses = int(np.count_nonzero(tags_sorted != previous))
+        last = np.empty(len(sets_sorted), dtype=bool)
+        last[-1] = True
+        np.not_equal(sets_sorted[1:], sets_sorted[:-1], out=last[:-1])
+        self._state[sets_sorted[last]] = tags_sorted[last]
+        return misses
+
+    def _simulate_general(self, addresses: np.ndarray, tid: int) -> int:
+        cache = self._cache
+        misses = 0
+        for addr in np.asarray(addresses, dtype=np.int64).tolist():
+            hit, _ = cache.access(tid, addr)
+            if not hit:
+                misses += 1
+        return misses
+
+    # ------------------------------------------------------------------
+
+    def resident_lines(self) -> int:
+        """Occupancy, for cross-path consistency checks."""
+        if self._vectorized:
+            return int(np.count_nonzero(self._state >= 0))
+        return self._cache.occupancy()
+
+    def average_cycles_per_address(self) -> float:
+        total = self.stats.total_refs
+        if total == 0:
+            return 0.0
+        return self.processing_cycles / total

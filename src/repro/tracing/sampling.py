@@ -1,0 +1,56 @@
+"""Software set sampling for trace-driven simulation.
+
+Trace-driven set sampling "uses a filtered trace containing exactly the
+addresses that map to a certain subset of cache sets" [Kessler91,
+Puzak85].  Unlike Tapeworm's free hardware filtering, the filter itself
+is a software pass over *every* address — the pre-processing overhead the
+paper contrasts against — and obtaining a different sample requires
+re-processing the full trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.caches.config import CacheConfig
+from repro.core.sampling import SetSampler
+
+#: cycles to classify one trace address during filtering
+FILTER_CYCLES_PER_REF = 6
+
+
+class TraceSetSampler:
+    """Filters trace chunks down to a sampled subset of cache sets."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        fraction_denominator: int,
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.sampler = SetSampler(
+            config.n_sets, fraction_denominator, seed=seed
+        )
+        self.preprocessing_cycles = 0
+        self.refs_in = 0
+        self.refs_out = 0
+
+    @property
+    def expansion_factor(self) -> int:
+        return self.sampler.expansion_factor
+
+    def filter_chunk(self, addresses: np.ndarray) -> np.ndarray:
+        """Keep only the addresses mapping to sampled sets.
+
+        Every input address pays the classification cost, whether or not
+        it survives — that is the software-filtering overhead.
+        """
+        n = len(addresses)
+        self.refs_in += n
+        self.preprocessing_cycles += n * FILTER_CYCLES_PER_REF
+        lines = np.asarray(addresses, dtype=np.int64) >> self.config.line_shift
+        sets = lines % self.config.n_sets
+        kept = addresses[self.sampler.mask_for_sets(sets)]
+        self.refs_out += len(kept)
+        return kept

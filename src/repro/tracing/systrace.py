@@ -1,0 +1,111 @@
+"""System-wide trace-driven simulation (the Mogul/Borg & Chen lineage).
+
+The paper's related-work section describes the OS-capable trace-driven
+alternative: "each task in a multi-task workload is instrumented to
+make entries in a system-wide trace buffer ... a modified operating
+system kernel interleaves the execution of the different user-level
+workload tasks ... and invokes a memory simulator whenever the trace
+buffer becomes full" [Mogul91], extended by Chen to annotate the kernel
+itself [Chen93b].
+
+This driver provides that baseline on the simulated machine: every
+executed chunk — user, servers, and kernel alike — is appended to a
+:class:`~repro.tracing.trace.TraceBuffer`; when the buffer fills, the
+Cache2000 model drains it.  Completeness matches Tapeworm's; the cost
+structure does not: every reference pays annotation plus processing,
+so slowdowns stay trace-driven-shaped regardless of miss ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._types import Component, Indexing
+from repro.caches.config import CacheConfig
+from repro.errors import ConfigError
+from repro.tracing.cache2000 import Cache2000
+from repro.tracing.trace import TraceBuffer, TraceChunk
+
+#: per-reference cost of the inline annotation writing a buffer entry
+#: (Chen's software system tracing; cheaper than Pixie's full rewrite)
+ANNOTATION_CYCLES_PER_REF = 20
+
+
+@dataclass
+class SystemTraceReport:
+    """Results of one system-wide trace-driven run."""
+
+    workload: str
+    configuration: str
+    misses: dict[Component, int]
+    refs: dict[Component, int]
+    annotation_cycles: int = 0
+    processing_cycles: int = 0
+    buffer_drains: int = 0
+    slowdown: float = 0.0
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+    @property
+    def total_refs(self) -> int:
+        return sum(self.refs.values())
+
+    @property
+    def overhead_cycles(self) -> int:
+        return self.annotation_cycles + self.processing_cycles
+
+
+class SystemTracer:
+    """Annotation hook + buffer + simulator, wired like [Mogul91].
+
+    Install its :meth:`tap` as a workload execution's ``chunk_tap``;
+    call :meth:`finish` after the run to drain the last partial buffer.
+    The simulated structure must be virtually indexed — the trace
+    records virtual addresses, tagged by task.
+    """
+
+    def __init__(
+        self,
+        cache_config: CacheConfig,
+        buffer_refs: int = 256 * 1024,
+    ) -> None:
+        if cache_config.indexing is not Indexing.VIRTUAL:
+            raise ConfigError(
+                "system tracing records virtual addresses; configure a "
+                "virtually-indexed cache"
+            )
+        self.simulator = Cache2000(cache_config)
+        self.buffer = TraceBuffer(capacity_refs=buffer_refs)
+        self.annotation_cycles = 0
+        self.buffer_drains = 0
+
+    def tap(self, tid: int, component: Component, vas) -> None:
+        """The per-chunk annotation: buffer the addresses."""
+        self.annotation_cycles += len(vas) * ANNOTATION_CYCLES_PER_REF
+        if self.buffer.append(TraceChunk(vas, tid, component)):
+            self._drain()
+
+    def _drain(self) -> None:
+        self.buffer_drains += 1
+        for chunk in self.buffer.drain():
+            self.simulator.simulate_chunk(
+                chunk.addresses, tid=chunk.tid, component=chunk.component
+            )
+
+    def finish(self) -> None:
+        if len(self.buffer):
+            self._drain()
+
+    def report(self, workload: str) -> SystemTraceReport:
+        stats = self.simulator.stats
+        return SystemTraceReport(
+            workload=workload,
+            configuration=self.simulator.config.describe(),
+            misses=dict(stats.misses),
+            refs=dict(stats.refs),
+            annotation_cycles=self.annotation_cycles,
+            processing_cycles=self.simulator.processing_cycles,
+            buffer_drains=self.buffer_drains,
+        )

@@ -1,0 +1,111 @@
+"""Trace records and buffers.
+
+A trace is a sequence of chunks of virtual addresses, each tagged with
+the generating task and component.  Mogul & Borg-style system tracers
+fill a buffer and invoke the simulator when it is full; the buffer here
+supports that pattern as well as npz-file round trips for offline
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro._types import Component
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class TraceChunk:
+    """One run of consecutive references from a single task."""
+
+    addresses: np.ndarray
+    tid: int
+    component: Component
+
+    def __post_init__(self) -> None:
+        if self.addresses.ndim != 1:
+            raise TraceError("trace chunk addresses must be 1-D")
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+
+class TraceBuffer:
+    """An in-memory trace: append chunks, drain to a simulator or disk."""
+
+    def __init__(self, capacity_refs: int | None = None) -> None:
+        self._chunks: list[TraceChunk] = []
+        self.capacity_refs = capacity_refs
+        self.total_refs = 0
+
+    def append(self, chunk: TraceChunk) -> bool:
+        """Add a chunk; returns True when the buffer is full (time for
+        the owner to invoke the simulator and drain)."""
+        self._chunks.append(chunk)
+        self.total_refs += len(chunk)
+        return (
+            self.capacity_refs is not None
+            and self.total_refs >= self.capacity_refs
+        )
+
+    def drain(self) -> list[TraceChunk]:
+        chunks, self._chunks = self._chunks, []
+        self.total_refs = 0
+        return chunks
+
+    def chunks(self) -> list[TraceChunk]:
+        return list(self._chunks)
+
+    def __len__(self) -> int:
+        return self.total_refs
+
+    # -- persistence
+
+    def save(self, path: str | Path) -> None:
+        """Write the buffered trace to an .npz file."""
+        if not self._chunks:
+            raise TraceError("refusing to save an empty trace")
+        addresses = np.concatenate([c.addresses for c in self._chunks])
+        boundaries = np.cumsum([len(c) for c in self._chunks])
+        tids = np.array([c.tid for c in self._chunks], dtype=np.int64)
+        components = np.array(
+            [c.component.value for c in self._chunks], dtype="U16"
+        )
+        np.savez_compressed(
+            path,
+            addresses=addresses,
+            boundaries=boundaries,
+            tids=tids,
+            components=components,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TraceBuffer":
+        try:
+            data = np.load(path, allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise TraceError(f"cannot load trace {path}: {exc}") from exc
+        required = {"addresses", "boundaries", "tids", "components"}
+        if not required <= set(data.files):
+            raise TraceError(
+                f"trace file {path} missing arrays "
+                f"{sorted(required - set(data.files))}"
+            )
+        buffer = cls()
+        start = 0
+        for end, tid, component in zip(
+            data["boundaries"], data["tids"], data["components"]
+        ):
+            buffer.append(
+                TraceChunk(
+                    addresses=data["addresses"][start:end],
+                    tid=int(tid),
+                    component=Component(str(component)),
+                )
+            )
+            start = int(end)
+        return buffer

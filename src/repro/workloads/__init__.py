@@ -1,0 +1,32 @@
+"""Synthetic models of the paper's eight workloads (Tables 3 and 4).
+
+The original binaries (SPEC92, Berkeley mpeg_play, the SPEC SDM suite)
+and their 1994 Ultrix builds are unobtainable, so each workload is a
+calibrated synthetic model: a set of per-task reference streams with
+loop/working-set structure sized to reproduce the paper's measured
+footprints, per-component time fractions, fork trees, and (at a 4 KB
+I-cache) the per-component miss-ratio bands of Table 6.
+"""
+
+from repro.workloads.locality import BlockLoopStream, MixedStream, Procedure
+from repro.workloads.base import (
+    DemandShare,
+    PhaseSpec,
+    TaskSpec,
+    WorkloadMeta,
+    WorkloadSpec,
+)
+from repro.workloads.registry import WORKLOAD_NAMES, get_workload
+
+__all__ = [
+    "Procedure",
+    "BlockLoopStream",
+    "MixedStream",
+    "WorkloadMeta",
+    "TaskSpec",
+    "DemandShare",
+    "PhaseSpec",
+    "WorkloadSpec",
+    "get_workload",
+    "WORKLOAD_NAMES",
+]

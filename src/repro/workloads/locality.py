@@ -1,0 +1,271 @@
+"""Reference-stream generators with controllable locality.
+
+A stream models a task's instruction fetch behavior as visits to
+*procedures*: contiguous code ranges walked block by block, each basic
+block looped a few times before control advances.  The tuning knobs map
+directly onto miss-ratio behavior in a cache of capacity ``C``:
+
+* ``block_repeats`` sets the miss-ratio floor in tiny caches — a block
+  that repeats ``r`` times with 4-byte fetches into 16-byte lines can
+  miss at most once per line visit, so the local ratio floor is
+  ``1 / (4 * r)``;
+* ``size_bytes`` and the visit ``weight`` mix set where the curve falls
+  off: a procedure hits across visits once ``C`` exceeds its size plus
+  the expected working set touched between visits;
+* the union of procedure footprints sets the compulsory tail.
+
+Chunks are produced from precomputed per-procedure templates, so
+generation is numpy-fast, and every stream is deterministic in its seed —
+the property behind the paper's zero-variance virtually-indexed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._types import WORD_SIZE
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """One contiguous range and how it is executed when visited.
+
+    ``stride`` is the access step within a block: 4 (one word) models
+    instruction fetch; coarse strides (512, 1024, ...) model data scans
+    that touch each page only a few times — the access pattern TLB
+    studies need.
+    """
+
+    base_va: int
+    size_bytes: int
+    weight: float
+    block_bytes: int = 256
+    block_repeats: int = 2
+    passes: int = 1
+    stride: int = WORD_SIZE
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.size_bytes % self.block_bytes:
+            raise ConfigError(
+                f"procedure size {self.size_bytes} must be a positive "
+                f"multiple of block size {self.block_bytes}"
+            )
+        if self.base_va % WORD_SIZE:
+            raise ConfigError(f"base_va {self.base_va:#x} not word aligned")
+        if self.weight <= 0 or self.block_repeats < 1 or self.passes < 1:
+            raise ConfigError("weight, block_repeats and passes must be >= 1")
+        if (
+            self.stride < WORD_SIZE
+            or self.stride % WORD_SIZE
+            or self.block_bytes % self.stride
+        ):
+            raise ConfigError(
+                f"stride {self.stride} must be a word multiple dividing "
+                f"block_bytes {self.block_bytes}"
+            )
+
+    @property
+    def end_va(self) -> int:
+        return self.base_va + self.size_bytes
+
+    def template(self) -> np.ndarray:
+        """The exact address sequence of one visit."""
+        blocks = []
+        for block_start in range(self.base_va, self.end_va, self.block_bytes):
+            block = np.arange(
+                block_start,
+                block_start + self.block_bytes,
+                self.stride,
+                dtype=np.int64,
+            )
+            blocks.append(np.tile(block, self.block_repeats))
+        one_pass = np.concatenate(blocks)
+        if self.passes == 1:
+            return one_pass
+        return np.tile(one_pass, self.passes)
+
+
+class BlockLoopStream:
+    """An endless instruction-address stream over a procedure set."""
+
+    def __init__(self, procedures: tuple[Procedure, ...], seed: int) -> None:
+        if not procedures:
+            raise ConfigError("a stream needs at least one procedure")
+        self.procedures = procedures
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        weights = np.array([p.weight for p in procedures], dtype=float)
+        self._probabilities = weights / weights.sum()
+        self._templates = [p.template() for p in procedures]
+        self._pending: list[np.ndarray] = []
+        self._pending_refs = 0
+        self.refs_generated = 0
+
+    def footprint_bytes(self) -> int:
+        """Total distinct code bytes the stream can touch."""
+        spans: list[tuple[int, int]] = sorted(
+            (p.base_va, p.end_va) for p in self.procedures
+        )
+        total = 0
+        current_start, current_end = spans[0]
+        for start, end in spans[1:]:
+            if start > current_end:
+                total += current_end - current_start
+                current_start, current_end = start, end
+            else:
+                current_end = max(current_end, end)
+        return total + (current_end - current_start)
+
+    def span(self) -> tuple[int, int]:
+        """(lowest, highest) virtual addresses the stream touches."""
+        return (
+            min(p.base_va for p in self.procedures),
+            max(p.end_va for p in self.procedures),
+        )
+
+    def next_chunk(self, n_refs: int) -> np.ndarray:
+        """Produce exactly ``n_refs`` addresses (visits span chunks)."""
+        if n_refs < 0:
+            raise ConfigError(f"n_refs must be non-negative, got {n_refs}")
+        while self._pending_refs < n_refs:
+            index = int(
+                self._rng.choice(len(self._templates), p=self._probabilities)
+            )
+            template = self._templates[index]
+            self._pending.append(template)
+            self._pending_refs += len(template)
+        merged = np.concatenate(self._pending) if self._pending else np.empty(
+            0, dtype=np.int64
+        )
+        chunk, rest = merged[:n_refs], merged[n_refs:]
+        self._pending = [rest] if len(rest) else []
+        self._pending_refs = len(rest)
+        self.refs_generated += n_refs
+        return chunk
+
+
+class MixedStream:
+    """Interleaves an instruction stream with a data stream.
+
+    Used for TLB simulations, whose reference stream must cover data
+    pages as well as code.  Interleaving is deterministic: every
+    ``instr_run`` instruction fetches are followed by ``data_run`` data
+    references.
+    """
+
+    def __init__(
+        self,
+        instr: BlockLoopStream,
+        data: BlockLoopStream,
+        instr_run: int = 48,
+        data_run: int = 16,
+    ) -> None:
+        if instr_run <= 0 or data_run < 0:
+            raise ConfigError("instr_run must be positive, data_run >= 0")
+        self.instr = instr
+        self.data = data
+        self.instr_run = instr_run
+        self.data_run = data_run
+        self._leftover = np.empty(0, dtype=np.int64)
+
+    def next_chunk(self, n_refs: int) -> np.ndarray:
+        pieces = [self._leftover]
+        total = len(self._leftover)
+        period = self.instr_run + self.data_run
+        while total < n_refs:
+            need_periods = max(1, (n_refs - total) // period)
+            for _ in range(need_periods):
+                pieces.append(self.instr.next_chunk(self.instr_run))
+                if self.data_run:
+                    pieces.append(self.data.next_chunk(self.data_run))
+                total += period
+        merged = np.concatenate(pieces)
+        chunk, self._leftover = merged[:n_refs], merged[n_refs:]
+        return chunk
+
+
+def lay_out_procedures(
+    base_va: int,
+    shapes: list,
+    passes: int = 1,
+) -> tuple[Procedure, ...]:
+    """Pack procedures back to back starting at ``base_va``.
+
+    ``shapes`` rows are ``(size_bytes, weight, block_bytes,
+    block_repeats)`` with an optional fifth ``stride`` element.  Returns
+    the packed tuple; the caller sizes its region from the last
+    procedure's ``end_va``.
+    """
+    procedures = []
+    cursor = base_va
+    for shape in shapes:
+        size_bytes, weight, block_bytes, block_repeats = shape[:4]
+        stride = shape[4] if len(shape) > 4 else WORD_SIZE
+        procedures.append(
+            Procedure(
+                base_va=cursor,
+                size_bytes=size_bytes,
+                weight=weight,
+                block_bytes=block_bytes,
+                block_repeats=block_repeats,
+                passes=passes,
+                stride=stride,
+            )
+        )
+        cursor += size_bytes
+    return tuple(procedures)
+
+
+def scatter_procedures(
+    base_va: int,
+    shapes: list,
+    span_bytes: int,
+    seed: int,
+    align_bytes: int = 256,
+) -> tuple[Procedure, ...]:
+    """Place procedures at random non-overlapping offsets within a span.
+
+    Real binaries lay hot routines wherever the linker put them, so hot
+    working sets alias in a direct-mapped cache even when their total
+    size fits — the conflicts set associativity exists to absorb.  The
+    contiguous :func:`lay_out_procedures` packing cannot produce such
+    aliasing below the footprint size; this scattered layout can, and
+    the associativity ablation uses it to recover the paper's
+    "higher associativity, fewer misses" behavior.
+    """
+    total = sum(shape[0] for shape in shapes)
+    slack = span_bytes - total
+    if slack < 0:
+        raise ConfigError(
+            f"span of {span_bytes} cannot hold {total} procedure bytes"
+        )
+    rng = np.random.default_rng(seed)
+    order = list(rng.permutation(len(shapes)))
+    # spread the slack into random aligned gaps between procedures
+    cuts = sorted(
+        int(rng.integers(0, slack // align_bytes + 1)) * align_bytes
+        for _ in range(len(shapes))
+    )
+    procedures = []
+    cursor = 0
+    for gap_budget, index in zip(cuts, order):
+        offset = min(max(cursor, gap_budget), span_bytes - total + cursor)
+        shape = shapes[index]
+        size_bytes, weight, block_bytes, block_repeats = shape[:4]
+        stride = shape[4] if len(shape) > 4 else WORD_SIZE
+        procedures.append(
+            Procedure(
+                base_va=base_va + offset,
+                size_bytes=size_bytes,
+                weight=weight,
+                block_bytes=block_bytes,
+                block_repeats=block_repeats,
+                stride=stride,
+            )
+        )
+        cursor = offset + size_bytes
+        total -= size_bytes
+    return tuple(procedures)

@@ -1,0 +1,103 @@
+"""The digital-media workloads: mpeg_play and jpeg_play.
+
+mpeg_play is the paper's running example (Figures 2, 3, 4; Table 9): its
+user-task miss-ratio curve is pinned by Figure 2's table — roughly 0.118
+at 1 KB, 0.064 at 4 KB, 0.023 at 8 KB, 0.017 at 16 KB, and near zero
+from 32 KB, "roughly the size of program text used by mpeg_play".
+Both workloads spend heavily in the servers and kernel (Table 4).
+"""
+
+from __future__ import annotations
+
+from repro._types import Component
+from repro.workloads.base import (
+    TaskSpec,
+    WorkloadMeta,
+    WorkloadSpec,
+    single_task_phases,
+)
+from repro.workloads.system_tasks import make_system_tasks
+
+
+def mpeg_play() -> WorkloadSpec:
+    meta = WorkloadMeta(
+        name="mpeg_play",
+        description=(
+            "mpeg_play V2.0 (Berkeley Plateau group) displaying 610 frames "
+            "of compressed video"
+        ),
+        instructions_millions=1423,
+        run_time_secs=95.53,
+        frac_kernel=0.241,
+        frac_bsd=0.273,
+        frac_x=0.040,
+        frac_user=0.446,
+        user_task_count=1,
+    )
+    user = TaskSpec(
+        name="mpeg_play",
+        component=Component.USER,
+        binary="mpeg_play",
+        # ~30 KB of text: hot block decode, IDCT, a cold dither/display
+        # path, and a rare once-per-frame setup.  Calibrated against the
+        # Figure 2 miss-ratio column (0.118 at 1 KB down to ~0 at 32 KB).
+        shapes=(
+            (1792, 8.0, 256, 2),    # block decode inner loops
+            (4096, 5.0, 256, 2),    # IDCT
+            (16384, 0.3, 512, 1),   # dither / display conversion
+            (8192, 0.05, 1024, 1),  # frame setup, rare and cold
+        ),
+        data_shapes=(
+            (1048576, 2.0, 8192, 1, 1024),  # frame buffers, 256 pages
+            (65536, 1.0, 4096, 2, 256),     # decode tables
+        ),
+    )
+    tasks = {user.name: user}
+    tasks.update(
+        make_system_tasks(kernel_heat="mild", bsd_heat="warm", x_heat="warm")
+    )
+    return WorkloadSpec(
+        meta=meta,
+        tasks=tasks,
+        phases=single_task_phases("mpeg_play", user.name, meta),
+        primary_task=user.name,
+    )
+
+
+def jpeg_play() -> WorkloadSpec:
+    meta = WorkloadMeta(
+        name="jpeg_play",
+        description=(
+            "xloadimage (Jim Frost) displaying four JPEG images"
+        ),
+        instructions_millions=1793,
+        run_time_secs=89.70,
+        frac_kernel=0.091,
+        frac_bsd=0.094,
+        frac_x=0.026,
+        frac_user=0.788,
+        user_task_count=1,
+    )
+    user = TaskSpec(
+        name="jpeg_play",
+        component=Component.USER,
+        binary="jpeg_play",
+        # Huffman + IDCT loops are hotter and smaller than mpeg_play's;
+        # the user component misses far less (Table 6: 0.002 vs 0.027)
+        shapes=(
+            (2048, 14.0, 256, 12),
+            (4096, 0.8, 256, 8),
+            (8192, 0.02, 512, 4),
+        ),
+        data_shapes=((393216, 1.0, 8192, 1, 512),),  # image rows, 96 pages
+    )
+    tasks = {user.name: user}
+    tasks.update(
+        make_system_tasks(kernel_heat="mild", bsd_heat="mild", x_heat="warm")
+    )
+    return WorkloadSpec(
+        meta=meta,
+        tasks=tasks,
+        phases=single_task_phases("jpeg_play", user.name, meta),
+        primary_task=user.name,
+    )

@@ -1,0 +1,226 @@
+"""The OS-intensive, multi-task workloads: ousterhout, sdet, kenbus.
+
+These are the workloads that motivate trap-driven simulation: half or
+more of their time is in the kernel and servers, and sdet/kenbus fork
+hundreds of short-lived tasks (Table 4: 281 and 238).  The fork scripts
+here drive exactly the machinery the paper highlights — Tapeworm
+attribute inheritance over deep fork trees, and shared text pages among
+re-executions of the same binaries.
+"""
+
+from __future__ import annotations
+
+from repro._types import Component
+from repro.workloads.base import (
+    SYSTEM_TASK_NAMES,
+    DemandShare,
+    PhaseSpec,
+    TaskSpec,
+    WorkloadMeta,
+    WorkloadSpec,
+)
+from repro.workloads.system_tasks import make_system_tasks
+
+Shapes = tuple[tuple[int, float, int, int], ...]
+
+
+def _system_demands(meta: WorkloadMeta) -> list[DemandShare]:
+    demands = [
+        DemandShare(SYSTEM_TASK_NAMES[Component.KERNEL], meta.frac_kernel),
+        DemandShare(SYSTEM_TASK_NAMES[Component.BSD_SERVER], meta.frac_bsd),
+    ]
+    if meta.frac_x > 0:
+        demands.append(
+            DemandShare(SYSTEM_TASK_NAMES[Component.X_SERVER], meta.frac_x)
+        )
+    return demands
+
+
+def _batch_phases(
+    meta: WorkloadMeta,
+    driver: TaskSpec | None,
+    children: list[TaskSpec],
+    batch_size: int,
+    driver_share: float = 0.1,
+) -> tuple[PhaseSpec, ...]:
+    """Rounds of fork-run-exit batches, plus an optional persistent
+    driver task that spans all phases."""
+    batches = [
+        children[i : i + batch_size]
+        for i in range(0, len(children), batch_size)
+    ]
+    phases = []
+    child_share = meta.frac_user * (1.0 - (driver_share if driver else 0.0))
+    for index, batch in enumerate(batches):
+        demands = _system_demands(meta)
+        if driver is not None:
+            demands.append(
+                DemandShare(driver.name, meta.frac_user * driver_share)
+            )
+        for child in batch:
+            demands.append(DemandShare(child.name, child_share / len(batch)))
+        forks = tuple(c.name for c in batch)
+        if driver is not None and index == 0:
+            forks = (driver.name,) + forks
+        phases.append(
+            PhaseSpec(
+                weight=1.0 / len(batches),
+                demands=tuple(demands),
+                forks=forks,
+                exits=tuple(c.name for c in batch),
+            )
+        )
+    return tuple(phases)
+
+
+def ousterhout() -> WorkloadSpec:
+    meta = WorkloadMeta(
+        name="ousterhout",
+        description="John Ousterhout's OS benchmark suite [Ousterhout89]",
+        instructions_millions=567,
+        run_time_secs=37.89,
+        frac_kernel=0.480,
+        frac_bsd=0.314,
+        frac_x=0.0,
+        frac_user=0.206,
+        user_task_count=15,
+    )
+    # fifteen distinct micro-benchmarks, each a small tight program
+    children = [
+        TaskSpec(
+            name=f"oust_{i:02d}",
+            component=Component.USER,
+            binary=f"oust_bench_{i:02d}",
+            shapes=(
+                (2048, 8.0, 256, 4),
+                (4096, 1.0, 256, 2),
+            ),
+        )
+        for i in range(15)
+    ]
+    tasks = {c.name: c for c in children}
+    tasks.update(
+        make_system_tasks(
+            kernel_heat="warm", bsd_heat="warm", include_x=False
+        )
+    )
+    return WorkloadSpec(
+        meta=meta,
+        tasks=tasks,
+        phases=_batch_phases(meta, None, children, batch_size=3),
+        primary_task=children[0].name,
+    )
+
+
+def _make_children(
+    prefix: str,
+    count: int,
+    n_binaries: int,
+    shapes_by_binary: list[Shapes],
+) -> list[TaskSpec]:
+    return [
+        TaskSpec(
+            name=f"{prefix}_{i:03d}",
+            component=Component.USER,
+            binary=f"{prefix}_bin_{i % n_binaries}",
+            shapes=shapes_by_binary[i % len(shapes_by_binary)],
+            # each invocation touches a private data working set: the
+            # page-table churn that makes fork-heavy workloads hard on
+            # TLBs
+            data_shapes=((131072, 1.0, 4096, 1, 1024),),
+        )
+        for i in range(count)
+    ]
+
+
+def sdet() -> WorkloadSpec:
+    meta = WorkloadMeta(
+        name="sdet",
+        description=(
+            "SPEC SDM multiprocess system benchmark: CPU, OS and I/O "
+            "test programs"
+        ),
+        instructions_millions=823,
+        run_time_secs=43.70,
+        frac_kernel=0.437,
+        frac_bsd=0.355,
+        frac_x=0.0,
+        frac_user=0.208,
+        user_task_count=281,
+    )
+    driver = TaskSpec(
+        name="sdet_driver",
+        component=Component.USER,
+        binary="sdet_driver",
+        shapes=((4096, 4.0, 256, 4), (4096, 0.5, 512, 2)),
+    )
+    # 280 short-lived children drawn from five utility binaries; their
+    # single-pass execution keeps the user component cold (Table 6 local
+    # user miss ratio ~0.12 at 4 KB)
+    shapes_by_binary: list[Shapes] = [
+        ((8192, 3.0, 256, 1), (16384, 1.0, 512, 1)),
+        ((8192, 4.0, 256, 1), (8192, 1.0, 512, 1)),
+        ((4096, 3.0, 256, 2), (16384, 1.0, 1024, 1)),
+        ((8192, 3.0, 512, 1), (8192, 0.5, 256, 2)),
+        ((12288, 2.0, 512, 1), (4096, 1.0, 256, 2)),
+    ]
+    children = _make_children("sdet", 280, 5, shapes_by_binary)
+    tasks = {driver.name: driver}
+    tasks.update({c.name: c for c in children})
+    tasks.update(
+        make_system_tasks(
+            kernel_heat="mild", bsd_heat="warm", include_x=False
+        )
+    )
+    return WorkloadSpec(
+        meta=meta,
+        tasks=tasks,
+        phases=_batch_phases(meta, driver, children, batch_size=14),
+        primary_task=driver.name,
+    )
+
+
+def kenbus() -> WorkloadSpec:
+    meta = WorkloadMeta(
+        name="kenbus",
+        description=(
+            "SPEC SDM: simulated user activity in a software development "
+            "environment"
+        ),
+        instructions_millions=176,
+        run_time_secs=23.13,
+        frac_kernel=0.489,
+        frac_bsd=0.291,
+        frac_x=0.0,
+        frac_user=0.220,
+        user_task_count=238,
+    )
+    driver = TaskSpec(
+        name="kenbus_driver",
+        component=Component.USER,
+        binary="kenbus_driver",
+        shapes=((4096, 4.0, 256, 3),),
+    )
+    # 237 very short-lived tool invocations (editors, compilers, shells);
+    # single-pass streams make the user component the coldest in the
+    # suite (local miss ratio ~0.19 at 4 KB)
+    shapes_by_binary: list[Shapes] = [
+        ((8192, 4.0, 256, 1), (12288, 1.0, 512, 1)),
+        ((12288, 3.0, 512, 1), (8192, 1.0, 1024, 1)),
+        ((8192, 4.0, 256, 1), (8192, 0.5, 512, 1)),
+        ((16384, 2.0, 512, 1),),
+    ]
+    children = _make_children("kenbus", 237, 4, shapes_by_binary)
+    tasks = {driver.name: driver}
+    tasks.update({c.name: c for c in children})
+    tasks.update(
+        make_system_tasks(
+            kernel_heat="cold", bsd_heat="frigid", include_x=False
+        )
+    )
+    return WorkloadSpec(
+        meta=meta,
+        tasks=tasks,
+        phases=_batch_phases(meta, driver, children, batch_size=14),
+        primary_task=driver.name,
+    )

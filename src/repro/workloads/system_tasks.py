@@ -1,0 +1,101 @@
+"""System-component (kernel / BSD server / X server) task models.
+
+Each workload drives the OS differently, and Table 6 shows the pattern:
+the *less* a workload exercises a component, the colder that component
+runs — eqntott's rare kernel entries miss at ~0.15 per reference in a
+dedicated 4 KB cache, while xlisp's steady allocation path keeps the
+kernel at ~0.035.  System streams are therefore chosen from calibrated
+*heat tiers*, whose approximate dedicated-4 KB local miss ratios are:
+
+=======  ======
+hot      ~0.04
+mild     ~0.06
+warm     ~0.09
+cold     ~0.16
+frigid   ~0.25
+=======  ======
+"""
+
+from __future__ import annotations
+
+from repro._types import Component
+from repro.errors import ConfigError
+from repro.workloads.base import SYSTEM_TASK_NAMES, TaskSpec
+
+Shapes = tuple[tuple[int, float, int, int], ...]
+
+#: calibrated locality shapes per heat tier (size, weight, block, repeats)
+HEAT_SHAPES: dict[str, Shapes] = {
+    "hot": (
+        (4096, 8.0, 256, 3),
+        (16384, 1.5, 512, 2),
+        (24576, 0.3, 1024, 1),
+    ),
+    "mild": (
+        (4096, 8.0, 256, 3),
+        (16384, 2.0, 512, 2),
+        (32768, 0.35, 1024, 2),
+    ),
+    "warm": (
+        (4096, 7.0, 256, 2),
+        (16384, 2.0, 512, 2),
+        (32768, 0.6, 1024, 1),
+    ),
+    "cold": (
+        (8192, 5.0, 256, 2),
+        (16384, 2.0, 512, 1),
+        (32768, 0.4, 1024, 1),
+    ),
+    "frigid": (
+        (8192, 5.0, 256, 1),
+        (16384, 2.0, 512, 1),
+        (32768, 0.6, 1024, 1),
+    ),
+}
+
+
+def _shapes(heat: str) -> Shapes:
+    try:
+        return HEAT_SHAPES[heat]
+    except KeyError:
+        raise ConfigError(
+            f"unknown heat tier {heat!r}; choose from {sorted(HEAT_SHAPES)}"
+        ) from None
+
+
+def make_system_tasks(
+    kernel_heat: str = "mild",
+    bsd_heat: str = "warm",
+    x_heat: str = "warm",
+    include_x: bool = True,
+) -> dict[str, TaskSpec]:
+    """System TaskSpecs for one workload.
+
+    The returned names match the kernel's boot-time tasks, so the harness
+    attaches these streams to the live tasks instead of forking new ones.
+    """
+    tasks = {
+        SYSTEM_TASK_NAMES[Component.KERNEL]: TaskSpec(
+            name=SYSTEM_TASK_NAMES[Component.KERNEL],
+            component=Component.KERNEL,
+            binary="mach_kernel",
+            shapes=_shapes(kernel_heat),
+            parent=None,
+        ),
+        SYSTEM_TASK_NAMES[Component.BSD_SERVER]: TaskSpec(
+            name=SYSTEM_TASK_NAMES[Component.BSD_SERVER],
+            component=Component.BSD_SERVER,
+            binary="bsd_server",
+            shapes=_shapes(bsd_heat),
+            parent=None,
+        ),
+    }
+    if include_x:
+        tasks[SYSTEM_TASK_NAMES[Component.X_SERVER]] = TaskSpec(
+            name=SYSTEM_TASK_NAMES[Component.X_SERVER],
+            component=Component.X_SERVER,
+            binary="x_server",
+            shapes=_shapes(x_heat),
+            parent=None,
+        )
+    return tasks

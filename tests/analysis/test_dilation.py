@@ -1,0 +1,61 @@
+"""Time-dilation correction (the paper's proposed adjustment)."""
+
+import math
+
+import pytest
+
+from repro.analysis.dilation import DilationCurve, correct, fit_dilation_curve
+from repro.errors import ConfigError
+
+
+def _synthetic_points(m0=1000.0, e_max=0.15, s0=4.0):
+    return [
+        (s, m0 * (1 + e_max * (1 - math.exp(-s / s0))))
+        for s in (0.5, 1, 2, 4, 8, 16)
+    ]
+
+
+def test_fit_recovers_known_parameters():
+    points = _synthetic_points()
+    curve = fit_dilation_curve(points)
+    assert curve.m0 == pytest.approx(1000.0, rel=0.02)
+    assert curve.e_max == pytest.approx(0.15, abs=0.03)
+    # grid-resolution residual: small relative to the signal (~1e6)
+    assert curve.residual < 0.001 * sum(m * m for _, m in points)
+
+
+def test_correct_collapses_dilated_measurements():
+    points = _synthetic_points()
+    curve = fit_dilation_curve(points)
+    corrected = [correct(m, s, curve) for s, m in points]
+    spread = (max(corrected) - min(corrected)) / min(corrected)
+    assert spread < 0.02  # all dilations agree after correction
+
+
+def test_error_fraction_monotone_and_saturating():
+    curve = DilationCurve(m0=1.0, e_max=0.2, s0=3.0, residual=0.0)
+    values = [curve.error_fraction(s) for s in (0, 1, 2, 4, 8, 100)]
+    assert values[0] == 0.0
+    assert all(a <= b for a, b in zip(values, values[1:]))
+    assert values[-1] == pytest.approx(0.2, rel=1e-3)
+
+
+def test_needs_three_points():
+    with pytest.raises(ConfigError):
+        fit_dilation_curve([(1.0, 10.0), (2.0, 11.0)])
+
+
+@pytest.mark.slow
+def test_correction_works_on_real_figure4_data():
+    """Fit the measured Figure 4 sweep and check the corrected
+    estimates agree across dilations far better than the raw ones."""
+    from repro.experiments.figure4 import run_figure4
+
+    result = run_figure4("smoke", n_trials=2, sweep=(32, 8, 2, 1))
+    points = [(p.slowdown, p.estimated_misses) for p in result.points]
+    curve = fit_dilation_curve(points)
+    raw = [m for _, m in points]
+    corrected = [correct(m, s, curve) for s, m in points]
+    raw_spread = (max(raw) - min(raw)) / min(raw)
+    corrected_spread = (max(corrected) - min(corrected)) / min(corrected)
+    assert corrected_spread < raw_spread

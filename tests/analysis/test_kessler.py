@@ -1,0 +1,66 @@
+"""Kessler's page-conflict model against simulation and the paper."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.kessler import (
+    conflict_peak_cache_pages,
+    expected_conflicting_pages,
+    expected_occupied_bins,
+    relative_conflict_stdev,
+    stdev_occupied_bins,
+)
+
+
+def test_degenerate_cases():
+    assert expected_occupied_bins(0, 8) == 0.0
+    assert expected_conflicting_pages(0, 8) == 0.0
+    assert stdev_occupied_bins(0, 8) == 0.0
+    assert stdev_occupied_bins(5, 1) == 0.0  # one bin, always occupied
+
+
+def test_one_page_never_conflicts():
+    assert expected_conflicting_pages(1, 8) == 0.0
+
+
+def test_all_pages_conflict_in_one_bin():
+    assert expected_conflicting_pages(10, 1) == 9.0
+
+
+def test_conflicts_decrease_with_cache_size():
+    values = [expected_conflicting_pages(16, c) for c in (1, 2, 4, 8, 16, 64)]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+def test_monte_carlo_agreement():
+    """The closed forms match a direct balls-in-bins simulation."""
+    rng = np.random.default_rng(0)
+    n, c, trials = 12, 16, 4000
+    occupied = np.array(
+        [len(set(rng.integers(0, c, size=n))) for _ in range(trials)]
+    )
+    assert occupied.mean() == pytest.approx(
+        expected_occupied_bins(n, c), rel=0.02
+    )
+    assert occupied.std(ddof=1) == pytest.approx(
+        stdev_occupied_bins(n, c), rel=0.10
+    )
+
+
+def test_variance_peak_near_footprint():
+    """The paper's Table 9 observation: variation peaks at a cache size
+    roughly equal to the workload's address space."""
+    for n_pages in (8, 16, 64):
+        peak = conflict_peak_cache_pages(n_pages)
+        assert n_pages / 2 <= peak <= n_pages * 4
+
+
+def test_bad_arguments():
+    with pytest.raises(ValueError):
+        expected_occupied_bins(-1, 4)
+    with pytest.raises(ValueError):
+        expected_occupied_bins(4, 0)
+
+
+def test_relative_stdev_zero_when_no_conflicts_possible():
+    assert relative_conflict_stdev(1, 64) == 0.0

@@ -1,0 +1,82 @@
+"""Cache and TLB configuration validation."""
+
+import pytest
+
+from repro._types import Indexing
+from repro.caches.config import CacheConfig, TLBConfig
+from repro.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_paper_canonical_config(self):
+        config = CacheConfig(size_bytes=4096)  # 4 KB, DM, 4-word lines
+        assert config.line_bytes == 16
+        assert config.associativity == 1
+        assert config.n_lines == 256
+        assert config.n_sets == 256
+
+    def test_associative_geometry(self):
+        config = CacheConfig(size_bytes=8192, line_bytes=32, associativity=4)
+        assert config.n_lines == 256
+        assert config.n_sets == 64
+
+    @pytest.mark.parametrize("field,value", [
+        ("size_bytes", 3000),
+        ("line_bytes", 24),
+        ("associativity", 3),
+        ("size_bytes", 0),
+    ])
+    def test_non_powers_of_two_rejected(self, field, value):
+        kwargs = {"size_bytes": 4096, "line_bytes": 16, "associativity": 1}
+        kwargs[field] = value
+        with pytest.raises(ConfigError):
+            CacheConfig(**kwargs)
+
+    def test_cache_smaller_than_one_set_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=64, line_bytes=32, associativity=4)
+
+    def test_sub_word_lines_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=4096, line_bytes=2)
+
+    def test_set_and_line_of(self):
+        config = CacheConfig(size_bytes=1024, line_bytes=16)  # 64 sets
+        assert config.set_of(0) == 0
+        assert config.set_of(16) == 1
+        assert config.set_of(1024) == 0  # wraps
+        assert config.line_of(0x123) == 0x120
+
+    def test_describe_mentions_geometry(self):
+        text = CacheConfig(size_bytes=16384, indexing=Indexing.VIRTUAL).describe()
+        assert "16K" in text and "virtual" in text
+
+
+class TestTLBConfig:
+    def test_fully_associative_default(self):
+        config = TLBConfig(n_entries=64)
+        assert config.effective_associativity == 64
+        assert config.n_sets == 1
+        assert config.pages_per_entry == 1
+
+    def test_set_associative(self):
+        config = TLBConfig(n_entries=64, associativity=4)
+        assert config.n_sets == 16
+
+    def test_superpages(self):
+        config = TLBConfig(n_entries=64, page_bytes=64 * 1024)
+        assert config.pages_per_entry == 16
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_entries": 48},
+        {"n_entries": 64, "page_bytes": 2048},
+        {"n_entries": 64, "page_bytes": 12288},
+        {"n_entries": 64, "associativity": 128},
+    ])
+    def test_bad_geometry_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            TLBConfig(**kwargs)
+
+    def test_describe(self):
+        assert "fully-assoc" in TLBConfig(n_entries=64).describe()
+        assert "4-way" in TLBConfig(n_entries=64, associativity=4).describe()

@@ -1,0 +1,68 @@
+"""Replacement policy behavior."""
+
+import pytest
+
+from repro.caches.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.errors import ConfigError
+
+
+class TestLRU:
+    def test_touch_moves_to_front(self):
+        policy = LRUPolicy()
+        entries = ["a", "b", "c"]
+        policy.touch(entries, 2)
+        assert entries == ["c", "a", "b"]
+
+    def test_victim_is_back(self):
+        policy = LRUPolicy()
+        assert policy.victim_index(["a", "b", "c"]) == 2
+
+    def test_insert_at_front(self):
+        policy = LRUPolicy()
+        entries = ["a"]
+        policy.insert(entries, "b")
+        assert entries == ["b", "a"]
+
+
+class TestFIFO:
+    def test_touch_does_not_reorder(self):
+        policy = FIFOPolicy()
+        entries = ["a", "b", "c"]
+        policy.touch(entries, 2)
+        assert entries == ["a", "b", "c"]
+
+    def test_victim_is_oldest(self):
+        policy = FIFOPolicy()
+        entries = []
+        for key in "abc":
+            policy.insert(entries, key)
+        assert entries[policy.victim_index(entries)] == "a"
+
+
+class TestRandom:
+    def test_deterministic_for_seed(self):
+        a = RandomPolicy(seed=7)
+        b = RandomPolicy(seed=7)
+        entries = list("abcdefgh")
+        picks_a = [a.victim_index(entries) for _ in range(20)]
+        picks_b = [b.victim_index(entries) for _ in range(20)]
+        assert picks_a == picks_b
+
+    def test_victims_span_the_set(self):
+        policy = RandomPolicy(seed=3)
+        entries = list("abcd")
+        picks = {policy.victim_index(entries) for _ in range(100)}
+        assert picks == {0, 1, 2, 3}
+
+
+def test_make_policy_by_name():
+    assert isinstance(make_policy("lru"), LRUPolicy)
+    assert isinstance(make_policy("fifo"), FIFOPolicy)
+    assert isinstance(make_policy("random", seed=1), RandomPolicy)
+    with pytest.raises(ConfigError):
+        make_policy("plru")

@@ -1,0 +1,95 @@
+"""Single-pass stack simulation and miss accounting."""
+
+import numpy as np
+import pytest
+
+from repro._types import Component
+from repro.caches.stack import StackSimulator
+from repro.caches.stats import CacheStats
+
+
+class TestStackSimulator:
+    def test_cold_misses_counted(self):
+        sim = StackSimulator(line_bytes=16)
+        sim.process(np.array([0, 16, 32], dtype=np.int64))
+        assert sim.distances[StackSimulator.COLD] == 3
+        assert sim.footprint_lines() == 3
+
+    def test_stack_distance_recorded(self):
+        sim = StackSimulator(line_bytes=16)
+        # lines: a b c a  -> distance of final a is 2
+        sim.process(np.array([0, 16, 32, 0], dtype=np.int64))
+        assert sim.distances[2] == 1
+
+    def test_miss_ratio_monotone_in_capacity(self):
+        rng = np.random.default_rng(0)
+        addrs = (rng.integers(0, 256, size=4000) * 16).astype(np.int64)
+        sim = StackSimulator(line_bytes=16)
+        sim.process(addrs)
+        ratios = [sim.miss_ratio(c) for c in (1, 4, 16, 64, 256)]
+        assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+    def test_inclusion_property_vs_direct_simulation(self):
+        """Mattson: one pass predicts every fully-assoc LRU size."""
+        from repro.caches.cache import SetAssociativeCache
+        from repro.caches.config import CacheConfig
+
+        rng = np.random.default_rng(1)
+        addrs = (rng.integers(0, 64, size=2000) * 16).astype(np.int64)
+        sim = StackSimulator(line_bytes=16)
+        sim.process(addrs)
+        for lines in (4, 16, 64):
+            cache = SetAssociativeCache(
+                CacheConfig(
+                    size_bytes=lines * 16, line_bytes=16, associativity=lines
+                )
+            )
+            misses = sum(
+                0 if cache.access(0, int(a))[0] else 1 for a in addrs
+            )
+            assert sim.miss_ratio(lines) == pytest.approx(misses / len(addrs))
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            StackSimulator(line_bytes=24)
+
+    def test_miss_curve(self):
+        sim = StackSimulator()
+        sim.process(np.array([0, 0, 16], dtype=np.int64))
+        curve = sim.miss_curve([1, 2])
+        assert set(curve) == {1, 2}
+
+
+class TestCacheStats:
+    def test_totals_and_ratios(self):
+        stats = CacheStats()
+        stats.count_refs(Component.USER, 1000)
+        stats.count_refs(Component.KERNEL, 1000)
+        stats.count_miss(Component.USER, 100)
+        stats.count_miss(Component.KERNEL, 20)
+        assert stats.total_misses == 120
+        assert stats.total_refs == 2000
+        assert stats.miss_ratio() == pytest.approx(0.06)
+        # component ratios sum to the total ratio (Table 6 convention)
+        total = sum(stats.miss_ratio(c) for c in Component)
+        assert total == pytest.approx(stats.miss_ratio())
+        assert stats.local_miss_ratio(Component.USER) == pytest.approx(0.1)
+
+    def test_zero_refs_ratio_is_zero(self):
+        assert CacheStats().miss_ratio() == 0.0
+        assert CacheStats().local_miss_ratio(Component.USER) == 0.0
+
+    def test_merge(self):
+        a, b = CacheStats(), CacheStats()
+        a.count_miss(Component.USER, 5)
+        b.count_miss(Component.USER, 7)
+        b.masked_misses = 2
+        a.merge(b)
+        assert a.misses[Component.USER] == 12
+        assert a.masked_misses == 2
+
+    def test_scaled_misses(self):
+        stats = CacheStats()
+        stats.count_miss(Component.KERNEL, 3)
+        scaled = stats.scaled_misses(100.0)
+        assert scaled[Component.KERNEL] == 300.0

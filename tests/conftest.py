@@ -1,0 +1,34 @@
+"""Shared fixtures: small machines, kernels and configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caches.config import CacheConfig, TLBConfig
+from repro.kernel.kernel import Kernel
+from repro.machine.machine import Machine, MachineConfig
+
+
+@pytest.fixture
+def small_machine() -> Machine:
+    """A 4 MB machine — big enough for any unit test, fast to build."""
+    return Machine(MachineConfig(memory_bytes=4 * 1024 * 1024, n_vpages=2048))
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """A booted kernel on a small machine with deterministic allocation."""
+    machine = Machine(
+        MachineConfig(memory_bytes=8 * 1024 * 1024, n_vpages=2048)
+    )
+    return Kernel(machine=machine, alloc_policy="sequential", trial_seed=0)
+
+
+@pytest.fixture
+def cache_4k() -> CacheConfig:
+    return CacheConfig(size_bytes=4096)
+
+
+@pytest.fixture
+def tlb_64() -> TLBConfig:
+    return TLBConfig(n_entries=64)

@@ -1,0 +1,103 @@
+"""The Table 5 cycle model."""
+
+import pytest
+
+from repro.caches.config import CacheConfig, TLBConfig
+from repro.core.costs import (
+    HandlerCostModel,
+    OPTIMIZED_HANDLER_CYCLES,
+    UNOPTIMIZED_HANDLER_CYCLES,
+)
+from repro.errors import ConfigError
+
+
+def test_canonical_config_costs_246_cycles():
+    """Table 5's bottom line for DM caches with 4-word lines."""
+    model = HandlerCostModel()
+    assert model.cycles_per_cache_miss(CacheConfig(size_bytes=4096)) == 246
+
+
+def test_cache_size_does_not_change_cost():
+    model = HandlerCostModel()
+    costs = {
+        model.cycles_per_cache_miss(CacheConfig(size_bytes=kb * 1024))
+        for kb in (1, 4, 64, 1024)
+    }
+    assert costs == {246}
+
+
+def test_associativity_increases_tw_replace_cost():
+    model = HandlerCostModel()
+    dm = model.cycles_per_cache_miss(CacheConfig(size_bytes=4096))
+    four_way = model.cycles_per_cache_miss(
+        CacheConfig(size_bytes=4096, associativity=4)
+    )
+    assert four_way > dm
+    assert four_way - dm < 50  # "slightly increase"
+
+
+def test_line_size_increases_trap_cost():
+    model = HandlerCostModel()
+    short = model.cycles_per_cache_miss(CacheConfig(size_bytes=4096))
+    long = model.cycles_per_cache_miss(
+        CacheConfig(size_bytes=4096, line_bytes=64)
+    )
+    assert long > short
+
+
+def test_sub_granule_lines_rejected():
+    model = HandlerCostModel()
+    with pytest.raises(ConfigError):
+        model.cycles_per_cache_miss(CacheConfig(size_bytes=4096, line_bytes=8))
+
+
+def test_unoptimized_handler_is_paper_ratio():
+    optimized = HandlerCostModel("optimized")
+    unoptimized = HandlerCostModel("unoptimized")
+    config = CacheConfig(size_bytes=4096)
+    ratio = unoptimized.cycles_per_cache_miss(config) / (
+        optimized.cycles_per_cache_miss(config)
+    )
+    assert ratio == pytest.approx(
+        UNOPTIMIZED_HANDLER_CYCLES / OPTIMIZED_HANDLER_CYCLES, rel=0.01
+    )
+
+
+def test_hardware_assisted_is_about_5x_faster():
+    """Section 4.3: a cleaner ASIC interface would give 'another factor
+    of 5'."""
+    model = HandlerCostModel("hardware_assisted")
+    cost = model.cycles_per_cache_miss(CacheConfig(size_bytes=4096))
+    assert cost == pytest.approx(246 / 5, rel=0.05)
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(ConfigError):
+        HandlerCostModel("quantum")
+
+
+def test_breakdown_rows_sum_to_total():
+    model = HandlerCostModel()
+    config = CacheConfig(size_bytes=4096)
+    breakdown = model.breakdown(config)
+    rows = breakdown.rows()
+    assert len(rows) == 5
+    assert sum(cycles for _, cycles in rows) == pytest.approx(
+        model.cycles_per_cache_miss(config), abs=3
+    )
+    assert rows[0][0] == "kernel trap and return"
+
+
+def test_tlb_miss_cost_is_cheaper_than_cache_miss():
+    model = HandlerCostModel()
+    tlb_cost = model.cycles_per_tlb_miss(TLBConfig(n_entries=64))
+    assert tlb_cost < 246
+
+
+def test_superpage_tlb_cost_grows_with_coverage():
+    model = HandlerCostModel()
+    base = model.cycles_per_tlb_miss(TLBConfig(n_entries=64))
+    superpage = model.cycles_per_tlb_miss(
+        TLBConfig(n_entries=64, page_bytes=64 * 1024)
+    )
+    assert superpage > base

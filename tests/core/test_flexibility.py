@@ -1,0 +1,82 @@
+"""Section 4.4 flexibility limits."""
+
+import pytest
+
+from repro.caches.config import CacheConfig
+from repro.core.flexibility import StructureKind, assert_trap_simulable
+from repro.core.tapeworm import Tapeworm, TapewormConfig
+from repro.errors import UnsupportedStructure
+from repro.kernel.kernel import Kernel
+from repro.machine.machine import Machine, MachineConfig
+
+
+def _machine(allocate_on_write=False):
+    return Machine(
+        MachineConfig(
+            memory_bytes=4 * 1024 * 1024,
+            n_vpages=512,
+            allocate_on_write=allocate_on_write,
+        )
+    )
+
+
+@pytest.mark.parametrize(
+    "kind",
+    [StructureKind.WRITE_BUFFER, StructureKind.INSTRUCTION_PIPELINE],
+)
+def test_inherently_unsimulable_structures_rejected(kind):
+    """Write buffers and pipelines cannot be modeled by traps on any
+    machine."""
+    with pytest.raises(UnsupportedStructure):
+        assert_trap_simulable(kind, _machine())
+    with pytest.raises(UnsupportedStructure):
+        assert_trap_simulable(kind, _machine(allocate_on_write=True))
+
+
+def test_data_cache_blocked_on_decstation_model():
+    """The 5000/200's no-allocate-on-write policy clears ECC traps
+    without entering the miss handler."""
+    with pytest.raises(UnsupportedStructure):
+        assert_trap_simulable(StructureKind.DATA_CACHE, _machine())
+
+
+def test_data_cache_allowed_on_write_allocate_host():
+    """On an allocate-on-write machine (the WWT's CM-5 nodes), data
+    cache simulation works [Reinhardt93]."""
+    assert_trap_simulable(
+        StructureKind.DATA_CACHE, _machine(allocate_on_write=True)
+    )
+    assert_trap_simulable(
+        StructureKind.UNIFIED_CACHE, _machine(allocate_on_write=True)
+    )
+
+
+def test_instruction_caches_and_tlbs_always_fine():
+    assert_trap_simulable(StructureKind.INSTRUCTION_CACHE, _machine())
+    assert_trap_simulable(StructureKind.TLB, _machine())
+
+
+def test_tapeworm_install_enforces_the_check():
+    kernel = Kernel(machine=_machine(), alloc_policy="sequential")
+    config = TapewormConfig(
+        cache=CacheConfig(size_bytes=4096),
+        kind=StructureKind.DATA_CACHE,
+    )
+    tapeworm = Tapeworm(kernel, config)
+    with pytest.raises(UnsupportedStructure):
+        tapeworm.install()
+    # and nothing was left half-claimed
+    assert kernel.tapeworm is None
+    assert kernel.vm.on_register_page is None
+
+
+def test_tapeworm_data_cache_on_write_allocate_machine_installs():
+    kernel = Kernel(
+        machine=_machine(allocate_on_write=True), alloc_policy="sequential"
+    )
+    config = TapewormConfig(
+        cache=CacheConfig(size_bytes=4096),
+        kind=StructureKind.DATA_CACHE,
+    )
+    Tapeworm(kernel, config).install()
+    assert kernel.tapeworm is not None

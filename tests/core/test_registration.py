@@ -1,0 +1,67 @@
+"""Shared-page reference counting in the page registry."""
+
+import pytest
+
+from repro._types import PAGE_SIZE
+from repro.core.registration import PageRegistry
+from repro.errors import TapewormError
+
+
+def test_first_registration_reports_first():
+    registry = PageRegistry()
+    assert registry.register(1, 0x4000, 0x10000)
+    assert registry.refcount(0x4000) == 1
+    assert registry.is_registered_frame(0x4000)
+    assert registry.is_registered_mapping(1, 0x10000)
+
+
+def test_second_mapping_increments_only():
+    """Paper: a second virtual mapping of a registered physical page sets
+    no new traps, it only bumps the reference count."""
+    registry = PageRegistry()
+    assert registry.register(1, 0x4000, 0x10000)
+    assert not registry.register(2, 0x4000, 0x20000)
+    assert registry.refcount(0x4000) == 2
+
+
+def test_remove_flushes_only_at_zero():
+    registry = PageRegistry()
+    registry.register(1, 0x4000, 0x10000)
+    registry.register(2, 0x4000, 0x20000)
+    assert not registry.remove(1, 0x4000, 0x10000)
+    assert registry.refcount(0x4000) == 1
+    assert registry.remove(2, 0x4000, 0x20000)
+    assert registry.refcount(0x4000) == 0
+    assert not registry.is_registered_frame(0x4000)
+
+
+def test_duplicate_registration_rejected():
+    registry = PageRegistry()
+    registry.register(1, 0x4000, 0x10000)
+    with pytest.raises(TapewormError):
+        registry.register(1, 0x5000, 0x10000)
+
+
+def test_remove_of_unregistered_rejected():
+    registry = PageRegistry()
+    with pytest.raises(TapewormError):
+        registry.remove(1, 0x4000, 0x10000)
+
+
+def test_pa_of_translates_offsets():
+    registry = PageRegistry()
+    registry.register(3, 2 * PAGE_SIZE, 7 * PAGE_SIZE)
+    assert registry.pa_of(3, 7 * PAGE_SIZE + 0x123) == 2 * PAGE_SIZE + 0x123
+    assert registry.pa_of(3, 8 * PAGE_SIZE) is None
+    assert registry.pa_of(9, 7 * PAGE_SIZE) is None
+
+
+def test_mappings_of_frame_and_task():
+    registry = PageRegistry()
+    registry.register(1, 0x4000, 0x10000)
+    registry.register(2, 0x4000, 0x20000)
+    registry.register(1, 0x5000, 0x30000)
+    assert registry.mappings_of_frame(0x4000) == {(1, 0x10), (2, 0x20)}
+    assert sorted(registry.mappings_of_task(1)) == [(0x10, 4), (0x30, 5)]
+    assert len(registry) == 3
+    assert registry.registered_frames() == {4, 5}

@@ -1,0 +1,106 @@
+"""tw_replace bridging and two-level trap-driven simulation."""
+
+import numpy as np
+import pytest
+
+from repro._types import Component, Indexing, PAGE_SIZE
+from repro.caches.cache import SetAssociativeCache
+from repro.caches.config import CacheConfig
+from repro.core.registration import PageRegistry
+from repro.core.replace import Replacer
+from repro.core.tapeworm import Tapeworm, TapewormConfig
+from repro.kernel.kernel import Kernel
+from repro.machine.machine import Machine, MachineConfig
+
+
+class TestReplacer:
+    def test_physical_displacement_targets_registered_frames(self):
+        registry = PageRegistry()
+        registry.register(1, 0x0000, 0x10000)
+        cache = SetAssociativeCache(CacheConfig(size_bytes=64, line_bytes=16))
+        replacer = Replacer(cache, registry)
+        replacer.tw_replace(1, 0x0000, 0x10000)
+        outcome = replacer.tw_replace(1, 0x0040, 0x10040)
+        assert outcome.trap_targets == [0x0000]
+
+    def test_unregistered_displacement_skipped(self):
+        registry = PageRegistry()
+        cache = SetAssociativeCache(CacheConfig(size_bytes=64, line_bytes=16))
+        replacer = Replacer(cache, registry)
+        replacer.tw_replace(1, 0x0000, 0x10000)
+        outcome = replacer.tw_replace(1, 0x0040, 0x10040)
+        assert outcome.trap_targets == []
+        assert outcome.untranslatable == 1
+
+    def test_virtual_displacement_translated_through_registry(self):
+        registry = PageRegistry()
+        registry.register(1, 3 * PAGE_SIZE, 0x10000)
+        config = CacheConfig(
+            size_bytes=64, line_bytes=16, indexing=Indexing.VIRTUAL
+        )
+        replacer = Replacer(SetAssociativeCache(config), registry)
+        replacer.tw_replace(1, 3 * PAGE_SIZE, 0x10000)
+        outcome = replacer.tw_replace(1, 3 * PAGE_SIZE + 0x40, 0x10040)
+        assert outcome.trap_targets == [3 * PAGE_SIZE]
+
+    def test_index_address_follows_config(self):
+        registry = PageRegistry()
+        physical = Replacer(
+            SetAssociativeCache(CacheConfig(size_bytes=64)), registry
+        )
+        assert physical.index_address(va=0x100, pa=0x200) == 0x200
+        virtual = Replacer(
+            SetAssociativeCache(
+                CacheConfig(size_bytes=64, indexing=Indexing.VIRTUAL)
+            ),
+            registry,
+        )
+        assert virtual.index_address(va=0x100, pa=0x200) == 0x100
+
+
+class TestTwoLevelTrapDriven:
+    def _setup(self):
+        machine = Machine(
+            MachineConfig(memory_bytes=8 * 1024 * 1024, n_vpages=512)
+        )
+        kernel = Kernel(machine=machine, alloc_policy="sequential")
+        config = TapewormConfig(
+            structure="two_level",
+            cache=CacheConfig(size_bytes=64, line_bytes=16),
+            l2=CacheConfig(size_bytes=1024, line_bytes=16),
+        )
+        tapeworm = Tapeworm(kernel, config)
+        tapeworm.install()
+        task = kernel.spawn("job", Component.USER)
+        tapeworm.tw_attributes(task.tid, simulate=1, inherit=0)
+        return kernel, tapeworm, task
+
+    def test_l1_misses_trap_l2_hits_resolved_in_software(self):
+        kernel, tapeworm, task = self._setup()
+        refs = np.array([0x000, 0x040, 0x000], dtype=np.int64)
+        kernel.run_chunk(task, refs)
+        # all three L1 misses trap; the final one hits L2
+        assert tapeworm.stats.total_misses == 3
+        assert tapeworm.stats.l2_misses == 2
+
+    def test_inclusion_invariant_held(self):
+        kernel, tapeworm, task = self._setup()
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            addrs = (rng.integers(0, 1024, size=64) * 4).astype(np.int64)
+            kernel.run_chunk(task, addrs)
+        assert tapeworm.structure.check_inclusion()
+
+    def test_trap_set_is_complement_of_l1(self):
+        kernel, tapeworm, task = self._setup()
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            addrs = (rng.integers(0, 512, size=64) * 4).astype(np.int64)
+            kernel.run_chunk(task, addrs)
+        table = kernel.machine.mmu.table(task.tid)
+        l1 = tapeworm.structure.l1
+        for vpn in table.mapped_vpns():
+            pa_page = table.frame_of(int(vpn)) * PAGE_SIZE
+            for offset in range(0, PAGE_SIZE, 16):
+                trapped = kernel.machine.ecc.is_trapped(pa_page + offset)
+                assert trapped != l1.contains(task.tid, pa_page + offset)

@@ -1,0 +1,53 @@
+"""Set sampling: selection, estimation, seeding."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import SetSampler
+from repro.errors import ConfigError
+
+
+def test_no_sampling_covers_everything():
+    sampler = SetSampler(n_sets=256)
+    assert not sampler.is_sampling
+    assert sampler.expansion_factor == 1
+    assert all(sampler.covers_set(i) for i in range(256))
+
+
+def test_fraction_selects_exact_subset():
+    sampler = SetSampler(n_sets=256, fraction_denominator=8, seed=1)
+    assert sampler.is_sampling
+    assert len(sampler.sampled_sets()) == 32
+    assert sampler.expansion_factor == 8
+
+
+def test_different_seeds_give_different_samples():
+    """Paper: 'different samples can be obtained simply by changing the
+    pattern of traps.'"""
+    a = SetSampler(256, 8, seed=1).sampled_sets()
+    b = SetSampler(256, 8, seed=2).sampled_sets()
+    assert a.tolist() != b.tolist()
+
+
+def test_same_seed_reproduces():
+    a = SetSampler(256, 4, seed=9).sampled_sets()
+    b = SetSampler(256, 4, seed=9).sampled_sets()
+    assert a.tolist() == b.tolist()
+
+
+def test_mask_for_sets_matches_covers():
+    sampler = SetSampler(64, 4, seed=3)
+    indices = np.arange(64)
+    mask = sampler.mask_for_sets(indices)
+    assert mask.tolist() == [sampler.covers_set(i) for i in range(64)]
+
+
+def test_estimate_scales():
+    sampler = SetSampler(64, 8, seed=0)
+    assert sampler.estimate(100) == 800
+
+
+@pytest.mark.parametrize("n_sets,denominator", [(4, 8), (64, 0)])
+def test_bad_fractions_rejected(n_sets, denominator):
+    with pytest.raises(ConfigError):
+        SetSampler(n_sets, denominator)

@@ -1,0 +1,111 @@
+"""Tapeworm in TLB-simulation mode (page-valid-bit traps)."""
+
+import numpy as np
+import pytest
+
+from repro._types import Component, PAGE_SIZE
+from repro.caches.config import TLBConfig
+from repro.core.tapeworm import Tapeworm, TapewormConfig
+from repro.kernel.kernel import Kernel
+from repro.machine.machine import Machine, MachineConfig
+
+
+def _kernel():
+    machine = Machine(
+        MachineConfig(memory_bytes=16 * 1024 * 1024, n_vpages=1024)
+    )
+    return Kernel(machine=machine, alloc_policy="sequential", trial_seed=0)
+
+
+def _install(kernel, **tlb_kwargs):
+    config = TapewormConfig(structure="tlb", tlb=TLBConfig(**tlb_kwargs))
+    tapeworm = Tapeworm(kernel, config)
+    tapeworm.install()
+    return tapeworm
+
+
+def _task(kernel, tapeworm, name="job"):
+    task = kernel.spawn(name, Component.USER)
+    tapeworm.tw_attributes(task.tid, simulate=1, inherit=0)
+    return task
+
+
+def _page_refs(*vpns):
+    return np.array([vpn * PAGE_SIZE for vpn in vpns], dtype=np.int64)
+
+
+def test_compulsory_tlb_misses():
+    kernel = _kernel()
+    tapeworm = _install(kernel, n_entries=8)
+    task = _task(kernel, tapeworm)
+    kernel.run_chunk(task, _page_refs(0, 1, 2, 0, 1, 2))
+    assert tapeworm.stats.total_misses == 3
+
+
+def test_capacity_misses_on_lru_displacement():
+    kernel = _kernel()
+    tapeworm = _install(kernel, n_entries=2)
+    task = _task(kernel, tapeworm)
+    kernel.run_chunk(task, _page_refs(0, 1, 2, 0))
+    # 0,1,2 compulsory; 2 displaces 0; final 0 misses again
+    assert tapeworm.stats.total_misses == 4
+
+
+def test_displaced_page_gets_valid_bit_trap():
+    kernel = _kernel()
+    tapeworm = _install(kernel, n_entries=2)
+    task = _task(kernel, tapeworm)
+    kernel.run_chunk(task, _page_refs(0, 1, 2))
+    table = kernel.machine.mmu.table(task.tid)
+    assert table.is_page_trapped(0)  # LRU victim of page 2's insertion
+    assert not table.is_page_trapped(2)
+
+
+def test_tlb_bigger_than_hardware_simulable():
+    """The simulated structure is unconstrained by the host's 64-entry
+    TLB — a 128-entry simulation just sets fewer traps."""
+    kernel = _kernel()
+    tapeworm = _install(kernel, n_entries=128)
+    task = _task(kernel, tapeworm)
+    vpns = list(range(100)) + list(range(100))
+    kernel.run_chunk(task, _page_refs(*vpns))
+    assert tapeworm.stats.total_misses == 100  # pure compulsory
+
+
+def test_superpage_entries_cover_multiple_pages():
+    kernel = _kernel()
+    tapeworm = _install(kernel, n_entries=4, page_bytes=4 * PAGE_SIZE)
+    task = _task(kernel, tapeworm)
+    kernel.run_chunk(task, _page_refs(0, 1, 2, 3))
+    # one superpage entry covers machine pages 0-3: one miss
+    assert tapeworm.stats.total_misses == 1
+    kernel.run_chunk(task, _page_refs(4, 5))
+    assert tapeworm.stats.total_misses == 2
+
+
+def test_tlb_miss_cost_applied():
+    kernel = _kernel()
+    tapeworm = _install(kernel, n_entries=4)
+    task = _task(kernel, tapeworm)
+    kernel.run_chunk(task, _page_refs(0, 1))
+    assert tapeworm.overhead_cycles == 2 * tapeworm._miss_cycles
+    assert tapeworm._miss_cycles < 246  # cheaper than the ECC path
+
+
+def test_task_exit_cleans_tlb_entries():
+    kernel = _kernel()
+    tapeworm = _install(kernel, n_entries=8)
+    task = _task(kernel, tapeworm)
+    kernel.run_chunk(task, _page_refs(0, 1, 2))
+    kernel.exit_task(task.tid)
+    assert len(tapeworm.registry) == 0
+
+
+def test_per_task_tlb_tags():
+    kernel = _kernel()
+    tapeworm = _install(kernel, n_entries=8)
+    a = _task(kernel, tapeworm, "a")
+    b = _task(kernel, tapeworm, "b")
+    kernel.run_chunk(a, _page_refs(0))
+    kernel.run_chunk(b, _page_refs(0))  # same VPN, its own entry
+    assert tapeworm.stats.total_misses == 2

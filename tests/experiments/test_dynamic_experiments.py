@@ -1,0 +1,201 @@
+"""Shape assertions for the simulation-driven experiments.
+
+Run at the smallest budget: these check orderings and qualitative shape
+(who wins, what varies, what saturates), not absolute counts — that is
+what the benchmarks regenerate at larger budgets.
+"""
+
+import pytest
+
+from repro._types import Component
+
+pytestmark = pytest.mark.slow
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.figure2 import run_figure2
+
+        return run_figure2("smoke", sizes_kb=(1, 4, 16, 64))
+
+    def test_miss_ratio_monotone_nonincreasing(self, result):
+        ratios = [row.miss_ratio for row in result.rows]
+        assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+    def test_tapeworm_wins_everywhere(self, result):
+        for row in result.rows:
+            assert row.tapeworm_slowdown < row.cache2000_slowdown
+
+    def test_tapeworm_slowdown_falls_much_faster(self, result):
+        first, last = result.rows[0], result.rows[-1]
+        tapeworm_drop = first.tapeworm_slowdown / max(last.tapeworm_slowdown, 1e-9)
+        cache2000_drop = first.cache2000_slowdown / last.cache2000_slowdown
+        assert tapeworm_drop > cache2000_drop * 2
+
+    def test_cache2000_never_below_the_floor(self, result):
+        for row in result.rows:
+            assert row.cache2000_slowdown > 15  # the ~20x floor
+
+    def test_render(self, result):
+        from repro.experiments.figure2 import render
+
+        assert "Figure 2" in render(result)
+
+
+class TestTable34:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.table34 import run_table34
+
+        return run_table34("smoke")
+
+    def test_measured_fractions_track_table4(self, result):
+        for row in result.rows:
+            assert row.measured.frac_kernel == pytest.approx(
+                row.meta.frac_kernel, abs=0.10
+            )
+            assert row.measured.frac_user == pytest.approx(
+                row.meta.frac_user, abs=0.10
+            )
+
+    def test_task_counts_exact(self, result):
+        for row in result.rows:
+            assert row.measured.user_task_count == row.meta.user_task_count
+
+    def test_render(self, result):
+        from repro.experiments.table34 import render
+
+        text = render(result)
+        assert "sdet" in text and "281" in text
+
+
+class TestTable5:
+    def test_break_even_near_paper(self):
+        from repro.experiments.table5 import run_table5
+
+        result = run_table5("smoke")
+        assert result.tapeworm_cycles_per_miss == 246
+        assert 2.5 < result.break_even_hits_per_miss < 6
+
+    def test_cache2000_cost_in_paper_band(self):
+        from repro.experiments.table5 import run_table5
+
+        result = run_table5("smoke")
+        # 40-60 cycles to generate+process, per the paper; our model adds
+        # the miss premium so the band is a little wider
+        assert 80 < result.cache2000_cycles_per_address < 140
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.figure3 import run_figure3
+
+        return run_figure3("smoke")
+
+    def test_sampling_cuts_slowdown_proportionally(self, result):
+        full = result.point("sampling", 1, 1).slowdown
+        eighth = result.point("sampling", 8, 1).slowdown
+        assert eighth < full / 4
+
+    def test_associativity_changes_slowdown_only_modestly(self, result):
+        """The handler's per-miss cost grows only slightly with
+        associativity (Table 5); slowdown moves with miss counts.  Our
+        synthetic loop streams do not reward LRU associativity the way
+        the paper's binaries did (see EXPERIMENTS.md deviations), so the
+        assertion here is the cost-side shape: same order of magnitude
+        across 1/2/4 ways at every size."""
+        for size_kb in (1, 2, 4, 8):
+            dm = result.point("associativity", 1, size_kb).slowdown
+            four_way = result.point("associativity", 4, size_kb).slowdown
+            assert four_way < dm * 2.0
+            assert four_way > dm * 0.2
+
+    def test_longer_lines_simulate_faster(self, result):
+        short = result.point("line_bytes", 16, 1).slowdown
+        long = result.point("line_bytes", 64, 1).slowdown
+        assert long < short
+
+    def test_render(self, result):
+        from repro.experiments.figure3 import render
+
+        assert "sampling" in render(result)
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.table6 import run_table6
+
+        # "quick" so eqntott's user component gets past its compulsory
+        # misses; at tiny budgets cold-start floors distort the ordering
+        return run_table6("quick", workloads=("mpeg_play", "eqntott", "sdet"))
+
+    def test_interference_nonnegative(self, result):
+        for row in result.rows:
+            assert row.interference >= 0
+
+    def test_system_dominates_eqntott(self, result):
+        """Table 6's headline: SPEC-style user tasks barely miss; the
+        servers and kernel dominate."""
+        row = result.row("eqntott")
+        assert row.kernel > row.user
+        assert row.servers > row.user
+
+    def test_traces_match_user_order_of_magnitude(self, result):
+        row = result.row("mpeg_play")
+        assert row.from_traces is not None
+        assert row.from_traces == pytest.approx(row.user, rel=1.0)
+
+    def test_multi_task_has_no_trace_column(self, result):
+        assert result.row("sdet").from_traces is None
+
+    def test_render(self, result):
+        from repro.experiments.table6 import render
+
+        assert "Interference" in render(result)
+
+
+class TestVarianceTables:
+    def test_table8_sampling_variance_structure(self):
+        from repro.experiments.table8 import run_table8
+
+        result = run_table8("smoke", n_trials=3, sizes_kb=(4, 16))
+        for size_kb in (4, 16):
+            assert result.unsampled[size_kb].stdev == 0.0
+        assert any(
+            result.sampled[size].stdev > 0 for size in (4, 16)
+        )
+
+    def test_table9_page_allocation_variance_structure(self):
+        from repro.experiments.table9 import run_table9
+
+        result = run_table9("quick", n_trials=3, sizes_kb=(4, 16))
+        assert result.virtual[4].stdev == 0.0
+        assert result.virtual[16].stdev == 0.0
+        assert result.physical[4].stdev == 0.0  # pages overlap at 4 KB
+        assert result.physical[16].stdev > 0.0
+
+    def test_table7_shows_more_variance_than_table10(self):
+        from repro.experiments.table10 import run_table10
+        from repro.experiments.table7 import run_table7
+
+        workloads = ("mpeg_play", "espresso")
+        noisy = run_table7("smoke", n_trials=3, workloads=workloads)
+        clean = run_table10("smoke", n_trials=3, workloads=workloads)
+        noisy_pct = sum(noisy.stats[w].stdev_pct for w in workloads)
+        clean_pct = sum(clean.stats[w].stdev_pct for w in workloads)
+        assert clean_pct < noisy_pct
+
+
+class TestFigure4:
+    def test_dilation_increases_and_saturates(self):
+        from repro.experiments.figure4 import run_figure4
+
+        result = run_figure4("smoke", n_trials=2, sweep=(16, 4, 1))
+        increases = [p.increase_pct for p in result.points]
+        slowdowns = [p.slowdown for p in result.points]
+        assert slowdowns == sorted(slowdowns)
+        assert increases[-1] > 2.0  # dilation inflates misses
+        assert increases[-1] < 40.0  # but not unboundedly

@@ -1,0 +1,40 @@
+"""Figure 1's live demonstration of the two core loops."""
+
+from repro.experiments.figure1 import (
+    DEMO_ADDRESSES,
+    render,
+    run_figure1,
+)
+
+
+def test_both_loops_agree_on_misses():
+    result = run_figure1()
+    assert result.trace_misses == result.trap_misses == 5
+
+
+def test_work_asymmetry():
+    result = run_figure1()
+    assert result.trace_work == len(DEMO_ADDRESSES)
+    assert result.trap_work == result.trap_misses
+
+
+def test_event_logs_show_the_loops():
+    result = run_figure1()
+    assert any("hit" in event for event in result.trace_events)
+    assert all("search" in event for event in result.trace_events)
+    assert all(
+        "tw_clear_trap" in event and "tw_set_trap" in event
+        for event in result.trap_events
+    )
+
+
+def test_deterministic():
+    a, b = run_figure1(), run_figure1()
+    assert a.trap_events == b.trap_events
+    assert a.trace_events == b.trace_events
+
+
+def test_render_contains_both_sections():
+    text = render(run_figure1())
+    assert "trace-driven" in text and "trap-driven" in text
+    assert "identical miss counts" in text

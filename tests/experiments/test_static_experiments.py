@@ -1,0 +1,61 @@
+"""The experiments that need no simulation budget: Tables 11 and 12."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import budget_refs
+from repro.experiments.table11 import BUCKETS, run_table11, render as render11
+from repro.experiments.table12 import run_table12, render as render12
+
+
+def test_budget_tiers():
+    assert budget_refs("quick") > budget_refs("smoke")
+    assert budget_refs("full") > budget_refs("quick")
+    with pytest.raises(ConfigError):
+        budget_refs("galactic")
+
+
+class TestTable11:
+    def test_machine_dependent_share_is_small(self):
+        """The paper's portability claim: <5% machine-dependent.  Our
+        analogous split stays in single digits."""
+        result = run_table11()
+        assert result.percent("machine-dependent kernel") < 10
+
+    def test_user_code_dominates(self):
+        result = run_table11()
+        assert result.percent("machine-independent user") > 50
+
+    def test_every_bucket_counted(self):
+        result = run_table11()
+        for bucket in BUCKETS:
+            assert result.lines[bucket] > 0
+        assert result.substrate_lines > 0
+
+    def test_render(self):
+        text = render11(run_table11())
+        assert "machine-dependent kernel" in text
+        assert "82%" in text  # paper column present
+
+
+class TestTable12:
+    def test_r3000_full_capability(self):
+        result = run_table12()
+        r3000 = result.assessment("MIPS R3000")
+        assert r3000.can_simulate_caches and r3000.can_simulate_tlbs
+
+    def test_i486_tlb_only_like_the_gateway_port(self):
+        result = run_table12()
+        i486 = result.assessment("Intel i486")
+        assert not i486.can_simulate_caches
+        assert i486.can_simulate_tlbs
+
+    def test_every_processor_can_do_tlb_simulation(self):
+        """Invalid-page traps are universal in Table 12."""
+        result = run_table12()
+        assert all(a.can_simulate_tlbs for a in result.assessments)
+
+    def test_render_matrix_shape(self):
+        text = render12(run_table12())
+        assert "MIPS R3000" in text and "PowerPC" in text
+        assert "Port feasibility" in text

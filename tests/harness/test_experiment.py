@@ -1,0 +1,61 @@
+"""Trial statistics in the paper's Table 7 presentation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.experiment import TrialStats, run_trials, stats_of
+
+
+def test_table7_statistics():
+    stats = TrialStats(values=(10.0, 12.0, 14.0, 16.0))
+    assert stats.mean == 13.0
+    assert stats.minimum == 10.0
+    assert stats.maximum == 16.0
+    assert stats.value_range == 6.0
+    assert stats.stdev == pytest.approx(2.582, rel=1e-3)
+
+
+def test_percentages_relative_to_mean():
+    stats = TrialStats(values=(50.0, 150.0))
+    assert stats.mean == 100.0
+    assert stats.stdev_pct == pytest.approx(70.7, rel=1e-2)
+    assert stats.minimum_pct == pytest.approx(50.0)
+    assert stats.maximum_pct == pytest.approx(50.0)
+    assert stats.range_pct == pytest.approx(100.0)
+
+
+def test_single_trial_has_zero_spread():
+    stats = TrialStats(values=(42.0,))
+    assert stats.stdev == 0.0
+    assert stats.value_range == 0.0
+
+
+def test_zero_mean_percentages_defined():
+    stats = TrialStats(values=(0.0, 0.0))
+    assert stats.stdev_pct == 0.0
+
+
+def test_row_keys():
+    row = TrialStats(values=(1.0, 2.0)).row()
+    assert set(row) == {
+        "mean", "s", "s_pct", "min", "min_pct", "max", "max_pct",
+        "range", "range_pct",
+    }
+
+
+def test_run_trials_passes_distinct_seeds():
+    seen = []
+    stats = run_trials(lambda seed: (seen.append(seed), float(seed))[1], 4, base_seed=10)
+    assert seen == [10, 11, 12, 13]
+    assert stats.n == 4
+
+
+def test_empty_trials_rejected():
+    with pytest.raises(ConfigError):
+        TrialStats(values=())
+    with pytest.raises(ConfigError):
+        run_trials(lambda seed: 0.0, 0)
+
+
+def test_stats_of_wraps_values():
+    assert stats_of([3.0, 5.0]).mean == 4.0

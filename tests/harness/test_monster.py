@@ -1,0 +1,50 @@
+"""The Monster-analogue monitor."""
+
+import numpy as np
+import pytest
+
+from repro._types import HOST_CLOCK_HZ, Component
+from repro.harness.monster import Monster
+from repro.harness.runner import RunOptions, run_uninstrumented
+from repro.workloads.registry import get_workload
+
+
+def test_counts_instructions_and_time(kernel):
+    monster = Monster(kernel)
+    task = kernel.spawn("t", Component.USER)
+    kernel.run_chunk(task, np.arange(0, 4096, 4, dtype=np.int64))
+    assert monster.instructions() == 1024
+    assert monster.cycles() > 1024  # CPI > 1 plus fault costs
+    assert monster.run_time_secs() == monster.cycles() / HOST_CLOCK_HZ
+
+
+def test_fractions_sum_to_one(kernel):
+    monster = Monster(kernel)
+    for name, component in (("u", Component.USER), ("k", None)):
+        if component:
+            task = kernel.spawn(name, component)
+        else:
+            task = kernel.tasks.get(0)
+        kernel.run_chunk(task, np.arange(0, 2048, 4, dtype=np.int64))
+    fractions = monster.component_fractions()
+    assert sum(fractions.values()) == pytest.approx(1.0)
+    assert fractions[Component.USER] > 0
+    assert fractions[Component.KERNEL] > 0
+
+
+def test_empty_machine_fractions_are_zero(kernel):
+    fractions = Monster(kernel).component_fractions()
+    assert all(value == 0.0 for value in fractions.values())
+
+
+def test_reading_from_uninstrumented_run():
+    spec = get_workload("ousterhout")
+    booted = run_uninstrumented(
+        spec, RunOptions(total_refs=50_000, trial_seed=1)
+    )
+    reading = Monster(booted).reading(spec)
+    assert reading.workload == "ousterhout"
+    assert reading.instructions >= 50_000
+    assert reading.user_task_count == 15
+    # kernel-heavy workload reads kernel-heavy
+    assert reading.frac_kernel > reading.frac_user

@@ -1,0 +1,37 @@
+"""TrapRunReport accounting helpers."""
+
+import pytest
+
+from repro._types import Component
+from repro.core.report import TrapRunReport
+
+
+def _report(**kwargs):
+    report = TrapRunReport(
+        workload="w", configuration="c", trial_seed=0, **kwargs
+    )
+    return report
+
+
+def test_total_refs_and_ratios():
+    report = _report(refs={Component.USER: 800, Component.KERNEL: 200})
+    report.stats.count_miss(Component.USER, 80)
+    report.stats.count_miss(Component.KERNEL, 40)
+    report.estimated_misses = 120.0
+    assert report.total_refs == 1000
+    assert report.local_miss_ratio(Component.USER) == pytest.approx(0.1)
+    assert report.local_miss_ratio(Component.KERNEL) == pytest.approx(0.2)
+    assert report.overall_miss_ratio() == pytest.approx(0.12)
+
+
+def test_zero_refs_are_safe():
+    report = _report()
+    assert report.total_refs == 0
+    assert report.local_miss_ratio(Component.USER) == 0.0
+    assert report.overall_miss_ratio() == 0.0
+
+
+def test_paper_scale_extrapolation():
+    report = _report(scale_factor=1000.0)
+    report.estimated_misses = 42.0
+    assert report.misses_paper_scale() == 42_000.0

@@ -1,0 +1,89 @@
+"""Why data-cache simulation fails on the DECstation — mechanistically.
+
+Section 4.4: "Our attempts to implement data cache simulation on this
+particular machine were hindered by its no-allocate-on-write policy,
+which causes ECC traps to be cleared without invoking the Tapeworm miss
+handlers.  On machines that use an allocate-on-write policy, data cache
+simulations are possible [Reinhardt93]."
+
+These tests drive the same write-bearing reference stream through both
+machine models and show the measurement corruption appear and vanish.
+"""
+
+import numpy as np
+import pytest
+
+from repro._types import Component, PAGE_SIZE
+from repro.caches.config import CacheConfig
+from repro.core.flexibility import StructureKind
+from repro.core.tapeworm import Tapeworm, TapewormConfig
+from repro.kernel.kernel import Kernel
+from repro.machine.machine import Machine, MachineConfig
+
+
+def _system(allocate_on_write):
+    machine = Machine(
+        MachineConfig(
+            memory_bytes=8 * 1024 * 1024,
+            n_vpages=512,
+            allocate_on_write=allocate_on_write,
+        )
+    )
+    kernel = Kernel(machine=machine, alloc_policy="sequential")
+    kind = (
+        StructureKind.DATA_CACHE
+        if allocate_on_write
+        else StructureKind.INSTRUCTION_CACHE  # install must not refuse
+    )
+    tapeworm = Tapeworm(
+        kernel,
+        TapewormConfig(cache=CacheConfig(size_bytes=4096), kind=kind),
+    )
+    tapeworm.install()
+    task = kernel.spawn("job", Component.USER)
+    tapeworm.tw_attributes(task.tid, simulate=1, inherit=0)
+    return machine, kernel, tapeworm, task
+
+
+#: a load-then-store stream over distinct lines, then re-loads
+LOADS = np.arange(0, 512, 16, dtype=np.int64)
+STORES = np.arange(512, 1024, 16, dtype=np.int64)
+
+
+def test_stores_erase_traps_on_no_allocate_machine():
+    machine, kernel, tapeworm, task = _system(allocate_on_write=False)
+    vas = np.concatenate([LOADS, STORES])
+    writes = np.array([False] * len(LOADS) + [True] * len(STORES))
+    result = kernel.run_chunk(task, vas, writes=writes)
+    # loads trapped and were counted; stores erased their traps silently
+    assert tapeworm.stats.total_misses == len(LOADS)
+    assert result.silent_clears == len(STORES)
+    # the corrupted aftermath: re-loading the stored lines does not trap
+    # (their traps are gone) even though they were never simulated
+    before = tapeworm.stats.total_misses
+    kernel.run_chunk(task, STORES)
+    assert tapeworm.stats.total_misses == before
+    for addr in (int(STORES[0]), int(STORES[-1])):
+        assert not tapeworm.structure.contains(task.tid, _pa(machine, task, addr))
+
+
+def test_write_allocate_machine_counts_store_misses():
+    """The WWT situation: allocate-on-write makes stores trap like
+    loads, so data caches simulate correctly."""
+    machine, kernel, tapeworm, task = _system(allocate_on_write=True)
+    vas = np.concatenate([LOADS, STORES])
+    writes = np.array([False] * len(LOADS) + [True] * len(STORES))
+    result = kernel.run_chunk(task, vas, writes=writes)
+    assert tapeworm.stats.total_misses == len(LOADS) + len(STORES)
+    assert result.silent_clears == 0
+
+
+def test_reads_unaffected_by_write_policy():
+    machine, kernel, tapeworm, task = _system(allocate_on_write=False)
+    kernel.run_chunk(task, LOADS)  # no writes array at all
+    assert tapeworm.stats.total_misses == len(LOADS)
+
+
+def _pa(machine, task, va):
+    table = machine.mmu.table(task.tid)
+    return table.frame_of(va // PAGE_SIZE) * PAGE_SIZE + va % PAGE_SIZE

@@ -1,0 +1,107 @@
+"""Stress and failure-injection scenarios."""
+
+import numpy as np
+import pytest
+
+from repro._types import Component, Indexing, PAGE_SIZE
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import Tapeworm, TapewormConfig
+from repro.harness.runner import RunOptions, run_trap_driven
+from repro.kernel.kernel import Kernel
+from repro.machine.machine import Machine, MachineConfig
+from repro.workloads.registry import get_workload
+
+
+class TestPagingPressure:
+    """tw_remove_page under real memory pressure: the VM pages out
+    mid-simulation and Tapeworm must keep its state consistent."""
+
+    def _tight_system(self, n_frames=24):
+        machine = Machine(
+            MachineConfig(memory_bytes=n_frames * PAGE_SIZE, n_vpages=256)
+        )
+        kernel = Kernel(
+            machine=machine, alloc_policy="sequential", reserved_frames=2
+        )
+        tapeworm = Tapeworm(
+            kernel, TapewormConfig(cache=CacheConfig(size_bytes=2048))
+        )
+        tapeworm.install()
+        task = kernel.spawn("hog", Component.USER)
+        tapeworm.tw_attributes(task.tid, simulate=1, inherit=0)
+        return machine, kernel, tapeworm, task
+
+    def test_page_out_keeps_invariant(self):
+        machine, kernel, tapeworm, task = self._tight_system()
+        # touch far more pages than physical memory holds
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            vpns = rng.integers(0, 64, size=32)
+            vas = (vpns * PAGE_SIZE + rng.integers(0, 1024, size=32) * 4)
+            kernel.run_chunk(task, np.sort(vas.astype(np.int64)))
+        assert kernel.vm.evictions > 0
+        # every registered location is trapped xor cached
+        table = machine.mmu.table(task.tid)
+        cache = tapeworm.structure
+        for vpn in table.mapped_vpns():
+            pa_page = table.frame_of(int(vpn)) * PAGE_SIZE
+            for offset in range(0, PAGE_SIZE, 16):
+                trapped = machine.ecc.is_trapped(pa_page + offset)
+                cached = cache.contains(task.tid, pa_page + offset)
+                assert trapped != cached
+        # and nothing evicted remains registered or cached
+        assert len(tapeworm.registry) == len(table.mapped_vpns())
+
+    def test_refault_after_page_out_counts_again(self):
+        machine, kernel, tapeworm, task = self._tight_system(n_frames=10)
+        kernel.run_chunk(task, np.array([0], dtype=np.int64))
+        first = tapeworm.stats.total_misses
+        # push page 0 out by touching many others
+        for vpn in range(1, 12):
+            kernel.run_chunk(
+                task, np.array([vpn * PAGE_SIZE], dtype=np.int64)
+            )
+        table = machine.mmu.table(task.tid)
+        assert not table.is_mapped(0)
+        kernel.run_chunk(task, np.array([0], dtype=np.int64))
+        assert tapeworm.stats.total_misses > first
+
+
+class TestLongRunConsistency:
+    @pytest.mark.slow
+    def test_multi_task_workload_long_run_invariants(self):
+        """A fork-heavy workload over many phases: registry and cache
+        stay mutually consistent to the end."""
+        report = run_trap_driven(
+            get_workload("kenbus"),
+            TapewormConfig(
+                cache=CacheConfig(
+                    size_bytes=8192, indexing=Indexing.VIRTUAL
+                )
+            ),
+            RunOptions(total_refs=200_000, trial_seed=9),
+        )
+        # all 238 tasks came and went; counts are sane
+        assert report.stats.total_misses > 0
+        assert report.traps == report.stats.total_misses
+        assert report.overhead_cycles == report.traps * 246
+
+
+class TestDeterminismUnderChunking:
+    def test_chunk_size_never_changes_counts(self):
+        """The in-order rescan machinery makes chunking invisible."""
+        spec = get_workload("espresso")
+        counts = set()
+        for chunk_refs in (97, 1024, 4096):
+            report = run_trap_driven(
+                spec,
+                TapewormConfig(cache=CacheConfig(size_bytes=2048)),
+                RunOptions(
+                    total_refs=50_000,
+                    trial_seed=3,
+                    chunk_refs=chunk_refs,
+                    tick_cycles=10**12,  # ticks would shift with chunking
+                ),
+            )
+            counts.add(report.stats.total_misses)
+        assert len(counts) == 1

@@ -1,0 +1,83 @@
+"""The paper's variance structure (Tables 8, 9, 10).
+
+* Virtually-indexed, unsampled, user-only simulations are bit-identical
+  from run to run (Tables 8/9's zero-variance rows).
+* Physically-indexed simulations vary with the trial seed through page
+  allocation (Table 9).
+* Set sampling introduces variance of its own (Table 8).
+"""
+
+import pytest
+
+from repro._types import Component, Indexing
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import TapewormConfig
+from repro.harness.runner import RunOptions, run_trap_driven
+from repro.workloads.registry import get_workload
+
+USER_ONLY = frozenset({Component.USER})
+
+
+def _misses(workload, cache, seed, sampling=1, simulate=USER_ONLY, refs=60_000):
+    spec = get_workload(workload)
+    report = run_trap_driven(
+        spec,
+        TapewormConfig(cache=cache, sampling=sampling, sampling_seed=seed),
+        RunOptions(total_refs=refs, trial_seed=seed, simulate=simulate),
+    )
+    return report.stats.total_misses
+
+
+def test_virtual_unsampled_user_only_has_zero_variance():
+    """Table 9's virtually-indexed column: s = 0 at every size."""
+    cache = CacheConfig(size_bytes=16 * 1024, indexing=Indexing.VIRTUAL)
+    counts = {_misses("mpeg_play", cache, seed) for seed in (1, 2, 3)}
+    assert len(counts) == 1
+
+
+def test_physical_indexing_varies_with_page_allocation():
+    """Table 9's physically-indexed column: nonzero s above the page
+    size."""
+    cache = CacheConfig(size_bytes=16 * 1024)
+    counts = {
+        _misses("mpeg_play", cache, seed, refs=300_000) for seed in (3, 4, 5)
+    }
+    assert len(counts) > 1
+
+
+def test_4k_physical_cache_does_not_vary():
+    """Table 9's boundary observation: 'any page allocation will appear
+    the same because all pages overlap in caches that are 4 K-bytes or
+    smaller.'"""
+    cache = CacheConfig(size_bytes=4096)
+    counts = {_misses("mpeg_play", cache, seed) for seed in (1, 2, 3)}
+    assert len(counts) == 1
+
+
+def test_sampling_introduces_variance_in_virtual_cache():
+    """Table 8: with page-allocation effects removed, sampling is the
+    remaining variance source."""
+    cache = CacheConfig(size_bytes=16 * 1024, indexing=Indexing.VIRTUAL)
+    estimates = set()
+    for seed in (1, 2, 3):
+        spec = get_workload("espresso")
+        report = run_trap_driven(
+            spec,
+            TapewormConfig(cache=cache, sampling=8, sampling_seed=seed),
+            RunOptions(total_refs=60_000, trial_seed=seed, simulate=USER_ONLY),
+        )
+        estimates.add(report.estimated_misses)
+    assert len(estimates) > 1
+
+
+def test_all_activity_virtual_unsampled_nearly_deterministic():
+    """Table 10: removing sampling and page allocation leaves only small
+    residual OS jitter."""
+    cache = CacheConfig(size_bytes=16 * 1024, indexing=Indexing.VIRTUAL)
+    counts = [
+        _misses("espresso", cache, seed, simulate=frozenset(Component))
+        for seed in (1, 2, 3)
+    ]
+    mean = sum(counts) / len(counts)
+    spread = (max(counts) - min(counts)) / mean
+    assert spread < 0.10  # small, but system jitter may leave a residue

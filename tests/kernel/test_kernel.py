@@ -1,0 +1,86 @@
+"""The kernel facade: boot, forks, exits, execution, clock ticks."""
+
+import numpy as np
+import pytest
+
+from repro._types import KERNEL_TID, Component
+from repro.errors import KernelError
+from repro.kernel.kernel import (
+    INTERRUPT_BURST_BYTES,
+    INTERRUPT_BURST_PASSES,
+    INTERRUPT_MASKED_BYTES,
+    Kernel,
+)
+from repro.kernel.vm import AddressSpaceLayout, Region
+
+
+def test_boot_creates_system_tasks(kernel):
+    assert kernel.tasks.get(KERNEL_TID).name == "mach_kernel"
+    assert kernel.bsd_server.component is Component.BSD_SERVER
+    assert kernel.x_server.component is Component.X_SERVER
+    assert kernel.machine.mmu.has_table(KERNEL_TID)
+
+
+def test_spawn_and_fork_inheritance(kernel):
+    shell = kernel.spawn("shell", Component.USER)
+    shell.inherit = 1
+    child = kernel.fork(shell.tid, "job")
+    assert child.simulate == 1
+    assert child.component is Component.USER
+    assert kernel.machine.mmu.has_table(child.tid)
+
+
+def test_exit_task_cleans_up(kernel):
+    task = kernel.spawn("t", Component.USER)
+    kernel.run_chunk(task, np.array([0, 4096], dtype=np.int64))
+    kernel.exit_task(task.tid)
+    assert not kernel.machine.mmu.has_table(task.tid)
+    with pytest.raises(KernelError):
+        kernel.exit_task(KERNEL_TID)
+
+
+def test_run_chunk_faults_and_executes(kernel):
+    task = kernel.spawn("t", Component.USER)
+    result = kernel.run_chunk(task, np.arange(0, 8192, 4, dtype=np.int64))
+    assert result.n_refs == 2048
+    assert result.page_faults == 2
+    assert kernel.machine.cpu.refs_by_component[Component.USER] == 2048
+
+
+def test_clock_tick_runs_interrupt_burst(kernel):
+    before = kernel.machine.cpu.refs_by_component[Component.KERNEL]
+    result = kernel._clock_tick(2)
+    after = kernel.machine.cpu.refs_by_component[Component.KERNEL]
+    expected_per_tick = (
+        INTERRUPT_MASKED_BYTES // 4
+        + (INTERRUPT_BURST_BYTES - INTERRUPT_MASKED_BYTES)
+        // 4
+        * INTERRUPT_BURST_PASSES
+    )
+    assert after - before == 2 * expected_per_tick
+    assert not kernel.machine.interrupts_masked  # restored
+
+
+def test_ticks_fire_during_long_runs(kernel):
+    kernel.machine.clock.tick_cycles = 5000
+    kernel.machine.clock._next_tick = 5000
+    task = kernel.spawn("t", Component.USER)
+    chunk = np.tile(np.arange(0, 4096, 4, dtype=np.int64), 4)
+    total_ticks = 0
+    for _ in range(3):
+        total_ticks += kernel.run_chunk(task, chunk).ticks
+    assert total_ticks >= 2
+    assert kernel.tick_results.n_refs > 0
+
+
+def test_shared_layout_fork_exec(kernel):
+    layout = AddressSpaceLayout(
+        regions=(Region(name="text", start_vpn=0, n_pages=2, share_key="sh"),)
+    )
+    a = kernel.spawn("a", Component.USER, layout=layout)
+    b = kernel.spawn("b", Component.USER, layout=layout)
+    kernel.run_chunk(a, np.array([0], dtype=np.int64))
+    kernel.run_chunk(b, np.array([0], dtype=np.int64))
+    fa = kernel.machine.mmu.table(a.tid).frame_of(0)
+    fb = kernel.machine.mmu.table(b.tid).frame_of(0)
+    assert fa == fb

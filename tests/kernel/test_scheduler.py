@@ -1,0 +1,115 @@
+"""The quantum scheduler and its variance structure."""
+
+import numpy as np
+import pytest
+
+from repro._types import Component
+from repro.errors import ConfigError
+from repro.kernel.scheduler import Demand, Scheduler
+
+
+def _demands():
+    return [
+        Demand("user_task", Component.USER, 0.5),
+        Demand("mach_kernel", Component.KERNEL, 0.3),
+        Demand("bsd_server", Component.BSD_SERVER, 0.2),
+    ]
+
+
+def _user_total(slices):
+    return sum(s.n_refs for s in slices if s.component is Component.USER)
+
+
+def test_user_share_is_exact():
+    scheduler = Scheduler(quantum_refs=1000, system_jitter=0.25)
+    slices = list(scheduler.interleave(_demands(), 100_000))
+    assert _user_total(slices) == 50_000
+
+
+def test_user_slices_identical_across_trials():
+    """The zero-variance precondition of Tables 8-10: user scheduling
+    must not depend on the trial seed."""
+    runs = []
+    for seed in (1, 2):
+        scheduler = Scheduler(
+            quantum_refs=1000,
+            system_jitter=0.25,
+            trial_rng=np.random.default_rng(seed),
+        )
+        slices = list(scheduler.interleave(_demands(), 50_000))
+        runs.append(
+            [(s.task_name, s.n_refs) for s in slices if s.component is Component.USER]
+        )
+    assert runs[0] == runs[1]
+
+
+def test_system_slices_vary_across_trials():
+    runs = []
+    for seed in (1, 2):
+        scheduler = Scheduler(
+            quantum_refs=1000,
+            system_jitter=0.25,
+            trial_rng=np.random.default_rng(seed),
+        )
+        slices = list(scheduler.interleave(_demands(), 50_000))
+        runs.append(
+            [s.n_refs for s in slices if s.component is Component.KERNEL]
+        )
+    assert runs[0] != runs[1]
+
+
+def test_no_jitter_is_fully_deterministic():
+    runs = []
+    for seed in (1, 2):
+        scheduler = Scheduler(
+            quantum_refs=1000,
+            system_jitter=0.0,
+            trial_rng=np.random.default_rng(seed),
+        )
+        slices = list(scheduler.interleave(_demands(), 30_000))
+        runs.append([(s.task_name, s.n_refs) for s in slices])
+    assert runs[0] == runs[1]
+
+
+def test_weights_respected_approximately():
+    scheduler = Scheduler(quantum_refs=1000, system_jitter=0.1)
+    slices = list(scheduler.interleave(_demands(), 200_000))
+    kernel = sum(s.n_refs for s in slices if s.component is Component.KERNEL)
+    total = sum(s.n_refs for s in slices)
+    assert kernel / total == pytest.approx(0.3, rel=0.15)
+
+
+def test_round_robin_interleaving():
+    scheduler = Scheduler(quantum_refs=300, system_jitter=0.0)
+    slices = list(scheduler.interleave(_demands(), 3000))
+    names = [s.task_name for s in slices[:6]]
+    assert names == [
+        "user_task", "mach_kernel", "bsd_server",
+        "user_task", "mach_kernel", "bsd_server",
+    ]
+
+
+def test_system_only_demands_driven_by_total():
+    scheduler = Scheduler(quantum_refs=100, system_jitter=0.0)
+    demands = [Demand("mach_kernel", Component.KERNEL, 1.0)]
+    slices = list(scheduler.interleave(demands, 1000))
+    assert sum(s.n_refs for s in slices) == 1000
+
+
+def test_bad_arguments_rejected():
+    with pytest.raises(ConfigError):
+        Scheduler(quantum_refs=0)
+    with pytest.raises(ConfigError):
+        Scheduler(system_jitter=1.0)
+    scheduler = Scheduler()
+    with pytest.raises(ConfigError):
+        list(scheduler.interleave(_demands(), -1))
+    with pytest.raises(ConfigError):
+        list(scheduler.interleave([Demand("x", Component.USER, 0.0)], 100))
+    with pytest.raises(ConfigError):
+        Demand("x", Component.USER, -1.0)
+
+
+def test_zero_total_yields_nothing():
+    scheduler = Scheduler()
+    assert list(scheduler.interleave(_demands(), 0)) == []

@@ -1,0 +1,38 @@
+"""Boot-time address-space layouts for the system tasks."""
+
+from repro.kernel.servers import (
+    bsd_server_layout,
+    kernel_layout,
+    x_server_layout,
+)
+
+
+def test_text_segments_are_shared():
+    """Server and kernel text is machine-wide shared: a rebooted
+    simulation of the same system reuses the same frames."""
+    assert bsd_server_layout().region_named("text").share_key == (
+        "bsd_server_text"
+    )
+    assert x_server_layout().region_named("text").share_key == (
+        "x_server_text"
+    )
+    assert kernel_layout().region_named("text").share_key == "kernel_text"
+
+
+def test_data_segments_are_private():
+    for layout in (bsd_server_layout(), x_server_layout(), kernel_layout()):
+        assert layout.region_named("data").share_key is None
+
+
+def test_kernel_interrupt_region_adjoins_text():
+    layout = kernel_layout()
+    text = layout.region_named("text")
+    interrupt = layout.region_named("interrupt")
+    assert interrupt.start_vpn == text.end_vpn
+    assert interrupt.n_pages == 1
+
+
+def test_server_text_sizes_match_documented_footprints():
+    assert bsd_server_layout().region_named("text").size_bytes == 384 * 1024
+    assert x_server_layout().region_named("text").size_bytes == 256 * 1024
+    assert kernel_layout().region_named("text").size_bytes == 256 * 1024

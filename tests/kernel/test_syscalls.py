@@ -1,0 +1,56 @@
+"""The user-level syscall boundary (Table 11's control interface)."""
+
+import numpy as np
+import pytest
+
+from repro._types import Component
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import Tapeworm, TapewormConfig
+from repro.errors import TapewormError
+from repro.kernel.syscalls import SyscallInterface
+
+
+@pytest.fixture
+def system(kernel):
+    tapeworm = Tapeworm(
+        kernel, TapewormConfig(cache=CacheConfig(size_bytes=1024))
+    )
+    tapeworm.install()
+    return kernel, SyscallInterface(kernel)
+
+
+def test_tw_attributes_reaches_tapeworm(system):
+    kernel, syscalls = system
+    shell = syscalls.spawn_shell()
+    syscalls.tw_attributes(shell.tid, simulate=0, inherit=1)
+    child = syscalls.fork(shell.tid, "job")
+    assert child.simulate == 1
+
+
+def test_stats_roundtrip(system):
+    kernel, syscalls = system
+    shell = syscalls.spawn_shell()
+    syscalls.tw_attributes(shell.tid, simulate=1, inherit=0)
+    kernel.run_chunk(shell, np.arange(0, 256, 4, dtype=np.int64))
+    stats = syscalls.tw_read_stats()
+    assert stats.total_misses > 0
+    syscalls.tw_reset_stats()
+    assert syscalls.tw_read_stats().total_misses == 0
+    # the earlier snapshot was a copy, unaffected by the reset
+    assert stats.total_misses > 0
+
+
+def test_exit_through_syscalls(system):
+    kernel, syscalls = system
+    shell = syscalls.spawn_shell()
+    task = syscalls.fork(shell.tid, "short")
+    syscalls.exit(task.tid)
+    assert not kernel.tasks.has_live("short")
+
+
+def test_calls_require_installed_tapeworm(kernel):
+    syscalls = SyscallInterface(kernel)
+    with pytest.raises(TapewormError):
+        syscalls.tw_attributes(0, 1, 0)
+    with pytest.raises(TapewormError):
+        syscalls.tw_read_stats()

@@ -1,0 +1,93 @@
+"""Tasks and the Tapeworm attribute inheritance rule."""
+
+import pytest
+
+from repro._types import Component
+from repro.errors import KernelError, NoSuchTask
+from repro.kernel.task import TaskState, TaskTable
+
+
+@pytest.fixture
+def table():
+    table = TaskTable()
+    table.create("mach_kernel", Component.KERNEL)
+    return table
+
+
+def test_kernel_gets_tid_zero(table):
+    assert table.get(0).name == "mach_kernel"
+    assert table.get(0).is_kernel
+
+
+def test_fork_inheritance_rule(table):
+    """child.simulate <- parent.inherit; child.inherit <- parent.inherit"""
+    shell = table.create("shell", Component.USER)
+    shell.simulate = 0
+    shell.inherit = 1
+    child = table.create("workload", Component.USER, parent_tid=shell.tid)
+    assert child.simulate == 1
+    assert child.inherit == 1
+    grandchild = table.create("sub", Component.USER, parent_tid=child.tid)
+    assert grandchild.simulate == 1  # propagates down the whole tree
+
+
+def test_simulate_1_inherit_0_covers_only_self(table):
+    task = table.create("kernel_pages", Component.USER)
+    task.simulate = 1
+    task.inherit = 0
+    child = table.create("child", Component.USER, parent_tid=task.tid)
+    assert child.simulate == 0
+    assert child.inherit == 0
+
+
+def test_children_recorded(table):
+    shell = table.create("shell", Component.USER)
+    a = table.create("a", Component.USER, parent_tid=shell.tid)
+    b = table.create("b", Component.USER, parent_tid=a.tid)
+    assert shell.children == [a.tid]
+    descendants = {t.tid for t in table.descendants(shell.tid)}
+    assert descendants == {a.tid, b.tid}
+
+
+def test_exit_transitions(table):
+    task = table.create("t", Component.USER)
+    table.exit(task.tid)
+    assert task.state is TaskState.EXITED
+    with pytest.raises(KernelError):
+        table.exit(task.tid)
+
+
+def test_kernel_cannot_exit(table):
+    with pytest.raises(KernelError):
+        table.exit(0)
+
+
+def test_by_name_skips_exited(table):
+    t1 = table.create("job", Component.USER)
+    table.exit(t1.tid)
+    t2 = table.create("job", Component.USER)
+    assert table.by_name("job") is t2
+    assert table.has_live("job")
+
+
+def test_missing_task_raises(table):
+    with pytest.raises(NoSuchTask):
+        table.get(999)
+    with pytest.raises(NoSuchTask):
+        table.by_name("ghost")
+
+
+def test_user_task_count_excludes_shell_and_system(table):
+    table.create("shell", Component.USER)
+    table.create("bsd_server", Component.BSD_SERVER)
+    table.create("w1", Component.USER)
+    table.create("w2", Component.USER)
+    assert table.user_task_count() == 2
+
+
+def test_live_tasks(table):
+    t = table.create("x", Component.USER)
+    assert t in table.live_tasks()
+    table.exit(t.tid)
+    assert t not in table.live_tasks()
+    assert t in table.all_tasks()

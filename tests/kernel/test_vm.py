@@ -1,0 +1,165 @@
+"""The VM system: allocation policies, sharing, the Tapeworm protocol."""
+
+import pytest
+
+from repro._types import PAGE_SIZE
+from repro.errors import ConfigError
+from repro.kernel.vm import AddressSpaceLayout, Region, VMSystem
+from repro.machine.machine import Machine, MachineConfig
+
+
+def _machine():
+    return Machine(MachineConfig(memory_bytes=2 * 1024 * 1024, n_vpages=512))
+
+
+def _vm(policy="sequential", seed=0, reserved=4):
+    return VMSystem(
+        _machine(), alloc_policy=policy, trial_seed=seed, reserved_frames=reserved
+    )
+
+
+SHARED = AddressSpaceLayout(
+    regions=(Region(name="text", start_vpn=0, n_pages=4, share_key="bin"),)
+)
+
+
+class TestRegions:
+    def test_overlapping_regions_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressSpaceLayout(
+                regions=(
+                    Region(name="a", start_vpn=0, n_pages=4),
+                    Region(name="b", start_vpn=3, n_pages=2),
+                )
+            )
+
+    def test_region_lookup(self):
+        layout = AddressSpaceLayout(
+            regions=(Region(name="text", start_vpn=2, n_pages=2),)
+        )
+        assert layout.region_of(2).name == "text"
+        assert layout.region_of(4) is None
+        assert layout.region_named("text").n_pages == 2
+        with pytest.raises(KeyError):
+            layout.region_named("data")
+
+    def test_bad_region_rejected(self):
+        with pytest.raises(ConfigError):
+            Region(name="x", start_vpn=-1, n_pages=1)
+        with pytest.raises(ConfigError):
+            Region(name="x", start_vpn=0, n_pages=0)
+
+
+class TestAllocation:
+    def test_sequential_policy_orders_frames(self):
+        vm = _vm("sequential")
+        vm.attach_task(1, AddressSpaceLayout())
+        frames = [vm.fault(1, vpn) for vpn in range(5)]
+        assert frames == [4, 5, 6, 7, 8]  # after 4 reserved frames
+
+    def test_random_policy_depends_on_trial_seed(self):
+        orders = []
+        for seed in (1, 2):
+            vm = _vm("random", seed=seed)
+            vm.attach_task(1, AddressSpaceLayout())
+            orders.append([vm.fault(1, vpn) for vpn in range(8)])
+        assert orders[0] != orders[1]
+
+    def test_random_policy_reproducible_per_seed(self):
+        frames = []
+        for _ in range(2):
+            vm = _vm("random", seed=42)
+            vm.attach_task(1, AddressSpaceLayout())
+            frames.append([vm.fault(1, vpn) for vpn in range(8)])
+        assert frames[0] == frames[1]
+
+    def test_reserved_frames_withheld(self):
+        """Tapeworm's 64-page boot allocation removes frames from the
+        pool (a bias source the paper calls out)."""
+        vm = _vm("sequential", reserved=10)
+        vm.attach_task(1, AddressSpaceLayout())
+        assert vm.fault(1, 0) == 10
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            _vm("buddy")
+
+    def test_cannot_reserve_everything(self):
+        machine = _machine()
+        with pytest.raises(ConfigError):
+            VMSystem(machine, reserved_frames=machine.memory.n_frames)
+
+
+class TestSharing:
+    def test_shared_pages_map_to_same_frame(self):
+        vm = _vm()
+        vm.attach_task(1, SHARED)
+        vm.attach_task(2, SHARED)
+        f1 = vm.fault(1, 0)
+        f2 = vm.fault(2, 0)
+        assert f1 == f2
+        assert vm.share_refcount("bin", 0) == 2
+
+    def test_frame_freed_only_at_last_unmap(self):
+        vm = _vm()
+        vm.attach_task(1, SHARED)
+        vm.attach_task(2, SHARED)
+        frame = vm.fault(1, 0)
+        vm.fault(2, 0)
+        free_before = vm.free_frames()
+        vm.unmap_page(1, 0)
+        assert vm.free_frames() == free_before
+        vm.unmap_page(2, 0)
+        assert vm.free_frames() == free_before + 1
+        assert vm.share_refcount("bin", 0) == 0
+
+    def test_mappings_of_frame(self):
+        vm = _vm()
+        vm.attach_task(1, SHARED)
+        vm.attach_task(2, SHARED)
+        frame = vm.fault(1, 0)
+        vm.fault(2, 0)
+        assert set(vm.mappings_of_frame(frame)) == {(1, 0), (2, 0)}
+
+
+class TestHooks:
+    def test_register_and_remove_hooks_fire(self):
+        vm = _vm()
+        events = []
+        vm.on_register_page = lambda tid, pa, va: events.append(("reg", tid, pa, va))
+        vm.on_remove_page = lambda tid, pa, va: events.append(("rem", tid, pa, va))
+        vm.attach_task(1, AddressSpaceLayout())
+        frame = vm.fault(1, 3)
+        vm.unmap_page(1, 3)
+        assert events == [
+            ("reg", 1, frame * PAGE_SIZE, 3 * PAGE_SIZE),
+            ("rem", 1, frame * PAGE_SIZE, 3 * PAGE_SIZE),
+        ]
+
+    def test_detach_task_removes_every_page(self):
+        vm = _vm()
+        removed = []
+        vm.on_remove_page = lambda tid, pa, va: removed.append(va // PAGE_SIZE)
+        vm.attach_task(1, AddressSpaceLayout())
+        for vpn in (1, 5, 9):
+            vm.fault(1, vpn)
+        vm.detach_task(1)
+        assert sorted(removed) == [1, 5, 9]
+        assert not vm.machine.mmu.has_table(1)
+
+
+class TestPaging:
+    def test_eviction_when_pool_empty(self):
+        machine = Machine(
+            MachineConfig(memory_bytes=8 * PAGE_SIZE, n_vpages=64)
+        )
+        vm = VMSystem(machine, alloc_policy="sequential", reserved_frames=2)
+        vm.attach_task(1, AddressSpaceLayout())
+        for vpn in range(6):  # exactly fills the pool
+            vm.fault(1, vpn)
+        assert vm.free_frames() == 0
+        vm.fault(1, 50)  # forces a page-out
+        assert vm.evictions == 1
+        table = machine.mmu.table(1)
+        assert not table.is_mapped(0)  # FIFO victim
+        assert table.is_mapped(50)

@@ -1,0 +1,178 @@
+"""The chunk execution engine: trap ordering, rescans, accounting."""
+
+import numpy as np
+import pytest
+
+from repro._types import Component, TrapMechanism
+from repro.machine.cpu import PAGE_FAULT_CYCLES, ExecContext
+from repro.machine.machine import Machine, MachineConfig
+from repro.machine.traps import TrapKind
+
+
+@pytest.fixture
+def machine():
+    m = Machine(MachineConfig(memory_bytes=4 * 1024 * 1024, n_vpages=256))
+    # identity-ish fault handler: map vpn -> frame vpn+8
+    m.install_page_fault_handler(
+        lambda ctx, vpn: m.mmu.table(ctx.tid).map(vpn, vpn + 8)
+    )
+    return m
+
+
+@pytest.fixture
+def ctx(machine):
+    machine.mmu.create_table(1)
+    return ExecContext(tid=1, component=Component.USER, cpi=2.0)
+
+
+def _run(machine, ctx, vas):
+    return machine.cpu.run_chunk(ctx, np.asarray(vas, dtype=np.int64))
+
+
+def test_faults_map_pages_in_first_touch_order(machine, ctx):
+    order = []
+    machine.page_fault_handler = None
+    machine.install_page_fault_handler(
+        lambda c, vpn: (
+            order.append(vpn),
+            machine.mmu.table(c.tid).map(vpn, vpn + 8),
+        )[-1]
+    )
+    result = _run(machine, ctx, [3 * 4096, 4, 3 * 4096 + 8, 2 * 4096])
+    assert order == [3, 0, 2]
+    assert result.page_faults == 3
+
+
+def test_base_cycles_include_cpi_and_faults(machine, ctx):
+    result = _run(machine, ctx, [0, 4, 8, 12])
+    assert result.page_faults == 1
+    assert result.base_cycles == PAGE_FAULT_CYCLES + int(round(4 * 2.0))
+
+
+def test_ecc_trap_delivered_once_per_reference(machine, ctx):
+    handled = []
+
+    def handler(frame):
+        handled.append(frame.pa)
+        machine.ecc.clear_trap(frame.pa & ~15, 16)
+        return 100
+
+    machine.dispatcher.install(TrapKind.ECC_ERROR, handler)
+    machine.enable_mechanism(TrapMechanism.ECC)
+    _run(machine, ctx, [0])  # fault the page in
+    pa_base = machine.mmu.table(1).frame_of(0) * 4096
+    machine.ecc.set_trap(pa_base, 16)
+    result = _run(machine, ctx, [0, 4, 8, 16])
+    # the first trapped reference invokes the handler, which clears the
+    # trap; the rest of the line's references run free
+    assert handled == [pa_base]
+    assert result.traps == 1
+    assert result.sim_cycles == 100
+
+
+def test_handler_set_trap_later_in_chunk_is_delivered(machine, ctx):
+    """The displaced-line rescan: a trap set by the handler on an address
+    appearing later in the same chunk must fire there too."""
+    _run(machine, ctx, [0, 64])
+    pa = machine.mmu.table(1).frame_of(0) * 4096
+    handled = []
+
+    def handler(frame):
+        handled.append(frame.pa)
+        machine.ecc.clear_trap(frame.pa & ~15, 16)
+        if frame.pa == pa:  # displace line at +64: set its trap
+            machine.ecc.set_trap(pa + 64, 16)
+        return 10
+
+    machine.dispatcher.install(TrapKind.ECC_ERROR, handler)
+    machine.enable_mechanism(TrapMechanism.ECC)
+    machine.ecc.set_trap(pa, 16)
+    result = _run(machine, ctx, [0, 32, 64, 68])
+    assert handled == [pa, pa + 64]
+    assert result.traps == 2
+
+
+def test_masked_interrupts_suppress_ecc_traps(machine, ctx):
+    machine.dispatcher.install(TrapKind.ECC_ERROR, lambda f: 999)
+    machine.enable_mechanism(TrapMechanism.ECC)
+    _run(machine, ctx, [0])
+    pa = machine.mmu.table(1).frame_of(0) * 4096
+    machine.ecc.set_trap(pa, 16)
+    machine.mask_interrupts()
+    result = _run(machine, ctx, [0, 4])
+    assert result.traps == 0
+    assert result.masked_traps == 2  # every suppressed access counted
+    assert result.sim_cycles == 0
+    machine.unmask_interrupts()
+    result = _run(machine, ctx, [0])
+    assert result.traps == 1
+
+
+def test_page_valid_trap_delivery(machine, ctx):
+    handled = []
+
+    def handler(frame):
+        handled.append(frame.va)
+        machine.mmu.table(frame.tid).clear_page_trap(frame.va >> 12)
+        return 20
+
+    machine.dispatcher.install(TrapKind.PAGE_INVALID, handler)
+    machine.enable_mechanism(TrapMechanism.PAGE_VALID)
+    _run(machine, ctx, [0, 4096])
+    machine.mmu.table(1).set_page_trap(1)
+    result = _run(machine, ctx, [0, 4096, 4100])
+    assert handled == [4096]
+    assert result.traps == 1
+
+
+def test_page_trap_priority_over_ecc(machine, ctx):
+    """Translation happens before the memory access, so an invalid page
+    traps first; after its handler validates the page, the ECC trap on
+    the same word still fires."""
+    sequence = []
+
+    def page_handler(frame):
+        sequence.append("page")
+        machine.mmu.table(frame.tid).clear_page_trap(frame.va >> 12)
+        return 1
+
+    def ecc_handler(frame):
+        sequence.append("ecc")
+        machine.ecc.clear_trap(frame.pa & ~15, 16)
+        return 1
+
+    machine.dispatcher.install(TrapKind.PAGE_INVALID, page_handler)
+    machine.dispatcher.install(TrapKind.ECC_ERROR, ecc_handler)
+    machine.enable_mechanism(TrapMechanism.PAGE_VALID)
+    machine.enable_mechanism(TrapMechanism.ECC)
+    _run(machine, ctx, [0])
+    pa = machine.mmu.table(1).frame_of(0) * 4096
+    machine.mmu.table(1).set_page_trap(0)
+    machine.ecc.set_trap(pa, 16)
+    result = _run(machine, ctx, [0])
+    assert sequence == ["page", "ecc"]
+    assert result.traps == 2
+
+
+def test_clock_tick_handler_invoked(machine, ctx):
+    ticks_seen = []
+    machine.clock.tick_cycles = 100
+    machine.clock._next_tick = 100
+    machine.install_tick_handler(lambda n: ticks_seen.append(n))
+    result = _run(machine, ctx, [4 * i for i in range(100)])  # 200 cycles
+    assert result.ticks >= 1
+    assert sum(ticks_seen) == result.ticks
+
+
+def test_component_counters_accumulate(machine, ctx):
+    _run(machine, ctx, [0, 4, 8])
+    assert machine.cpu.refs_by_component[Component.USER] == 3
+    assert machine.cpu.cycles_by_component[Component.USER] > 0
+    machine.cpu.reset_counters()
+    assert machine.cpu.refs_by_component[Component.USER] == 0
+
+
+def test_empty_chunk_is_noop(machine, ctx):
+    result = _run(machine, ctx, [])
+    assert result.n_refs == 0
+    assert result.base_cycles == 0

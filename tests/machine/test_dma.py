@@ -1,0 +1,84 @@
+"""The DMA trap-erasure hazard and the shield protocol."""
+
+import numpy as np
+import pytest
+
+from repro._types import Component, PAGE_SIZE
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import Tapeworm, TapewormConfig
+from repro.errors import MachineError
+from repro.kernel.kernel import Kernel
+from repro.machine.dma import DMAEngine
+from repro.machine.machine import Machine, MachineConfig
+
+SEQ = np.arange(0, 2048, 4, dtype=np.int64)
+
+
+def _setup():
+    machine = Machine(MachineConfig(memory_bytes=8 * 1024 * 1024, n_vpages=512))
+    kernel = Kernel(machine=machine, alloc_policy="sequential")
+    tapeworm = Tapeworm(
+        kernel, TapewormConfig(cache=CacheConfig(size_bytes=1024))
+    )
+    tapeworm.install()
+    task = kernel.spawn("job", Component.USER)
+    tapeworm.tw_attributes(task.tid, simulate=1, inherit=0)
+    return machine, kernel, tapeworm, task
+
+
+def test_dma_write_erases_traps_silently():
+    """The naive port: after DMA, references that *should* miss do not
+    trap — the measurement silently loses misses."""
+    machine, kernel, tapeworm, task = _setup()
+    kernel.run_chunk(task, SEQ[:16])  # register page, cache 1 line region
+    table = machine.mmu.table(task.tid)
+    pa_page = table.frame_of(0) * PAGE_SIZE
+    assert machine.ecc.is_trapped(pa_page + 0x800)  # untouched area trapped
+
+    dma = DMAEngine(machine)
+    dma.write(pa_page, PAGE_SIZE)  # device fills the whole page
+    assert not machine.ecc.is_trapped(pa_page + 0x800)
+
+    before = tapeworm.stats.total_misses
+    kernel.run_chunk(task, np.array([0x800, 0xC00], dtype=np.int64))
+    assert tapeworm.stats.total_misses == before  # misses lost!
+
+
+def test_shield_hook_restores_traps_and_flushes():
+    """The cooperating driver: traps re-armed, buffer flushed from the
+    simulated cache, misses counted again."""
+    machine, kernel, tapeworm, task = _setup()
+    kernel.run_chunk(task, SEQ[:256])  # 1024 bytes cached
+    table = machine.mmu.table(task.tid)
+    pa_page = table.frame_of(0) * PAGE_SIZE
+
+    dma = DMAEngine(machine)
+    dma.install_hook(tapeworm.tw_dma_transfer)
+    occupancy_before = tapeworm.structure.occupancy()
+    assert occupancy_before > 0
+    dma.write(pa_page, PAGE_SIZE)
+
+    # buffer flushed from the simulated cache, traps re-armed everywhere
+    assert tapeworm.structure.occupancy() == 0
+    assert machine.ecc.is_trapped(pa_page)
+    before = tapeworm.stats.total_misses
+    kernel.run_chunk(task, SEQ[:4])
+    assert tapeworm.stats.total_misses == before + 1  # counted again
+
+
+def test_dma_alignment_and_counters():
+    machine = Machine(MachineConfig(memory_bytes=1024 * 1024, n_vpages=64))
+    dma = DMAEngine(machine)
+    machine.ecc.set_trap(0x1000, 32)
+    dma.write(0x1008, 8)  # unaligned interior write
+    assert not machine.ecc.is_trapped(0x1008)
+    assert dma.transfers == 1
+    assert dma.bytes_written == 8
+
+
+def test_double_hook_rejected():
+    machine = Machine(MachineConfig(memory_bytes=1024 * 1024, n_vpages=64))
+    dma = DMAEngine(machine)
+    dma.install_hook(lambda pa, size: None)
+    with pytest.raises(MachineError):
+        dma.install_hook(lambda pa, size: None)

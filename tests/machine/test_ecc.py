@@ -1,0 +1,163 @@
+"""SEC-DED codec correctness and the diagnostic controller."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.ecc import (
+    ECCController,
+    ECCStatus,
+    ECCWord,
+    TAPEWORM_CHECK_BIT,
+    TrapClass,
+)
+from repro.machine.memory import GRANULE_BYTES, PhysicalMemory
+
+
+# ---------------------------------------------------------------------------
+# bit-level codec
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("data", [0, 1, 0xFFFFFFFF, 0xDEADBEEF, 0x12345678])
+def test_clean_word_decodes_ok(data):
+    word = ECCWord(data)
+    assert word.status() == (ECCStatus.OK, None)
+
+
+@pytest.mark.parametrize("bit", range(32))
+def test_single_data_bit_error_detected_and_located(bit):
+    word = ECCWord(0xCAFEBABE)
+    word.flip_data_bit(bit)
+    status, position = word.status()
+    assert status is ECCStatus.SINGLE_BIT
+    assert position is not None and position > 0
+
+
+@pytest.mark.parametrize("bit", range(7))
+def test_single_check_bit_error_detected(bit):
+    word = ECCWord(0x0BADF00D)
+    word.flip_check_bit(bit)
+    status, _ = word.status()
+    assert status is ECCStatus.SINGLE_BIT
+
+
+def test_double_data_bit_error_detected_as_double():
+    word = ECCWord(0x12341234)
+    word.flip_data_bit(3)
+    word.flip_data_bit(17)
+    status, _ = word.status()
+    assert status is ECCStatus.DOUBLE_BIT
+
+
+def test_tapeworm_trap_recognized_only_at_designated_bit():
+    word = ECCWord(0xABCD0123)
+    word.flip_check_bit(TAPEWORM_CHECK_BIT)
+    assert word.is_tapeworm_trap()
+
+
+@pytest.mark.parametrize("bit", range(1, 6))
+def test_other_check_bits_are_not_tapeworm_traps(bit):
+    word = ECCWord(0xABCD0123)
+    word.flip_check_bit(bit)
+    assert not word.is_tapeworm_trap()
+
+
+def test_tapeworm_bit_plus_data_error_is_not_a_tapeworm_trap():
+    """Footnote 1: a double-bit pattern means a true error occurred."""
+    word = ECCWord(0x55AA55AA)
+    word.flip_check_bit(TAPEWORM_CHECK_BIT)
+    word.flip_data_bit(9)
+    assert not word.is_tapeworm_trap()
+
+
+def test_word_rejects_out_of_range_data():
+    with pytest.raises(MachineError):
+        ECCWord(2**32)
+
+
+def test_flip_rejects_bad_bit_indices():
+    word = ECCWord(0)
+    with pytest.raises(MachineError):
+        word.flip_check_bit(7)
+    with pytest.raises(MachineError):
+        word.flip_data_bit(32)
+
+
+# ---------------------------------------------------------------------------
+# controller
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def controller():
+    return ECCController(PhysicalMemory(size_bytes=64 * 4096))
+
+
+def test_set_and_clear_trap_roundtrip(controller):
+    controller.set_trap(0x1000, 64)
+    assert controller.is_trapped(0x1000)
+    assert controller.is_trapped(0x103F)
+    assert not controller.is_trapped(0x1040)
+    controller.clear_trap(0x1000, 64)
+    assert not controller.is_trapped(0x1000)
+
+
+def test_trap_requires_granule_alignment(controller):
+    with pytest.raises(MachineError):
+        controller.set_trap(0x1008, 16)
+    with pytest.raises(MachineError):
+        controller.set_trap(0x1000, 8)
+
+
+def test_recent_sets_log_drains(controller):
+    controller.set_trap(0x2000, 32)
+    recent = controller.drain_recent_sets()
+    assert recent == [0x2000 // GRANULE_BYTES, 0x2000 // GRANULE_BYTES + 1]
+    assert controller.drain_recent_sets() == []
+
+
+def test_classify_pure_tapeworm_trap(controller):
+    controller.set_trap(0x3000, 16)
+    assert controller.classify(0x3000) is TrapClass.TAPEWORM
+
+
+def test_true_single_bit_error_detected_while_tapeworm_inactive(controller):
+    controller.inject_true_error(0x4000, bit=5)
+    assert controller.is_trapped(0x4000)
+    assert controller.classify(0x4000) is TrapClass.TRUE_SINGLE
+
+
+def test_true_error_detected_even_with_tapeworm_trap_set(controller):
+    """The paper: 'Even when Tapeworm is active, it correctly detects
+    true memory errors with high probability.'"""
+    controller.set_trap(0x5000, 16)
+    controller.inject_true_error(0x5004, bit=11)
+    assert controller.classify(0x5000) is TrapClass.TRUE_DOUBLE
+
+
+def test_double_bit_error_classified(controller):
+    controller.inject_true_error(0x6000, bit=2, double=True)
+    assert controller.classify(0x6000) is TrapClass.TRUE_DOUBLE
+
+
+def test_scrub_preserves_tapeworm_trap(controller):
+    controller.set_trap(0x7000, 16)
+    controller.inject_true_error(0x7000, bit=1)
+    controller.scrub(0x7000)
+    assert controller.is_trapped(0x7000)  # our own trap survives
+    assert controller.classify(0x7000) is TrapClass.TAPEWORM
+
+
+def test_clear_trap_keeps_true_error_trapping(controller):
+    controller.set_trap(0x8000, 16)
+    controller.inject_true_error(0x8000, bit=3)
+    controller.clear_trap(0x8000, 16)
+    assert controller.is_trapped(0x8000)  # the fault is still there
+    assert controller.classify(0x8000) is TrapClass.TRUE_SINGLE
+
+
+def test_bitmap_matches_is_trapped(controller):
+    controller.set_trap(0x9000, 4096)
+    granules = np.arange(0x9000 // 16, (0x9000 + 4096) // 16)
+    assert controller.granule_trapped[granules].all()

@@ -1,0 +1,58 @@
+"""The Machine facade: wiring, mechanisms, handler slots."""
+
+import pytest
+
+from repro._types import Component, TrapMechanism
+from repro.errors import ConfigError, MachineError
+from repro.machine.cpu import ExecContext
+from repro.machine.machine import Machine, MachineConfig
+
+
+def test_default_geometry():
+    machine = Machine()
+    assert machine.memory.n_frames == 64 * 1024 * 1024 // 4096
+    assert machine.hw_tlb.n_entries == 64
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        MachineConfig(n_vpages=0)
+
+
+def test_handler_slots_single_occupancy():
+    machine = Machine(MachineConfig(memory_bytes=1024 * 1024, n_vpages=64))
+    machine.install_page_fault_handler(lambda ctx, vpn: None)
+    with pytest.raises(MachineError):
+        machine.install_page_fault_handler(lambda ctx, vpn: None)
+    machine.install_tick_handler(lambda n: None)
+    with pytest.raises(MachineError):
+        machine.install_tick_handler(lambda n: None)
+
+
+def test_fault_without_handler_is_an_error():
+    machine = Machine(MachineConfig(memory_bytes=1024 * 1024, n_vpages=64))
+    ctx = ExecContext(tid=1, component=Component.USER)
+    with pytest.raises(MachineError):
+        machine.deliver_page_fault(ctx, 0)
+
+
+def test_mechanism_toggling():
+    machine = Machine(MachineConfig(memory_bytes=1024 * 1024, n_vpages=64))
+    machine.enable_mechanism(TrapMechanism.ECC)
+    machine.enable_mechanism(TrapMechanism.PAGE_VALID)
+    assert machine.active_mechanisms == {
+        TrapMechanism.ECC,
+        TrapMechanism.PAGE_VALID,
+    }
+    machine.disable_mechanism(TrapMechanism.ECC)
+    machine.disable_mechanism(TrapMechanism.ECC)  # idempotent
+    assert machine.active_mechanisms == {TrapMechanism.PAGE_VALID}
+
+
+def test_interrupt_mask_toggling():
+    machine = Machine(MachineConfig(memory_bytes=1024 * 1024, n_vpages=64))
+    assert not machine.interrupts_masked
+    machine.mask_interrupts()
+    assert machine.interrupts_masked
+    machine.unmask_interrupts()
+    assert not machine.interrupts_masked

@@ -1,0 +1,50 @@
+"""Physical memory geometry."""
+
+import pytest
+
+from repro._types import PAGE_SIZE
+from repro.errors import ConfigError, MemoryFault
+from repro.machine.memory import GRANULE_BYTES, PhysicalMemory
+
+
+def test_geometry_counts():
+    mem = PhysicalMemory(size_bytes=1024 * 1024)
+    assert mem.n_frames == 256
+    assert mem.n_granules == 1024 * 1024 // GRANULE_BYTES
+    assert mem.n_words == 256 * 1024
+
+
+def test_granule_is_four_words():
+    assert GRANULE_BYTES == 16
+
+
+@pytest.mark.parametrize("bad", [0, -4096, 100, PAGE_SIZE + 1])
+def test_rejects_non_page_multiple_sizes(bad):
+    with pytest.raises(ConfigError):
+        PhysicalMemory(size_bytes=bad)
+
+
+def test_check_pa_accepts_full_range():
+    mem = PhysicalMemory(size_bytes=8192)
+    mem.check_pa(0)
+    mem.check_pa(8191)
+    mem.check_pa(0, 8192)
+
+
+@pytest.mark.parametrize(
+    "pa,size", [(-1, 1), (8192, 1), (8191, 2), (0, 8193), (0, 0)]
+)
+def test_check_pa_rejects_out_of_range(pa, size):
+    mem = PhysicalMemory(size_bytes=8192)
+    with pytest.raises(MemoryFault):
+        mem.check_pa(pa, size)
+
+
+def test_frame_and_granule_of():
+    mem = PhysicalMemory(size_bytes=16 * PAGE_SIZE)
+    assert mem.frame_of(0) == 0
+    assert mem.frame_of(PAGE_SIZE) == 1
+    assert mem.frame_of(PAGE_SIZE - 1) == 0
+    assert mem.granule_of(15) == 0
+    assert mem.granule_of(16) == 1
+    assert mem.granule_of(PAGE_SIZE) == PAGE_SIZE // GRANULE_BYTES

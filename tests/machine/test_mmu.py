@@ -1,0 +1,101 @@
+"""Page tables, valid-bit traps, vectorized translation."""
+
+import numpy as np
+import pytest
+
+from repro._types import PAGE_SIZE
+from repro.errors import MachineError, MemoryFault
+from repro.machine.mmu import MMU, PageTable
+
+
+@pytest.fixture
+def table():
+    return PageTable(tid=3, n_vpages=64)
+
+
+def test_map_unmap_roundtrip(table):
+    table.map(5, 17)
+    assert table.is_mapped(5)
+    assert table.frame_of(5) == 17
+    assert table.valid[5] and table.resident[5]
+    assert table.unmap(5) == 17
+    assert not table.is_mapped(5)
+
+
+def test_double_map_rejected(table):
+    table.map(1, 2)
+    with pytest.raises(MachineError):
+        table.map(1, 3)
+
+
+def test_unmap_of_unmapped_rejected(table):
+    with pytest.raises(MachineError):
+        table.unmap(0)
+
+
+def test_vpn_bounds_checked(table):
+    with pytest.raises(MemoryFault):
+        table.map(64, 0)
+    with pytest.raises(MemoryFault):
+        table.is_mapped(-1)
+
+
+def test_page_trap_set_and_clear(table):
+    table.map(7, 9)
+    table.set_page_trap(7)
+    assert table.is_page_trapped(7)
+    assert not table.valid[7]
+    assert table.resident[7]  # the software truth bit (footnote 2)
+    table.clear_page_trap(7)
+    assert not table.is_page_trapped(7)
+    assert table.valid[7]
+
+
+def test_page_trap_requires_residency(table):
+    with pytest.raises(MachineError):
+        table.set_page_trap(0)
+
+
+def test_recent_invalidation_log(table):
+    table.map(2, 4)
+    table.set_page_trap(2)
+    assert table.drain_recent_invalidations() == [2]
+    assert table.drain_recent_invalidations() == []
+
+
+def test_translate_chunk(table):
+    table.map(0, 10)
+    table.map(1, 20)
+    vas = np.array([0, 4, PAGE_SIZE + 8], dtype=np.int64)
+    pas = table.translate(vas)
+    assert pas.tolist() == [
+        10 * PAGE_SIZE,
+        10 * PAGE_SIZE + 4,
+        20 * PAGE_SIZE + 8,
+    ]
+
+
+def test_translate_rejects_unmapped(table):
+    with pytest.raises(MemoryFault):
+        table.translate(np.array([0], dtype=np.int64))
+
+
+def test_mapped_vpns(table):
+    table.map(3, 1)
+    table.map(9, 2)
+    assert table.mapped_vpns().tolist() == [3, 9]
+
+
+def test_mmu_table_lifecycle():
+    mmu = MMU(n_vpages=32)
+    table = mmu.create_table(1)
+    assert mmu.table(1) is table
+    assert mmu.has_table(1)
+    with pytest.raises(MachineError):
+        mmu.create_table(1)
+    mmu.destroy_table(1)
+    assert not mmu.has_table(1)
+    with pytest.raises(MachineError):
+        mmu.table(1)
+    with pytest.raises(MachineError):
+        mmu.destroy_table(1)

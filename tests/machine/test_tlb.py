@@ -1,0 +1,87 @@
+"""The R3000-style software-managed hardware TLB."""
+
+import pytest
+
+from repro.errors import ConfigError, MachineError
+from repro.machine.tlb import HardwareTLB
+
+
+def test_probe_miss_then_refill_then_hit():
+    tlb = HardwareTLB()
+    assert tlb.probe(1, 100) is None
+    tlb.insert(1, 100, 55)
+    assert tlb.probe(1, 100) == 55
+    assert tlb.misses == 1 and tlb.hits == 1
+
+
+def test_asid_disambiguates_tasks():
+    tlb = HardwareTLB()
+    tlb.insert(1, 100, 55)
+    tlb.insert(2, 100, 77)
+    assert tlb.probe(1, 100) == 55
+    assert tlb.probe(2, 100) == 77
+
+
+def test_random_replacement_cycles_unwired_slots():
+    tlb = HardwareTLB(n_entries=10, n_wired=2)
+    for vpn in range(8):
+        tlb.insert(0, vpn, vpn)
+    assert len(tlb) == 8
+    tlb.insert(0, 100, 100)  # evicts whatever the random slot held
+    assert len(tlb) == 8
+
+
+def test_wired_entries_survive_unwired_pressure():
+    tlb = HardwareTLB(n_entries=8, n_wired=2)
+    tlb.insert(0, 1000, 1, wired=True)
+    tlb.insert(0, 1001, 2, wired=True)
+    for vpn in range(100):
+        tlb.insert(0, vpn, vpn)
+    assert tlb.probe(0, 1000) == 1
+    assert tlb.probe(0, 1001) == 2
+
+
+def test_wired_slots_exhaust():
+    tlb = HardwareTLB(n_entries=4, n_wired=1)
+    tlb.insert(0, 1, 1, wired=True)
+    with pytest.raises(MachineError):
+        tlb.insert(0, 2, 2, wired=True)
+
+
+def test_reinsert_same_key_updates_in_place():
+    tlb = HardwareTLB(n_entries=4, n_wired=0)
+    tlb.insert(0, 5, 50)
+    tlb.insert(0, 5, 51)
+    assert tlb.probe(0, 5) == 51
+    assert len(tlb) == 1
+
+
+def test_probe_out():
+    tlb = HardwareTLB()
+    tlb.insert(3, 8, 80)
+    assert tlb.probe_out(3, 8)
+    assert not tlb.probe_out(3, 8)
+    assert tlb.probe(3, 8) is None
+
+
+def test_flush_asid():
+    tlb = HardwareTLB()
+    for vpn in range(5):
+        tlb.insert(1, vpn, vpn)
+        tlb.insert(2, vpn, vpn)
+    assert tlb.flush_asid(1) == 5
+    assert len(tlb) == 5
+    assert {key[0] for key in tlb.resident_keys()} == {2}
+
+
+def test_flush_all():
+    tlb = HardwareTLB()
+    tlb.insert(0, 1, 1)
+    tlb.flush_all()
+    assert len(tlb) == 0
+
+
+@pytest.mark.parametrize("entries,wired", [(0, 0), (4, 4), (4, 5), (-1, 0)])
+def test_bad_geometry_rejected(entries, wired):
+    with pytest.raises(ConfigError):
+        HardwareTLB(n_entries=entries, n_wired=wired)

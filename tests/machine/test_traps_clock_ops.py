@@ -1,0 +1,113 @@
+"""Trap dispatch, the clock timer, and the Table 12 survey."""
+
+import pytest
+
+from repro._types import Component, TrapMechanism
+from repro.errors import ConfigError, MachineError
+from repro.machine.clock import ClockTimer
+from repro.machine.ops import (
+    PROCESSORS,
+    PRIVILEGED_OPS,
+    assess_port,
+    supports,
+)
+from repro.machine.traps import TrapDispatcher, TrapFrame, TrapKind
+
+
+def _frame(kind=TrapKind.ECC_ERROR):
+    return TrapFrame(
+        kind=kind, tid=1, component=Component.USER, va=0x100, pa=0x200, cycle=0
+    )
+
+
+class TestDispatcher:
+    def test_dispatch_returns_handler_cycles(self):
+        dispatcher = TrapDispatcher()
+        dispatcher.install(TrapKind.ECC_ERROR, lambda frame: 246)
+        assert dispatcher.dispatch(_frame()) == 246
+        assert dispatcher.counts[TrapKind.ECC_ERROR] == 1
+
+    def test_unhandled_trap_counts_but_costs_nothing(self):
+        dispatcher = TrapDispatcher()
+        assert dispatcher.dispatch(_frame()) == 0
+        assert dispatcher.counts[TrapKind.ECC_ERROR] == 1
+
+    def test_double_install_rejected(self):
+        dispatcher = TrapDispatcher()
+        dispatcher.install(TrapKind.ECC_ERROR, lambda frame: 0)
+        with pytest.raises(MachineError):
+            dispatcher.install(TrapKind.ECC_ERROR, lambda frame: 0)
+
+    def test_replace_returns_old(self):
+        dispatcher = TrapDispatcher()
+        first = lambda frame: 1
+        dispatcher.install(TrapKind.TLB_MISS, first)
+        old = dispatcher.replace(TrapKind.TLB_MISS, lambda frame: 2)
+        assert old is first
+        assert dispatcher.dispatch(_frame(TrapKind.TLB_MISS)) == 2
+
+    def test_uninstall(self):
+        dispatcher = TrapDispatcher()
+        dispatcher.install(TrapKind.BREAKPOINT, lambda frame: 5)
+        dispatcher.uninstall(TrapKind.BREAKPOINT)
+        assert not dispatcher.installed(TrapKind.BREAKPOINT)
+        with pytest.raises(MachineError):
+            dispatcher.uninstall(TrapKind.BREAKPOINT)
+
+
+class TestClock:
+    def test_ticks_cross_boundaries(self):
+        clock = ClockTimer(tick_cycles=100)
+        assert clock.advance(99) == 0
+        assert clock.advance(1) == 1
+        assert clock.advance(250) == 2
+        assert clock.now == 350
+        assert clock.ticks_delivered == 3
+
+    def test_reset(self):
+        clock = ClockTimer(tick_cycles=10)
+        clock.advance(25)
+        clock.reset()
+        assert clock.now == 0
+        assert clock.advance(9) == 0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigError):
+            ClockTimer(tick_cycles=0)
+        clock = ClockTimer()
+        with pytest.raises(ConfigError):
+            clock.advance(-1)
+
+
+class TestOpsSurvey:
+    def test_matrix_is_complete(self):
+        for op in PRIVILEGED_OPS:
+            for cpu in PROCESSORS:
+                supports(cpu, op)  # no KeyError
+
+    def test_known_cells_match_paper(self):
+        assert supports("MIPS R3000", "Memory Parity or ECC Traps") is True
+        assert supports("MIPS R3000", "Variable Page Size") is False
+        assert supports("Intel i486", "Memory Parity or ECC Traps") is None
+        assert supports("Tera", "Data Breakpoint") is True
+        assert supports("DEC Alpha", "Instruction Counters") is True
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(KeyError):
+            supports("Z80", "Data Breakpoint")
+        with pytest.raises(KeyError):
+            supports("MIPS R3000", "Time Travel")
+
+    def test_r3000_port_assessment(self):
+        assessment = assess_port("MIPS R3000")
+        assert TrapMechanism.ECC in assessment.mechanisms
+        assert TrapMechanism.PAGE_VALID in assessment.mechanisms
+        assert assessment.can_simulate_caches
+        assert assessment.can_simulate_tlbs
+        assert assessment.finest_granularity_bytes == 16
+
+    def test_i486_port_is_tlb_only(self):
+        """The paper's 486 Gateway port does TLB simulation only."""
+        assessment = assess_port("Intel i486")
+        assert not assessment.can_simulate_caches
+        assert assessment.can_simulate_tlbs

@@ -1,0 +1,113 @@
+"""Stateful property test: the trap-complement invariant under chaos.
+
+A random interleaving of chunk execution, forks, exits, and attribute
+flips must preserve Tapeworm's core invariant at every step: for every
+location of a registered (and sampled) page, a trap is set **iff** the
+location's line is absent from the simulated cache.  Any drift between
+trap state and cache contents would silently corrupt miss counts — this
+machine checks there is none.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro._types import Component, PAGE_SIZE
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import Tapeworm, TapewormConfig
+from repro.kernel.kernel import Kernel
+from repro.machine.machine import Machine, MachineConfig
+
+
+class TapewormMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        machine = Machine(
+            MachineConfig(memory_bytes=4 * 1024 * 1024, n_vpages=256)
+        )
+        self.kernel = Kernel(
+            machine=machine, alloc_policy="random", trial_seed=7
+        )
+        self.tapeworm = Tapeworm(
+            self.kernel,
+            TapewormConfig(
+                cache=CacheConfig(size_bytes=512),
+                sampling=2,
+                sampling_seed=1,
+            ),
+        )
+        self.tapeworm.install()
+        self.shell = self.kernel.spawn("shell", Component.USER)
+        self.tapeworm.tw_attributes(self.shell.tid, simulate=0, inherit=1)
+        self.live: list[int] = []
+        self.counter = 0
+
+    @rule(
+        vpn=st.integers(min_value=0, max_value=7),
+        offsets=st.lists(
+            st.integers(min_value=0, max_value=1023), min_size=1, max_size=24
+        ),
+    )
+    def execute(self, vpn, offsets):
+        tids = self.live + [self.shell.tid]
+        task = self.kernel.tasks.get(tids[self.counter % len(tids)])
+        vas = np.array(
+            [vpn * PAGE_SIZE + off * 4 for off in offsets], dtype=np.int64
+        )
+        self.kernel.run_chunk(task, vas)
+        self.counter += 1
+
+    @rule()
+    def fork(self):
+        if len(self.live) >= 4:
+            return
+        task = self.kernel.fork(self.shell.tid, f"child{self.counter}")
+        self.counter += 1
+        self.live.append(task.tid)
+
+    @rule()
+    def exit_one(self):
+        if not self.live:
+            return
+        tid = self.live.pop(self.counter % len(self.live) if self.live else 0)
+        self.kernel.exit_task(tid)
+
+    @rule(simulate=st.booleans())
+    def flip_shell_attribute(self, simulate):
+        self.tapeworm.tw_attributes(
+            self.shell.tid, simulate=int(simulate), inherit=1
+        )
+
+    @invariant()
+    def trap_complements_cache(self):
+        machine = self.kernel.machine
+        cache = self.tapeworm.structure
+        config = cache.config
+        sampler = self.tapeworm.sampler
+        registry = self.tapeworm.registry
+        for table in machine.mmu.tables():
+            for vpn in table.mapped_vpns():
+                vpn = int(vpn)
+                if not registry.is_registered_mapping(
+                    table.tid, vpn * PAGE_SIZE
+                ):
+                    continue
+                pa_page = table.frame_of(vpn) * PAGE_SIZE
+                for offset in range(0, PAGE_SIZE, config.line_bytes):
+                    pa = pa_page + offset
+                    trapped = machine.ecc.is_trapped(pa)
+                    cached = cache.contains(table.tid, pa)
+                    if sampler.covers_set(config.set_of(pa)):
+                        assert trapped != cached, (
+                            f"tid={table.tid} pa={pa:#x}: "
+                            f"trapped={trapped} cached={cached}"
+                        )
+                    else:
+                        assert not trapped and not cached
+
+
+TapewormMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+TestTapewormStateful = TapewormMachine.TestCase

@@ -1,0 +1,69 @@
+"""Property test: the TLB-mode page-trap invariant.
+
+For every registered, sampled mapping: the page's valid bit is cleared
+(a page trap is armed) **iff** its covering (super)page entry is absent
+from the simulated TLB.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._types import Component, PAGE_SIZE
+from repro.caches.config import TLBConfig
+from repro.core.tapeworm import Tapeworm, TapewormConfig
+from repro.kernel.kernel import Kernel
+from repro.machine.machine import Machine, MachineConfig
+
+
+def _check_invariant(kernel, tapeworm):
+    tlb = tapeworm.tlb
+    for table in kernel.machine.mmu.tables():
+        for vpn in table.mapped_vpns():
+            vpn = int(vpn)
+            if not tapeworm.registry.is_registered_mapping(
+                table.tid, vpn * PAGE_SIZE
+            ):
+                continue
+            covered = tlb.contains(table.tid, vpn)
+            trapped = table.is_page_trapped(vpn)
+            superpage = tlb.superpage_of(vpn)
+            if tapeworm.sampler.covers_set(
+                superpage % tapeworm.config.tlb.n_sets
+            ):
+                assert trapped != covered, (table.tid, vpn)
+            else:
+                assert not trapped
+
+
+@given(
+    vpns=st.lists(
+        st.integers(min_value=0, max_value=23), min_size=1, max_size=60
+    ),
+    n_entries=st.sampled_from([2, 4, 8]),
+    pages_per_entry=st.sampled_from([1, 4]),
+)
+@settings(max_examples=25, deadline=None)
+def test_page_traps_complement_simulated_tlb(vpns, n_entries, pages_per_entry):
+    machine = Machine(
+        MachineConfig(memory_bytes=4 * 1024 * 1024, n_vpages=128)
+    )
+    kernel = Kernel(machine=machine, alloc_policy="sequential")
+    tapeworm = Tapeworm(
+        kernel,
+        TapewormConfig(
+            structure="tlb",
+            tlb=TLBConfig(
+                n_entries=n_entries,
+                page_bytes=pages_per_entry * PAGE_SIZE,
+            ),
+        ),
+    )
+    tapeworm.install()
+    task = kernel.spawn("walker", Component.USER)
+    tapeworm.tw_attributes(task.tid, simulate=1, inherit=0)
+    for vpn in vpns:
+        kernel.run_chunk(
+            task, np.array([vpn * PAGE_SIZE + 4], dtype=np.int64)
+        )
+        _check_invariant(kernel, tapeworm)

@@ -1,0 +1,96 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_size, build_parser, main
+
+
+class TestParsing:
+    def test_sizes(self):
+        assert _parse_size("4096") == 4096
+        assert _parse_size("4K") == 4096
+        assert _parse_size("1M") == 1024 * 1024
+        assert _parse_size("16k") == 16384
+
+    def test_bad_size(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_size("lots")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_workloads_lists_all_eight(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("xlisp", "sdet", "kenbus", "mpeg_play"):
+            assert name in out
+
+    def test_run_cache(self, capsys):
+        code = main(
+            [
+                "run", "--workload", "espresso", "--cache-size", "2K",
+                "--refs", "30000", "--simulate", "user",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+        assert "2K 1-way" in out
+
+    def test_run_tlb(self, capsys):
+        code = main(
+            [
+                "run", "--workload", "xlisp", "--structure", "tlb",
+                "--tlb-entries", "32", "--refs", "30000",
+            ]
+        )
+        assert code == 0
+        assert "32-entry" in capsys.readouterr().out
+
+    def test_run_sampling(self, capsys):
+        code = main(
+            [
+                "run", "--workload", "espresso", "--sampling", "8",
+                "--refs", "30000",
+            ]
+        )
+        assert code == 0
+        assert "estimated" in capsys.readouterr().out
+
+    def test_trace(self, capsys):
+        code = main(
+            ["trace", "--workload", "mpeg_play", "--refs", "30000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "miss ratio" in out
+
+    def test_reproduce_static(self, capsys):
+        assert main(["reproduce", "table12"]) == 0
+        assert "PowerPC" in capsys.readouterr().out
+
+    def test_reproduce_dynamic_smoke(self, capsys):
+        assert main(["reproduce", "table5", "--budget", "smoke"]) == 0
+        assert "246" in capsys.readouterr().out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "espresso", "--refs", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "Footprint" in out
+        assert "espresso" in out and "bsd_server" in out
+
+    def test_assess_port(self, capsys):
+        assert main(["assess-port", "MIPS R3000"]) == 0
+        assert "yes" in capsys.readouterr().out
+
+    def test_assess_port_unknown(self, capsys):
+        assert main(["assess-port", "Z80"]) == 2
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "figure99"])

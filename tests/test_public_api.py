@@ -1,0 +1,44 @@
+"""The public import surface stays importable and complete."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.machine",
+        "repro.kernel",
+        "repro.workloads",
+        "repro.caches",
+        "repro.core",
+        "repro.tracing",
+        "repro.harness",
+        "repro.analysis",
+        "repro.experiments",
+        "repro.cli",
+    ],
+)
+def test_subpackages_import(module):
+    importlib.import_module(module)
+
+
+def test_experiment_modules_expose_run_and_render():
+    from repro.cli import EXPERIMENTS
+
+    for name, module_name in EXPERIMENTS.items():
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        assert hasattr(module, f"run_{module_name}"), name
+        assert hasattr(module, "render"), name

@@ -1,0 +1,76 @@
+"""The one-pass multi-size direct-mapped sweep."""
+
+import numpy as np
+import pytest
+
+from repro.caches.config import CacheConfig
+from repro.errors import ConfigError
+from repro.tracing.cache2000 import Cache2000
+from repro.tracing.multisize import MultiSizeDMSweep, run_multisize_sweep
+from repro.workloads.registry import get_workload
+
+SIZES = (1024, 4096, 16384, 65536)
+
+
+def test_matches_per_size_cache2000_exactly():
+    """The sweep must be bit-identical to N separate DM simulations."""
+    rng = np.random.default_rng(4)
+    addrs = (rng.integers(0, 8192, size=30_000) * 4).astype(np.int64)
+    sweep = MultiSizeDMSweep(SIZES)
+    references = {
+        size: Cache2000(CacheConfig(size_bytes=size)) for size in SIZES
+    }
+    for start in range(0, len(addrs), 7000):
+        chunk = addrs[start : start + 7000]
+        sweep.simulate_chunk(chunk)
+        for simulator in references.values():
+            simulator.simulate_chunk(chunk)
+    for size in SIZES:
+        assert sweep.miss_counts()[size] == (
+            references[size].stats.total_misses
+        ), size
+
+
+def test_monotonicity_of_nested_dm_sizes():
+    """hit at 2^k sets => hit at 2^(k+1) sets, so misses never grow
+    with size."""
+    rng = np.random.default_rng(9)
+    addrs = (rng.integers(0, 65536, size=50_000) * 4).astype(np.int64)
+    sweep = MultiSizeDMSweep(tuple(1024 << k for k in range(8)))
+    sweep.simulate_chunk(addrs)
+    assert sweep.check_monotonicity()
+
+
+def test_generation_paid_once():
+    spec = get_workload("espresso")
+    one = run_multisize_sweep(spec, 20_000, (4096,))
+    many = run_multisize_sweep(spec, 20_000, SIZES)
+    assert many.generation_cycles == one.generation_cycles
+    assert many.processing_cycles == one.processing_cycles * len(SIZES)
+
+
+def test_sweep_cheaper_than_separate_trace_runs():
+    """The Sugumar economics: one annotated execution for the whole
+    size sweep."""
+    from repro.harness.runner import run_trace_driven
+
+    spec = get_workload("espresso")
+    sweep = run_multisize_sweep(spec, 30_000, SIZES)
+    separate = sum(
+        run_trace_driven(
+            spec, CacheConfig(size_bytes=size), 30_000
+        ).overhead_cycles
+        for size in SIZES
+    )
+    assert sweep.overhead_cycles < separate / 2
+
+
+def test_duplicate_sizes_rejected():
+    with pytest.raises(ConfigError):
+        MultiSizeDMSweep((4096, 4096))
+
+
+def test_empty_chunk():
+    sweep = MultiSizeDMSweep(SIZES)
+    sweep.simulate_chunk(np.empty(0, dtype=np.int64))
+    assert sweep.refs == 0

@@ -1,0 +1,54 @@
+"""The Pixie-style annotator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.tracing.pixie import PIXIE_GENERATION_CYCLES_PER_REF, PixieTracer
+from repro.workloads.registry import get_workload
+
+
+def test_traces_exact_reference_count():
+    tracer = PixieTracer(get_workload("espresso"), chunk_refs=1000)
+    chunks = list(tracer.trace_chunks(2500))
+    assert sum(len(c) for c in chunks) == 2500
+    assert tracer.refs_traced == 2500
+
+
+def test_generation_cost_accrues_per_reference():
+    tracer = PixieTracer(get_workload("espresso"))
+    list(tracer.trace_chunks(5000))
+    assert tracer.generation_cycles == 5000 * PIXIE_GENERATION_CYCLES_PER_REF
+
+
+def test_trace_is_deterministic():
+    a = PixieTracer(get_workload("mpeg_play")).full_trace(10_000)
+    b = PixieTracer(get_workload("mpeg_play")).full_trace(10_000)
+    assert np.array_equal(a, b)
+
+
+def test_trace_matches_primary_task_stream():
+    """Pixie sees exactly what the task executes under Tapeworm."""
+    spec = get_workload("xlisp")
+    stream = spec.task(spec.primary_task).build_stream(spec.name)
+    direct = stream.next_chunk(5000)
+    traced = PixieTracer(spec).full_trace(5000)
+    assert np.array_equal(direct, traced)
+
+
+def test_single_user_task_limitation():
+    """Pixie refuses non-user tasks — its completeness gap."""
+    spec = get_workload("espresso")
+    bad = spec.__class__(
+        meta=spec.meta,
+        tasks=spec.tasks,
+        phases=spec.phases,
+        primary_task="mach_kernel",
+    )
+    with pytest.raises(TraceError):
+        PixieTracer(bad)
+
+
+def test_bad_chunk_refs_rejected():
+    with pytest.raises(TraceError):
+        PixieTracer(get_workload("espresso"), chunk_refs=0)

@@ -1,0 +1,76 @@
+"""Trace chunks, buffers, and file round trips."""
+
+import numpy as np
+import pytest
+
+from repro._types import Component
+from repro.errors import TraceError
+from repro.tracing.trace import TraceBuffer, TraceChunk
+
+
+def _chunk(n=4, tid=1, component=Component.USER):
+    return TraceChunk(
+        addresses=np.arange(n, dtype=np.int64) * 4,
+        tid=tid,
+        component=component,
+    )
+
+
+def test_chunk_length():
+    assert len(_chunk(7)) == 7
+
+
+def test_chunk_must_be_1d():
+    with pytest.raises(TraceError):
+        TraceChunk(
+            addresses=np.zeros((2, 2), dtype=np.int64),
+            tid=1,
+            component=Component.USER,
+        )
+
+
+def test_buffer_fills_at_capacity():
+    buffer = TraceBuffer(capacity_refs=10)
+    assert not buffer.append(_chunk(6))
+    assert buffer.append(_chunk(6))  # 12 >= 10: time to simulate
+    assert len(buffer) == 12
+
+
+def test_drain_resets(Component=Component):
+    buffer = TraceBuffer()
+    buffer.append(_chunk(3))
+    chunks = buffer.drain()
+    assert len(chunks) == 1
+    assert len(buffer) == 0
+    assert buffer.chunks() == []
+
+
+def test_save_load_roundtrip(tmp_path):
+    buffer = TraceBuffer()
+    buffer.append(_chunk(4, tid=1, component=Component.USER))
+    buffer.append(_chunk(2, tid=0, component=Component.KERNEL))
+    path = tmp_path / "trace.npz"
+    buffer.save(path)
+    loaded = TraceBuffer.load(path)
+    chunks = loaded.chunks()
+    assert len(chunks) == 2
+    assert chunks[0].addresses.tolist() == [0, 4, 8, 12]
+    assert chunks[1].component is Component.KERNEL
+    assert chunks[1].tid == 0
+
+
+def test_save_empty_rejected(tmp_path):
+    with pytest.raises(TraceError):
+        TraceBuffer().save(tmp_path / "empty.npz")
+
+
+def test_load_missing_file_rejected(tmp_path):
+    with pytest.raises(TraceError):
+        TraceBuffer.load(tmp_path / "ghost.npz")
+
+
+def test_load_malformed_rejected(tmp_path):
+    path = tmp_path / "bad.npz"
+    np.savez(path, addresses=np.zeros(1))
+    with pytest.raises(TraceError):
+        TraceBuffer.load(path)

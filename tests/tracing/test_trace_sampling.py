@@ -1,0 +1,31 @@
+"""Software set-sample filtering of traces."""
+
+import numpy as np
+
+from repro.caches.config import CacheConfig
+from repro.tracing.sampling import FILTER_CYCLES_PER_REF, TraceSetSampler
+
+
+def test_filter_keeps_only_sampled_sets():
+    config = CacheConfig(size_bytes=1024, line_bytes=16)  # 64 sets
+    sampler = TraceSetSampler(config, fraction_denominator=4, seed=2)
+    addrs = (np.arange(0, 64) * 16).astype(np.int64)  # one per set
+    kept = sampler.filter_chunk(addrs)
+    assert len(kept) == 16
+    sets = (kept >> 4) % 64
+    assert all(sampler.sampler.covers_set(int(s)) for s in sets)
+
+
+def test_every_input_address_pays_the_filter_cost():
+    """The pre-processing overhead trace-driven sampling cannot avoid."""
+    config = CacheConfig(size_bytes=1024, line_bytes=16)
+    sampler = TraceSetSampler(config, fraction_denominator=8)
+    sampler.filter_chunk((np.arange(1000) * 16).astype(np.int64))
+    assert sampler.preprocessing_cycles == 1000 * FILTER_CYCLES_PER_REF
+    assert sampler.refs_in == 1000
+    assert sampler.refs_out < 1000
+
+
+def test_expansion_factor():
+    config = CacheConfig(size_bytes=1024, line_bytes=16)
+    assert TraceSetSampler(config, 8).expansion_factor == 8

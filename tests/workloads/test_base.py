@@ -1,0 +1,91 @@
+"""TaskSpec / WorkloadSpec machinery details."""
+
+import pytest
+
+from repro._types import Component, PAGE_SIZE
+from repro.errors import ConfigError
+from repro.workloads.base import (
+    DATA_BASE_VA,
+    TEXT_BASE_VA,
+    TaskSpec,
+    WorkloadMeta,
+)
+
+
+def _task(**kwargs):
+    defaults = dict(
+        name="t",
+        component=Component.USER,
+        binary="prog",
+        shapes=((2048, 1.0, 256, 2), (4096, 2.0, 512, 1)),
+    )
+    defaults.update(kwargs)
+    return TaskSpec(**defaults)
+
+
+class TestTaskSpec:
+    def test_procedures_packed_from_text_base(self):
+        procs = _task().procedures()
+        assert procs[0].base_va == TEXT_BASE_VA
+        assert procs[1].base_va == TEXT_BASE_VA + 2048
+
+    def test_text_pages_cover_span(self):
+        assert _task().text_pages() == -(-6144 // PAGE_SIZE)
+
+    def test_layout_shares_text_by_binary(self):
+        layout = _task().layout()
+        assert layout.region_named("text").share_key == "text:prog"
+
+    def test_data_region_only_when_shaped(self):
+        bare = _task().layout()
+        with pytest.raises(KeyError):
+            bare.region_named("data")
+        shaped = _task(data_shapes=((8192, 1.0, 4096, 1),)).layout()
+        data = shaped.region_named("data")
+        assert data.start_vpn == DATA_BASE_VA // PAGE_SIZE
+        assert data.share_key is None
+
+    def test_stream_seed_depends_on_workload_and_task(self):
+        task = _task()
+        assert task.stream_seed("w1") != task.stream_seed("w2")
+        other = _task(name="u")
+        assert task.stream_seed("w1") != other.stream_seed("w1")
+
+    def test_data_stream_seed_differs_from_instruction_seed(self):
+        task = _task(data_shapes=((8192, 1.0, 4096, 1),))
+        instr = task.build_stream("w")
+        data = task.build_data_stream("w")
+        assert instr.seed != data.seed
+
+    def test_no_data_stream_without_shapes(self):
+        assert _task().build_data_stream("w") is None
+
+
+class TestWorkloadMeta:
+    def test_fraction_sum_enforced(self):
+        with pytest.raises(ConfigError):
+            WorkloadMeta(
+                name="bad",
+                description="",
+                instructions_millions=1,
+                run_time_secs=1,
+                frac_kernel=0.5,
+                frac_bsd=0.0,
+                frac_x=0.0,
+                frac_user=0.4,
+                user_task_count=1,
+            )
+
+    def test_effective_cpi(self):
+        meta = WorkloadMeta(
+            name="m",
+            description="",
+            instructions_millions=100,
+            run_time_secs=8.0,
+            frac_kernel=0.0,
+            frac_bsd=0.0,
+            frac_x=0.0,
+            frac_user=1.0,
+            user_task_count=1,
+        )
+        assert meta.effective_cpi == pytest.approx(2.0)

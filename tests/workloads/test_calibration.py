@@ -1,0 +1,83 @@
+"""Calibration regression tests: the Table 6 bands must not drift.
+
+The synthetic workloads are tuned so dedicated-cache local miss ratios
+at 4 KB land near the values implied by Table 6 (see DESIGN.md).  These
+tests pin generous bands around those targets so future edits to the
+locality shapes cannot silently invalidate the reproduced tables.
+"""
+
+import pytest
+
+from repro._types import Component
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import TapewormConfig
+from repro.harness.runner import RunOptions, run_trap_driven
+from repro.workloads.registry import get_workload
+
+pytestmark = pytest.mark.slow
+
+#: dedicated 4 KB local miss-ratio targets implied by Table 6 (misses /
+#: component references, references derived via the CPI-weighted split)
+USER_TARGETS = {
+    "xlisp": 0.074,
+    "espresso": 0.0034,
+    "eqntott": 0.0001,
+    "mpeg_play": 0.064,
+    "jpeg_play": 0.0022,
+    "ousterhout": 0.0165,
+    "sdet": 0.118,
+    "kenbus": 0.19,
+}
+
+KERNEL_TARGETS = {
+    "xlisp": 0.035,
+    "espresso": 0.153,
+    "eqntott": 0.152,
+    "mpeg_play": 0.064,
+    "jpeg_play": 0.067,
+    "ousterhout": 0.086,
+    "sdet": 0.054,
+    "kenbus": 0.16,
+}
+
+
+def _local_ratio(workload: str, component: Component) -> float:
+    spec = get_workload(workload)
+    report = run_trap_driven(
+        spec,
+        TapewormConfig(cache=CacheConfig(size_bytes=4096)),
+        RunOptions(
+            total_refs=250_000, trial_seed=11, simulate=frozenset({component})
+        ),
+    )
+    return report.local_miss_ratio(component)
+
+
+@pytest.mark.parametrize("workload", sorted(USER_TARGETS))
+def test_user_component_band(workload):
+    measured = _local_ratio(workload, Component.USER)
+    target = USER_TARGETS[workload]
+    upper = max(target * 3, 0.006)
+    if workload == "ousterhout":
+        # 15 tasks sharing a quick-budget run get ~4k references each,
+        # so per-task compulsory misses dominate in a way the paper's
+        # 8.7M-reference tasks never saw; the band widens accordingly
+        upper = 0.10
+    assert measured < upper, (measured, target)
+    assert measured > target / 4, (measured, target)
+
+
+@pytest.mark.parametrize("workload", ["espresso", "mpeg_play", "kenbus"])
+def test_kernel_component_band(workload):
+    measured = _local_ratio(workload, Component.KERNEL)
+    target = KERNEL_TARGETS[workload]
+    assert target / 3 < measured < target * 3, (measured, target)
+
+
+def test_ordering_across_workloads():
+    """The qualitative orderings Table 6's discussion rests on."""
+    mpeg = _local_ratio("mpeg_play", Component.USER)
+    jpeg = _local_ratio("jpeg_play", Component.USER)
+    eqntott = _local_ratio("eqntott", Component.USER)
+    kenbus = _local_ratio("kenbus", Component.USER)
+    assert eqntott < jpeg < mpeg < kenbus

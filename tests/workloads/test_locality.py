@@ -1,0 +1,133 @@
+"""Reference-stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.locality import (
+    BlockLoopStream,
+    MixedStream,
+    Procedure,
+    lay_out_procedures,
+)
+
+
+def _proc(**kwargs):
+    defaults = dict(
+        base_va=0x10000, size_bytes=1024, weight=1.0,
+        block_bytes=256, block_repeats=2,
+    )
+    defaults.update(kwargs)
+    return Procedure(**defaults)
+
+
+class TestProcedure:
+    def test_template_shape(self):
+        proc = _proc(size_bytes=512, block_bytes=256, block_repeats=3)
+        template = proc.template()
+        # 2 blocks x 64 words x 3 repeats
+        assert len(template) == 2 * 64 * 3
+        assert template[0] == 0x10000
+        # first block repeats before the second starts
+        assert template[64] == 0x10000
+        assert template[64 * 3] == 0x10100
+
+    def test_passes_tile_the_whole_walk(self):
+        proc = _proc(size_bytes=256, block_repeats=1, passes=2)
+        template = proc.template()
+        assert len(template) == 128
+        assert np.array_equal(template[:64], template[64:])
+
+    @pytest.mark.parametrize("kwargs", [
+        {"size_bytes": 300},             # not a block multiple
+        {"size_bytes": 0},
+        {"base_va": 0x10001},            # unaligned
+        {"weight": 0},
+        {"block_repeats": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            _proc(**kwargs)
+
+
+class TestBlockLoopStream:
+    def test_exact_chunk_lengths(self):
+        stream = BlockLoopStream((_proc(),), seed=1)
+        for n in (1, 100, 4096, 37):
+            assert len(stream.next_chunk(n)) == n
+        assert stream.refs_generated == 1 + 100 + 4096 + 37
+
+    def test_deterministic_in_seed(self):
+        a = BlockLoopStream((_proc(), _proc(base_va=0x20000)), seed=5)
+        b = BlockLoopStream((_proc(), _proc(base_va=0x20000)), seed=5)
+        assert np.array_equal(a.next_chunk(5000), b.next_chunk(5000))
+
+    def test_different_seeds_differ(self):
+        a = BlockLoopStream((_proc(), _proc(base_va=0x20000)), seed=5)
+        b = BlockLoopStream((_proc(), _proc(base_va=0x20000)), seed=6)
+        assert not np.array_equal(a.next_chunk(5000), b.next_chunk(5000))
+
+    def test_chunking_does_not_change_content(self):
+        a = BlockLoopStream((_proc(), _proc(base_va=0x20000)), seed=9)
+        b = BlockLoopStream((_proc(), _proc(base_va=0x20000)), seed=9)
+        whole = a.next_chunk(3000)
+        parts = np.concatenate([b.next_chunk(n) for n in (1000, 500, 1500)])
+        assert np.array_equal(whole, parts)
+
+    def test_addresses_stay_in_procedure_ranges(self):
+        procs = (_proc(), _proc(base_va=0x40000, size_bytes=512))
+        stream = BlockLoopStream(procs, seed=2)
+        chunk = stream.next_chunk(10_000)
+        in_p0 = (chunk >= 0x10000) & (chunk < 0x10400)
+        in_p1 = (chunk >= 0x40000) & (chunk < 0x40200)
+        assert (in_p0 | in_p1).all()
+
+    def test_footprint_merges_overlaps(self):
+        procs = (
+            _proc(base_va=0x10000, size_bytes=1024),
+            _proc(base_va=0x10200, size_bytes=1024),  # overlaps
+            _proc(base_va=0x20000, size_bytes=256),
+        )
+        stream = BlockLoopStream(procs, seed=0)
+        assert stream.footprint_bytes() == 0x600 + 256
+
+    def test_span(self):
+        stream = BlockLoopStream(
+            (_proc(), _proc(base_va=0x40000, size_bytes=512)), seed=0
+        )
+        assert stream.span() == (0x10000, 0x40200)
+
+    def test_needs_a_procedure(self):
+        with pytest.raises(ConfigError):
+            BlockLoopStream((), seed=0)
+
+    def test_negative_chunk_rejected(self):
+        stream = BlockLoopStream((_proc(),), seed=0)
+        with pytest.raises(ConfigError):
+            stream.next_chunk(-1)
+
+
+class TestMixedStream:
+    def test_interleaves_instruction_and_data_runs(self):
+        instr = BlockLoopStream((_proc(base_va=0x10000),), seed=1)
+        data = BlockLoopStream((_proc(base_va=0x400000),), seed=2)
+        mixed = MixedStream(instr, data, instr_run=8, data_run=4)
+        chunk = mixed.next_chunk(24)
+        is_data = chunk >= 0x400000
+        assert is_data.tolist() == [False] * 8 + [True] * 4 + [False] * 8 + [True] * 4
+
+    def test_exact_lengths_across_chunks(self):
+        instr = BlockLoopStream((_proc(),), seed=1)
+        data = BlockLoopStream((_proc(base_va=0x400000),), seed=2)
+        mixed = MixedStream(instr, data, instr_run=48, data_run=16)
+        total = sum(len(mixed.next_chunk(n)) for n in (100, 7, 993))
+        assert total == 1100
+
+
+def test_lay_out_procedures_packs_contiguously():
+    procs = lay_out_procedures(
+        0x10000, [(1024, 1.0, 256, 2), (512, 2.0, 256, 1)]
+    )
+    assert procs[0].base_va == 0x10000
+    assert procs[1].base_va == 0x10400
+    assert procs[1].weight == 2.0

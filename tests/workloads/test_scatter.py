@@ -1,0 +1,53 @@
+"""Scattered procedure layouts."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.locality import (
+    BlockLoopStream,
+    lay_out_procedures,
+    scatter_procedures,
+)
+
+SHAPES = [(1024, 2.0, 256, 2), (2048, 1.0, 256, 1), (512, 3.0, 256, 4)]
+
+
+def test_no_overlaps_and_within_span():
+    procs = scatter_procedures(0x10000, SHAPES, span_bytes=64 * 1024, seed=3)
+    spans = sorted((p.base_va, p.end_va) for p in procs)
+    for (_, a_end), (b_start, _) in zip(spans, spans[1:]):
+        assert a_end <= b_start
+    assert spans[0][0] >= 0x10000
+    assert spans[-1][1] <= 0x10000 + 64 * 1024
+
+
+def test_deterministic_per_seed():
+    a = scatter_procedures(0, SHAPES, span_bytes=64 * 1024, seed=9)
+    b = scatter_procedures(0, SHAPES, span_bytes=64 * 1024, seed=9)
+    assert [p.base_va for p in a] == [p.base_va for p in b]
+    c = scatter_procedures(0, SHAPES, span_bytes=64 * 1024, seed=10)
+    assert [p.base_va for p in a] != [p.base_va for p in c]
+
+
+def test_same_shapes_as_contiguous():
+    scattered = scatter_procedures(0, SHAPES, span_bytes=64 * 1024, seed=1)
+    contiguous = lay_out_procedures(0, SHAPES)
+    assert sorted(p.size_bytes for p in scattered) == sorted(
+        p.size_bytes for p in contiguous
+    )
+    assert sorted(p.weight for p in scattered) == sorted(
+        p.weight for p in contiguous
+    )
+
+
+def test_streams_build_over_scattered_layouts():
+    procs = scatter_procedures(0, SHAPES, span_bytes=64 * 1024, seed=2)
+    stream = BlockLoopStream(procs, seed=0)
+    chunk = stream.next_chunk(2000)
+    lo, hi = stream.span()
+    assert ((chunk >= lo) & (chunk < hi)).all()
+
+
+def test_span_too_small_rejected():
+    with pytest.raises(ConfigError):
+        scatter_procedures(0, SHAPES, span_bytes=2048, seed=0)

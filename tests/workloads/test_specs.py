@@ -1,0 +1,138 @@
+"""Workload specifications against the paper's Tables 3 and 4."""
+
+import pytest
+
+from repro._types import Component
+from repro.errors import ConfigError
+from repro.workloads.base import (
+    DemandShare,
+    PhaseSpec,
+    TaskSpec,
+    WorkloadMeta,
+    WorkloadSpec,
+)
+from repro.workloads.registry import WORKLOAD_NAMES, all_workloads, get_workload
+
+#: Table 4 rows: (instructions 1e6, run secs, kernel, bsd, x, user, tasks)
+TABLE_4 = {
+    "xlisp": (1412, 67.52, 0.073, 0.071, 0.0, 0.856, 1),
+    "espresso": (534, 26.80, 0.029, 0.019, 0.0, 0.951, 1),
+    "eqntott": (1306, 60.98, 0.015, 0.012, 0.0, 0.972, 1),
+    "mpeg_play": (1423, 95.53, 0.241, 0.273, 0.040, 0.446, 1),
+    "jpeg_play": (1793, 89.70, 0.091, 0.094, 0.026, 0.788, 1),
+    "ousterhout": (567, 37.89, 0.480, 0.314, 0.0, 0.206, 15),
+    "sdet": (823, 43.70, 0.437, 0.355, 0.0, 0.208, 281),
+    "kenbus": (176, 23.13, 0.489, 0.291, 0.0, 0.220, 238),
+}
+
+
+def test_all_eight_workloads_registered():
+    assert set(WORKLOAD_NAMES) == set(TABLE_4)
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_4))
+def test_meta_matches_table_4(name):
+    meta = get_workload(name).meta
+    instr, secs, kern, bsd, x, user, tasks = TABLE_4[name]
+    assert meta.instructions_millions == instr
+    assert meta.run_time_secs == secs
+    assert meta.frac_kernel == kern
+    assert meta.frac_bsd == bsd
+    assert meta.frac_x == x
+    assert meta.frac_user == user
+    assert meta.user_task_count == tasks
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_4))
+def test_fork_script_creates_the_right_task_count(name):
+    spec = get_workload(name)
+    forked = set()
+    for phase in spec.phases:
+        forked.update(phase.forks)
+    user_forked = {
+        n for n in forked if spec.task(n).component is Component.USER
+    }
+    assert len(user_forked) == spec.meta.user_task_count
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_4))
+def test_phase_weights_sum_to_one(name):
+    spec = get_workload(name)
+    assert sum(p.weight for p in spec.phases) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_4))
+def test_exits_only_name_forked_tasks(name):
+    spec = get_workload(name)
+    forked = set()
+    for phase in spec.phases:
+        forked.update(phase.forks)
+        for exited in phase.exits:
+            assert exited in forked
+
+
+def test_effective_cpi_in_plausible_band():
+    for spec in all_workloads():
+        assert 1.1 < spec.meta.effective_cpi < 4.0
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ConfigError):
+        get_workload("quake")
+
+
+def test_spec_validation_catches_unknown_demand():
+    meta = get_workload("espresso").meta
+    user = get_workload("espresso").task("espresso")
+    with pytest.raises(ConfigError):
+        WorkloadSpec(
+            meta=meta,
+            tasks={"espresso": user},
+            phases=(
+                PhaseSpec(weight=1.0, demands=(DemandShare("ghost", 1.0),)),
+            ),
+            primary_task="espresso",
+        )
+
+
+def test_task_layouts_cover_stream_spans():
+    """Every stream address must fall inside the task's declared regions
+    (or the system tasks' boot layouts)."""
+    from repro._types import PAGE_SIZE
+    from repro.kernel.servers import (
+        bsd_server_layout,
+        kernel_layout,
+        x_server_layout,
+    )
+    from repro.workloads.base import SYSTEM_TASK_NAMES
+
+    boot_layouts = {
+        SYSTEM_TASK_NAMES[Component.KERNEL]: kernel_layout(),
+        SYSTEM_TASK_NAMES[Component.BSD_SERVER]: bsd_server_layout(),
+        SYSTEM_TASK_NAMES[Component.X_SERVER]: x_server_layout(),
+    }
+    for spec in all_workloads():
+        for task in spec.tasks.values():
+            layout = boot_layouts.get(task.name) or task.layout()
+            for proc in task.procedures():
+                for va in (proc.base_va, proc.end_va - 4):
+                    region = layout.region_of(va // PAGE_SIZE)
+                    assert region is not None, (
+                        f"{spec.name}/{task.name}: {va:#x} outside regions"
+                    )
+
+
+def test_binary_sharing_among_children():
+    """sdet's utility binaries are shared across its 280 children."""
+    spec = get_workload("sdet")
+    binaries = {
+        t.binary
+        for t in spec.user_task_specs()
+        if t.name.startswith("sdet_0") or t.name.startswith("sdet_1")
+    }
+    assert len(binaries) <= 6
+
+
+def test_scale_factor():
+    spec = get_workload("espresso")
+    assert spec.scale_factor(534_000) == pytest.approx(1000.0)
