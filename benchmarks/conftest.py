@@ -4,6 +4,13 @@ Each benchmark regenerates one paper table/figure at the budget set by
 the ``REPRO_BUDGET`` environment variable (``smoke`` / ``quick`` /
 ``full``; default ``quick``), checks the qualitative shape against the
 paper, and writes the rendered table to ``benchmarks/results/``.
+
+Multi-trial benchmarks route their trials through the execution farm
+(:mod:`repro.farm`): ``REPRO_JOBS`` sets the worker count (default 1,
+in-process), and ``REPRO_NO_CACHE=1`` disables the content-addressed
+result cache under ``.farm-cache/``.  With the cache warm, a re-run
+replays stored results instead of re-simulating — set ``REPRO_NO_CACHE``
+when wall-clock timings must reflect real execution.
 """
 
 from __future__ import annotations
@@ -19,6 +26,20 @@ RESULTS_DIR = Path(__file__).parent / "results"
 @pytest.fixture(scope="session")
 def budget() -> str:
     return os.environ.get("REPRO_BUDGET", "quick")
+
+
+@pytest.fixture(scope="session")
+def farm():
+    """A session-wide execution farm honoring REPRO_JOBS / REPRO_NO_CACHE."""
+    from repro.farm import Farm, FarmConfig
+
+    return Farm(
+        FarmConfig(
+            max_workers=int(os.environ.get("REPRO_JOBS", "1")),
+            use_cache=not os.environ.get("REPRO_NO_CACHE"),
+            cache_dir=Path(__file__).parent.parent / ".farm-cache",
+        )
+    )
 
 
 @pytest.fixture(scope="session")

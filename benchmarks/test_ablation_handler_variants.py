@@ -5,42 +5,42 @@ Tunnel's comparable path: ~2,500); rewriting it in assembly and
 bypassing kernel entry/exit brought it to 246; the paper projects ~50
 with a cleaner memory-ASIC interface.  Slowdown scales accordingly —
 the 8x optimization is what makes Tapeworm's slowdowns "imperceptible".
+The three variants are independent farm jobs.
 """
 
 import pytest
 
 from benchmarks.conftest import run_once
-from repro._types import Component
-from repro.caches.config import CacheConfig
-from repro.core.tapeworm import TapewormConfig
 from repro.experiments import budget_refs
-from repro.harness.runner import RunOptions, run_trap_driven
+from repro.farm import Job
 from repro.harness.tables import format_table
-from repro.workloads.registry import get_workload
 
 VARIANTS = ("unoptimized", "optimized", "hardware_assisted")
 
 
-def _sweep(budget):
-    spec = get_workload("mpeg_play")
-    options = RunOptions(
-        total_refs=budget_refs(budget),
-        trial_seed=3,
-        simulate=frozenset({Component.USER}),
-    )
-    results = {}
-    for variant in VARIANTS:
-        config = TapewormConfig(
-            cache=CacheConfig(size_bytes=4096), handler_variant=variant
+def _sweep(budget, farm):
+    jobs = [
+        Job(
+            "trap.measure",
+            {
+                "workload": "mpeg_play",
+                "total_refs": budget_refs(budget),
+                "cache": {"size_bytes": 4096},
+                "handler_variant": variant,
+                "components": ("user",),
+                "metric": "all",
+            },
+            seed=3,
         )
-        results[variant] = run_trap_driven(spec, config, options)
-    return results
+        for variant in VARIANTS
+    ]
+    return dict(zip(VARIANTS, farm.run_jobs(jobs)))
 
 
-def test_ablation_handler_variants(benchmark, budget, save_result):
-    results = run_once(benchmark, _sweep, budget)
+def test_ablation_handler_variants(benchmark, budget, save_result, farm):
+    results = run_once(benchmark, _sweep, budget, farm)
     rows = [
-        [variant, results[variant].slowdown, results[variant].stats.total_misses]
+        [variant, results[variant]["slowdown"], int(results[variant]["total_misses"])]
         for variant in VARIANTS
     ]
     save_result(
@@ -52,8 +52,8 @@ def test_ablation_handler_variants(benchmark, budget, save_result):
         ),
     )
     # same misses, very different slowdowns
-    misses = {r.stats.total_misses for r in results.values()}
+    misses = {r["total_misses"] for r in results.values()}
     assert len(misses) == 1
-    unopt, opt, hw = (results[v].slowdown for v in VARIANTS)
+    unopt, opt, hw = (results[v]["slowdown"] for v in VARIANTS)
     assert unopt / opt == pytest.approx(2000 / 246, rel=0.05)
     assert opt / hw == pytest.approx(246 / 50, rel=0.10)

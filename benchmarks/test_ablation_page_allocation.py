@@ -4,50 +4,41 @@ Swapping the random allocator for a sequential first-fit one removes
 run-to-run page-placement differences entirely — physically-indexed
 variance collapses to zero, demonstrating that the allocator (not the
 trap machinery) is the variance source.  The measured variance peak is
-also checked against Kessler's analytic model.
+also checked against Kessler's analytic model.  Trials run on the
+execution farm via the generic ``trap.measure``.
 """
 
 from benchmarks.conftest import run_once
-from repro._types import Component
 from repro.analysis.kessler import conflict_peak_cache_pages
-from repro.caches.config import CacheConfig
-from repro.core.tapeworm import TapewormConfig
 from repro.experiments import budget_refs
-from repro.harness.experiment import run_trials
-from repro.harness.runner import RunOptions, run_trap_driven
+from repro.harness.experiment import run_trials_farm
 from repro.harness.tables import format_table, pct
 from repro.workloads.registry import get_workload
 
 
-def _measure(policy, seed, total_refs):
-    spec = get_workload("mpeg_play")
-    report = run_trap_driven(
-        spec,
-        TapewormConfig(cache=CacheConfig(size_bytes=16 * 1024)),
-        RunOptions(
-            total_refs=total_refs,
-            trial_seed=seed,
-            alloc_policy=policy,
-            simulate=frozenset({Component.USER}),
-        ),
-    )
-    return float(report.stats.total_misses)
-
-
-def _sweep(budget):
+def _sweep(budget, farm):
     total_refs = budget_refs(budget)
     return {
-        policy: run_trials(
-            lambda seed, p=policy: _measure(p, seed, total_refs),
+        policy: run_trials_farm(
+            "trap.measure",
+            {
+                "workload": "mpeg_play",
+                "total_refs": total_refs,
+                "cache": {"size_bytes": 16 * 1024},
+                "alloc_policy": policy,
+                "components": ("user",),
+                "metric": "total_misses",
+            },
             4,
             base_seed=500,
+            farm=farm,
         )
         for policy in ("random", "sequential")
     }
 
 
-def test_ablation_page_allocation(benchmark, budget, save_result):
-    stats = run_once(benchmark, _sweep, budget)
+def test_ablation_page_allocation(benchmark, budget, save_result, farm):
+    stats = run_once(benchmark, _sweep, budget, farm)
     rows = [
         [policy, s.mean, f"{s.stdev:.0f} {pct(s.stdev_pct)}"]
         for policy, s in stats.items()

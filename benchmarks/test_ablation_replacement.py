@@ -2,42 +2,41 @@
 
 tw_replace is pure software, so any policy is simulable.  This sweeps
 LRU / FIFO / random on a 4-way cache where the policy actually has
-choices to make.
+choices to make.  The three configurations are independent, so they run
+as farm jobs — parallel under ``REPRO_JOBS``, cached across reruns.
 """
 
 from benchmarks.conftest import run_once
-from repro._types import Component
-from repro.caches.config import CacheConfig
-from repro.core.tapeworm import TapewormConfig
 from repro.experiments import budget_refs
-from repro.harness.runner import RunOptions, run_trap_driven
+from repro.farm import Job
 from repro.harness.tables import format_table
-from repro.workloads.registry import get_workload
 
 POLICIES = ("lru", "fifo", "random")
 
 
-def _sweep(budget):
-    spec = get_workload("mpeg_play")
-    options = RunOptions(
-        total_refs=budget_refs(budget),
-        trial_seed=3,
-        simulate=frozenset({Component.USER}),
-    )
-    results = {}
-    for policy in POLICIES:
-        config = TapewormConfig(
-            cache=CacheConfig(size_bytes=4096, associativity=4),
-            replacement=policy,
+def _sweep(budget, farm):
+    jobs = [
+        Job(
+            "trap.measure",
+            {
+                "workload": "mpeg_play",
+                "total_refs": budget_refs(budget),
+                "cache": {"size_bytes": 4096, "associativity": 4},
+                "replacement": policy,
+                "components": ("user",),
+                "metric": "all",
+            },
+            seed=3,
         )
-        results[policy] = run_trap_driven(spec, config, options)
-    return results
+        for policy in POLICIES
+    ]
+    return dict(zip(POLICIES, farm.run_jobs(jobs)))
 
 
-def test_ablation_replacement(benchmark, budget, save_result):
-    results = run_once(benchmark, _sweep, budget)
+def test_ablation_replacement(benchmark, budget, save_result, farm):
+    results = run_once(benchmark, _sweep, budget, farm)
     rows = [
-        [policy, results[policy].stats.total_misses, results[policy].slowdown]
+        [policy, int(results[policy]["total_misses"]), results[policy]["slowdown"]]
         for policy in POLICIES
     ]
     save_result(
@@ -48,7 +47,7 @@ def test_ablation_replacement(benchmark, budget, save_result):
             title="Ablation: tw_replace policy (mpeg_play user, 4 KB 4-way)",
         ),
     )
-    counts = {p: r.stats.total_misses for p, r in results.items()}
+    counts = {p: r["total_misses"] for p, r in results.items()}
     # policies genuinely differ on this looping workload; random breaks
     # LRU's cyclic-eviction pathology
     assert len(set(counts.values())) >= 2

@@ -8,8 +8,8 @@ from benchmarks.conftest import run_once
 from repro.experiments.table10 import render, run_table10
 
 
-def test_table10(benchmark, budget, save_result):
-    result = run_once(benchmark, run_table10, budget)
+def test_table10(benchmark, budget, save_result, farm):
+    result = run_once(benchmark, run_table10, budget, farm=farm)
     save_result("table10", render(result))
 
     for name, stats in result.stats.items():

@@ -8,8 +8,8 @@ from benchmarks.conftest import run_once
 from repro.experiments.table7 import render, run_table7
 
 
-def test_table7(benchmark, budget, save_result):
-    result = run_once(benchmark, run_table7, budget)
+def test_table7(benchmark, budget, save_result, farm):
+    result = run_once(benchmark, run_table7, budget, farm=farm)
     save_result("table7", render(result))
 
     pcts = {name: stats.stdev_pct for name, stats in result.stats.items()}

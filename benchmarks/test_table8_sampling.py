@@ -9,8 +9,8 @@ from benchmarks.conftest import run_once
 from repro.experiments.table8 import render, run_table8
 
 
-def test_table8(benchmark, budget, save_result):
-    result = run_once(benchmark, run_table8, budget)
+def test_table8(benchmark, budget, save_result, farm):
+    result = run_once(benchmark, run_table8, budget, farm=farm)
     save_result("table8", render(result))
 
     for size_kb, stats in result.unsampled.items():

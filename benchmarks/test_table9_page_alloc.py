@@ -9,8 +9,8 @@ from benchmarks.conftest import run_once
 from repro.experiments.table9 import render, run_table9
 
 
-def test_table9(benchmark, budget, save_result):
-    result = run_once(benchmark, run_table9, budget)
+def test_table9(benchmark, budget, save_result, farm):
+    result = run_once(benchmark, run_table9, budget, farm=farm)
     save_result("table9", render(result))
 
     for size_kb, stats in result.virtual.items():

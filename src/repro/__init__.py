@@ -49,7 +49,9 @@ from repro.harness import (
     run_trace_driven,
     run_trap_driven,
     run_trials,
+    run_trials_farm,
 )
+from repro.farm import Farm, FarmConfig, Job
 from repro.kernel import Kernel, SyscallInterface
 from repro.machine import Machine, MachineConfig
 from repro.tracing import Cache2000, PixieTracer
@@ -82,6 +84,10 @@ __all__ = [
     "run_trap_driven",
     "run_trace_driven",
     "run_trials",
+    "run_trials_farm",
+    "Farm",
+    "FarmConfig",
+    "Job",
     "Kernel",
     "SyscallInterface",
     "Machine",

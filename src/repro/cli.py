@@ -13,6 +13,8 @@ Commands
     List the workload models and their Table 3/4 metadata.
 ``assess-port``
     Apply the Table 12 port-feasibility reasoning to one processor.
+``farm``
+    Inspect or clear the execution farm's result cache.
 """
 
 from __future__ import annotations
@@ -49,6 +51,9 @@ EXPERIMENTS = {
 
 #: experiments whose runners take no budget argument
 _STATIC_EXPERIMENTS = {"figure1", "table11", "table12"}
+
+#: experiments whose runners accept a ``farm`` for parallel/cached trials
+_FARM_EXPERIMENTS = {"table7", "table8", "table9", "table10"}
 
 
 def _parse_size(text: str) -> int:
@@ -124,6 +129,25 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument(
         "--budget", choices=("smoke", "quick", "full"), default="quick"
     )
+    reproduce.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run multi-trial experiments on an N-worker farm "
+             "(with result caching; default: serial, no farm)",
+    )
+    reproduce.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the farm's result cache (only meaningful with --jobs)",
+    )
+
+    farm = sub.add_parser("farm", help="execution-farm cache utilities")
+    farm_sub = farm.add_subparsers(dest="farm_command", required=True)
+    stats = farm_sub.add_parser("stats", help="show cache contents and counters")
+    stats.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default .farm-cache/)",
+    )
+    clear = farm_sub.add_parser("clear", help="drop every cached result")
+    clear.add_argument("--cache-dir", default=None, metavar="DIR")
 
     sub.add_parser("workloads", help="list workload models")
 
@@ -207,22 +231,68 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _reproduce_one(name: str, budget: str) -> None:
+def _reproduce_one(name: str, budget: str, farm=None) -> None:
     import importlib
 
     module = importlib.import_module(f"repro.experiments.{EXPERIMENTS[name]}")
     runner = getattr(module, f"run_{EXPERIMENTS[name]}")
-    result = runner() if name in _STATIC_EXPERIMENTS else runner(budget)
+    if name in _STATIC_EXPERIMENTS:
+        result = runner()
+    elif farm is not None and name in _FARM_EXPERIMENTS:
+        result = runner(budget, farm=farm)
+    else:
+        result = runner(budget)
     print(module.render(result))
 
 
+def _build_farm(args: argparse.Namespace):
+    if args.jobs is None:
+        return None
+    from repro.farm import Farm, FarmConfig
+
+    return Farm(
+        FarmConfig(max_workers=args.jobs, use_cache=not args.no_cache)
+    )
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
+    farm = _build_farm(args)
     if args.experiment == "all":
         for name in EXPERIMENTS:
-            _reproduce_one(name, args.budget)
+            _reproduce_one(name, args.budget, farm)
             print()
+    else:
+        _reproduce_one(args.experiment, args.budget, farm)
+    if farm is not None and farm.metrics.jobs:
+        print(f"farm ({farm.config.max_workers} workers)")
+        print(farm.metrics.render())
+    return 0
+
+
+def _cmd_farm(args: argparse.Namespace) -> int:
+    from repro.farm import DEFAULT_CACHE_DIR, ResultCache
+
+    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    if args.farm_command == "clear":
+        dropped = cache.clear()
+        print(f"dropped {dropped} cached result(s) from {cache.directory}/")
         return 0
-    _reproduce_one(args.experiment, args.budget)
+
+    stats = cache.read_stats()
+    per_measure: dict[str, int] = {}
+    for entry in cache.entries():
+        measure = entry.get("measure") or "?"
+        per_measure[measure] = per_measure.get(measure, 0) + 1
+    print(f"cache dir     : {cache.directory}/")
+    print(f"stored results: {len(cache)}")
+    for measure in sorted(per_measure):
+        print(f"  {measure:<16}: {per_measure[measure]}")
+    print(f"farm runs     : {stats['runs']}")
+    print(f"jobs seen     : {stats['jobs']}")
+    print(f"cache hits    : {stats['cache_hits']}")
+    print(f"executed      : {stats['executed']}")
+    print(f"retries       : {stats['retries']}")
+    print(f"wall clock    : {stats['wall_clock_secs']:.3f}s")
     return 0
 
 
@@ -315,6 +385,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "workloads": _cmd_workloads,
         "profile": _cmd_profile,
         "assess-port": _cmd_assess_port,
+        "farm": _cmd_farm,
     }
     try:
         return handlers[args.command](args)

@@ -39,6 +39,14 @@ class TraceError(ReproError):
     """A trace file or trace buffer is malformed."""
 
 
+class FarmError(ReproError):
+    """The execution farm could not complete a job batch.
+
+    Raised when a job keeps crashing its worker (or timing out) after the
+    configured retries, or when a job names an unknown measure.
+    """
+
+
 class UnsupportedStructure(ReproError):
     """The requested structure cannot be simulated by this driver.
 

@@ -10,14 +10,18 @@ sampling.  Residual variance comes only from dynamic OS effects
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro._types import Indexing
 from repro.caches.config import CacheConfig
 from repro.experiments import budget_refs
 from repro.experiments.table7 import measure_once
-from repro.harness.experiment import TrialStats, run_trials
+from repro.harness.experiment import TrialStats, run_trials, run_trials_farm
 from repro.harness.tables import format_table, pct
 from repro.workloads.registry import WORKLOAD_NAMES
+
+if TYPE_CHECKING:
+    from repro.farm.pool import Farm
 
 #: paper's residual s% per workload
 PAPER_STDEV_PCT = {
@@ -36,18 +40,33 @@ def run_table10(
     budget: str = "quick",
     n_trials: int = 4,
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    farm: "Farm | None" = None,
 ) -> Table10Result:
     total_refs = budget_refs(budget)
     cache = CacheConfig(size_bytes=16 * 1024, indexing=Indexing.VIRTUAL)
     stats = {}
     for name in workloads:
-        stats[name] = run_trials(
-            lambda seed, name=name: measure_once(
-                name, seed, total_refs, cache=cache, sampling=1
-            ),
-            n_trials,
-            base_seed=100,
-        )
+        if farm is not None:
+            stats[name] = run_trials_farm(
+                "table7.measure",
+                {
+                    "workload": name,
+                    "total_refs": total_refs,
+                    "cache": cache,
+                    "sampling": 1,
+                },
+                n_trials,
+                base_seed=100,
+                farm=farm,
+            )
+        else:
+            stats[name] = run_trials(
+                lambda seed, name=name: measure_once(
+                    name, seed, total_refs, cache=cache, sampling=1
+                ),
+                n_trials,
+                base_seed=100,
+            )
     return Table10Result(stats=stats, n_trials=n_trials)
 
 

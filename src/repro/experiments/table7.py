@@ -10,14 +10,18 @@ OS scheduling jitter.  The paper's standard deviations run from ~7% to
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.caches.config import CacheConfig
 from repro.core.tapeworm import TapewormConfig
 from repro.experiments import budget_refs
-from repro.harness.experiment import TrialStats, run_trials
+from repro.harness.experiment import TrialStats, run_trials, run_trials_farm
 from repro.harness.runner import RunOptions, run_trap_driven
 from repro.harness.tables import format_table, pct
 from repro.workloads.registry import WORKLOAD_NAMES, get_workload
+
+if TYPE_CHECKING:
+    from repro.farm.pool import Farm
 
 #: paper's s as a percent of the mean, per workload
 PAPER_STDEV_PCT = {
@@ -57,15 +61,25 @@ def run_table7(
     budget: str = "quick",
     n_trials: int = 8,
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    farm: "Farm | None" = None,
 ) -> Table7Result:
     total_refs = budget_refs(budget)
     stats = {}
     for name in workloads:
-        stats[name] = run_trials(
-            lambda seed, name=name: measure_once(name, seed, total_refs),
-            n_trials,
-            base_seed=100,
-        )
+        if farm is not None:
+            stats[name] = run_trials_farm(
+                "table7.measure",
+                {"workload": name, "total_refs": total_refs},
+                n_trials,
+                base_seed=100,
+                farm=farm,
+            )
+        else:
+            stats[name] = run_trials(
+                lambda seed, name=name: measure_once(name, seed, total_refs),
+                n_trials,
+                base_seed=100,
+            )
     return Table7Result(stats=stats, n_trials=n_trials)
 
 

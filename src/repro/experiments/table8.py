@@ -9,6 +9,7 @@ sampled, with sampled estimates centered near the unsampled truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro._types import Component, Indexing
 from repro.caches.config import CacheConfig
@@ -18,6 +19,9 @@ from repro.harness.experiment import TrialStats, run_trials
 from repro.harness.runner import RunOptions, run_trap_driven
 from repro.harness.tables import format_table, pct
 from repro.workloads.registry import get_workload
+
+if TYPE_CHECKING:
+    from repro.farm.pool import Farm
 
 SIZES_KB = (1, 2, 4, 8, 16, 32, 64)
 
@@ -54,8 +58,11 @@ def run_table8(
     workload: str = "espresso",
     n_trials: int = 6,
     sizes_kb: tuple[int, ...] = SIZES_KB,
+    farm: "Farm | None" = None,
 ) -> Table8Result:
     total_refs = budget_refs(budget)
+    if farm is not None:
+        return _run_table8_farm(farm, workload, n_trials, sizes_kb, total_refs)
     sampled, unsampled = {}, {}
     for size_kb in sizes_kb:
         sampled[size_kb] = run_trials(
@@ -68,6 +75,45 @@ def run_table8(
             n_trials,
             base_seed=200,
         )
+    return Table8Result(sampled=sampled, unsampled=unsampled, n_trials=n_trials)
+
+
+def _run_table8_farm(
+    farm: "Farm",
+    workload: str,
+    n_trials: int,
+    sizes_kb: tuple[int, ...],
+    total_refs: int,
+) -> Table8Result:
+    """The whole size x sampling sweep as one job batch, so a pool of
+    workers fills instead of draining per configuration."""
+    from repro.farm.jobs import Job
+
+    variants = [
+        (size_kb, sampling) for size_kb in sizes_kb for sampling in (8, 1)
+    ]
+    jobs = [
+        Job(
+            "table8.measure",
+            {
+                "workload": workload,
+                "size_kb": size_kb,
+                "sampling": sampling,
+                "total_refs": total_refs,
+            },
+            seed=200 + trial,
+        )
+        for size_kb, sampling in variants
+        for trial in range(n_trials)
+    ]
+    values = iter(farm.run_jobs(jobs))
+    sampled: dict[int, TrialStats] = {}
+    unsampled: dict[int, TrialStats] = {}
+    for size_kb, sampling in variants:
+        stats = TrialStats(
+            values=tuple(float(next(values)) for _ in range(n_trials))
+        )
+        (sampled if sampling == 8 else unsampled)[size_kb] = stats
     return Table8Result(sampled=sampled, unsampled=unsampled, n_trials=n_trials)
 
 

@@ -13,6 +13,7 @@ is repeated for physically- and virtually-indexed caches from 4 KB to
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro._types import Component, Indexing
 from repro.caches.config import CacheConfig
@@ -22,6 +23,9 @@ from repro.harness.experiment import TrialStats, run_trials
 from repro.harness.runner import RunOptions, run_trap_driven
 from repro.harness.tables import format_table, pct
 from repro.workloads.registry import get_workload
+
+if TYPE_CHECKING:
+    from repro.farm.pool import Farm
 
 SIZES_KB = (4, 8, 16, 32, 64, 128)
 
@@ -54,8 +58,11 @@ def run_table9(
     workload: str = "mpeg_play",
     n_trials: int = 4,
     sizes_kb: tuple[int, ...] = SIZES_KB,
+    farm: "Farm | None" = None,
 ) -> Table9Result:
     total_refs = budget_refs(budget)
+    if farm is not None:
+        return _run_table9_farm(farm, workload, n_trials, sizes_kb, total_refs)
     physical, virtual = {}, {}
     for size_kb in sizes_kb:
         physical[size_kb] = run_trials(
@@ -72,6 +79,47 @@ def run_table9(
             n_trials,
             base_seed=300,
         )
+    return Table9Result(physical=physical, virtual=virtual, n_trials=n_trials)
+
+
+def _run_table9_farm(
+    farm: "Farm",
+    workload: str,
+    n_trials: int,
+    sizes_kb: tuple[int, ...],
+    total_refs: int,
+) -> Table9Result:
+    """Both indexings at every size as one job batch."""
+    from repro.farm.jobs import Job
+
+    variants = [
+        (size_kb, indexing)
+        for size_kb in sizes_kb
+        for indexing in (Indexing.PHYSICAL, Indexing.VIRTUAL)
+    ]
+    jobs = [
+        Job(
+            "table9.measure",
+            {
+                "workload": workload,
+                "size_kb": size_kb,
+                "indexing": indexing,
+                "total_refs": total_refs,
+            },
+            seed=300 + trial,
+        )
+        for size_kb, indexing in variants
+        for trial in range(n_trials)
+    ]
+    values = iter(farm.run_jobs(jobs))
+    physical: dict[int, TrialStats] = {}
+    virtual: dict[int, TrialStats] = {}
+    for size_kb, indexing in variants:
+        stats = TrialStats(
+            values=tuple(float(next(values)) for _ in range(n_trials))
+        )
+        target = physical if indexing is Indexing.PHYSICAL else virtual
+        target[size_kb] = stats
     return Table9Result(physical=physical, virtual=virtual, n_trials=n_trials)
 
 

@@ -1,0 +1,60 @@
+"""repro.farm — parallel trial execution with content-addressed caching.
+
+The experiments in this library are embarrassingly parallel: every
+trial is seeded (``base_seed + trial``) and fully deterministic, so the
+serial loops in :mod:`repro.harness.experiment` are pure overhead.  The
+farm turns a batch of trials into :class:`Job`\\ s, skips any whose
+content-addressed key is already in the on-disk :class:`ResultCache`,
+and shards the rest across a process pool — with output guaranteed
+bit-for-bit identical to the serial path.
+
+Quick start::
+
+    from repro.farm import Farm, FarmConfig, Job
+
+    farm = Farm(FarmConfig(max_workers=4))
+    jobs = [
+        Job("table7.measure",
+            {"workload": "espresso", "total_refs": 300_000},
+            seed=100 + trial)
+        for trial in range(16)
+    ]
+    values = farm.run_jobs(jobs)        # parallel, cached
+    print(farm.last_run.render())       # hits, latency, wall clock
+
+``repro reproduce table7 --jobs 4`` drives the same machinery from the
+command line; ``repro farm stats`` inspects the cache.
+
+This module deliberately avoids importing :mod:`repro.farm.measures`
+(which pulls in the full simulation stack) — measures resolve lazily by
+import path when a job first needs them.
+"""
+
+from repro.farm.cache import ResultCache
+from repro.farm.jobs import CODE_VERSION, Job, canonical, fingerprint
+from repro.farm.pool import DEFAULT_CACHE_DIR, Farm, FarmConfig
+from repro.farm.progress import FarmMetrics
+from repro.farm.registry import (
+    BUILTIN_MEASURES,
+    execute_job,
+    register,
+    registered_names,
+    resolve,
+)
+
+__all__ = [
+    "BUILTIN_MEASURES",
+    "CODE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "Farm",
+    "FarmConfig",
+    "FarmMetrics",
+    "Job",
+    "ResultCache",
+    "canonical",
+    "execute_job",
+    "fingerprint",
+    "register",
+    "registered_names",
+    "resolve",
+]

@@ -1,0 +1,168 @@
+"""On-disk result store, keyed by job fingerprints.
+
+Layout under the cache directory (default ``.farm-cache/``):
+
+``results.jsonl``
+    One JSON object per cached result: ``{"key", "measure", "seed",
+    "value", "elapsed"}``.  Append-only; on a duplicate key the latest
+    line wins (results are deterministic, so duplicates agree anyway).
+``stats.json``
+    Cumulative farm counters across runs, maintained by
+    :meth:`ResultCache.record_run` and read by ``repro farm stats``.
+
+Only the scheduler process reads or writes the store — workers return
+results to the master — so no file locking is needed.  Values must be
+JSON-encodable (floats round-trip exactly through ``json``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+RESULTS_FILE = "results.jsonl"
+STATS_FILE = "stats.json"
+
+
+class ResultCache:
+    """Get/put store with hit/miss counters and a disable switch.
+
+    With ``enabled=False`` (the ``--no-cache`` bypass) every lookup
+    misses and puts are dropped, but counters still advance so metrics
+    stay meaningful.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path = ".farm-cache",
+        enabled: bool = True,
+    ) -> None:
+        self.directory = Path(directory)
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self._index: dict[str, Any] | None = None
+
+    # -- storage
+
+    @property
+    def _results_path(self) -> Path:
+        return self.directory / RESULTS_FILE
+
+    @property
+    def _stats_path(self) -> Path:
+        return self.directory / STATS_FILE
+
+    def _load(self) -> dict[str, Any]:
+        if self._index is None:
+            self._index = {}
+            if self._results_path.exists():
+                for line in self._results_path.read_text().splitlines():
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        self._index[record["key"]] = record["value"]
+                    except (json.JSONDecodeError, KeyError, TypeError):
+                        continue  # a torn write loses one entry, not the cache
+        return self._index
+
+    # -- the get/put surface
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """Return ``(hit, value)``; a miss returns ``(False, None)``."""
+        if self.enabled and key in self._load():
+            self.hits += 1
+            return True, self._load()[key]
+        self.misses += 1
+        return False, None
+
+    def put(
+        self,
+        key: str,
+        value: Any,
+        *,
+        measure: str = "",
+        seed: int = 0,
+        elapsed: float = 0.0,
+    ) -> None:
+        if not self.enabled:
+            return
+        record = {
+            "key": key,
+            "measure": measure,
+            "seed": seed,
+            "value": value,
+            "elapsed": round(elapsed, 6),
+        }
+        line = json.dumps(record, sort_keys=True)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self._results_path.open("a") as handle:
+            handle.write(line + "\n")
+        self._load()[key] = value
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def __contains__(self, key: str) -> bool:
+        return self.enabled and key in self._load()
+
+    def entries(self) -> Iterator[dict[str, Any]]:
+        """Yield the stored records (latest per key)."""
+        if not self._results_path.exists():
+            return
+        latest: dict[str, dict[str, Any]] = {}
+        for line in self._results_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                latest[record["key"]] = record
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue
+        yield from latest.values()
+
+    def clear(self) -> int:
+        """Drop every stored result; returns how many were dropped."""
+        count = len(self._load())
+        for path in (self._results_path, self._stats_path):
+            if path.exists():
+                path.unlink()
+        self._index = {}
+        return count
+
+    # -- cumulative run statistics (the ``repro farm stats`` view)
+
+    def read_stats(self) -> dict[str, Any]:
+        if self._stats_path.exists():
+            try:
+                return json.loads(self._stats_path.read_text())
+            except json.JSONDecodeError:
+                pass
+        return {
+            "runs": 0,
+            "jobs": 0,
+            "cache_hits": 0,
+            "executed": 0,
+            "retries": 0,
+            "wall_clock_secs": 0.0,
+        }
+
+    def record_run(self, summary: Mapping[str, Any]) -> None:
+        """Fold one farm run's summary into the cumulative counters."""
+        if not self.enabled:
+            return
+        stats = self.read_stats()
+        stats["runs"] += 1
+        stats["jobs"] += summary.get("jobs", 0)
+        stats["cache_hits"] += summary.get("cache_hits", 0)
+        stats["executed"] += summary.get("executed", 0)
+        stats["retries"] += summary.get("retries", 0)
+        stats["wall_clock_secs"] = round(
+            stats["wall_clock_secs"] + summary.get("wall_clock_secs", 0.0), 6
+        )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._stats_path.write_text(json.dumps(stats, indent=2) + "\n")

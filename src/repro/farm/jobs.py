@@ -1,0 +1,93 @@
+"""Jobs and their content-addressed keys.
+
+A :class:`Job` names one independent unit of work: a registered measure
+(see :mod:`repro.farm.registry`), its parameters, and a trial seed.  Two
+jobs with the same measure, parameters and seed compute the same value —
+every simulation in this library is deterministic given its seed — so a
+job's identity *is* its result's identity.  The farm exploits that with
+a stable SHA-256 key over a canonical JSON encoding of the job, salted
+with a code-version string so cached results are invalidated wholesale
+whenever measurement semantics change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigError
+
+#: Salt mixed into every job key.  Bump the version suffix whenever a
+#: change alters what any measure computes — old cache entries then stop
+#: matching and are recomputed instead of silently served stale.
+CODE_VERSION = "repro-farm-v1"
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-encodable structure with one spelling.
+
+    Handles the parameter types that appear in simulation configs:
+    dataclasses (``CacheConfig``, ``TLBConfig``, ...), enums
+    (``Indexing``, ``Component``), mappings, sequences and sets, plus the
+    JSON scalars.  Anything else is rejected loudly — a silently
+    unstable key is worse than no key.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__qualname__,
+            "fields": {
+                f.name: canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, enum.Enum):
+        return {"__enum__": f"{type(value).__qualname__}.{value.name}"}
+    if isinstance(value, Mapping):
+        return {str(key): canonical(val) for key, val in value.items()}
+    if isinstance(value, (frozenset, set)):
+        encoded = [canonical(item) for item in value]
+        return sorted(encoded, key=lambda item: json.dumps(item, sort_keys=True))
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ConfigError(
+        f"cannot fingerprint a {type(value).__name__} job parameter: {value!r}"
+    )
+
+
+def fingerprint(
+    measure: str, params: Mapping[str, Any], seed: int, salt: str = CODE_VERSION
+) -> str:
+    """SHA-256 hex digest over the canonical encoding of one job."""
+    payload = {
+        "measure": measure,
+        "params": canonical(params),
+        "seed": seed,
+        "salt": salt,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable trial: a registered measure, parameters, a seed."""
+
+    measure: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.measure:
+            raise ConfigError("Job needs a measure name")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ConfigError(f"Job seed must be an integer, got {self.seed!r}")
+
+    def key(self, salt: str = CODE_VERSION) -> str:
+        """Content-addressed cache key for this job's result."""
+        return fingerprint(self.measure, self.params, self.seed, salt)

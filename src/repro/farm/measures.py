@@ -1,0 +1,97 @@
+"""General-purpose farmable measures.
+
+The table experiments register their own measure functions
+(:data:`~repro.farm.registry.BUILTIN_MEASURES`); everything else — the
+ablation benchmarks, ad-hoc sweeps — goes through :func:`trap_measure`,
+a job-friendly wrapper around one trap-driven run.  Parameters are plain
+JSON types (cache geometry as a dict, components as value strings) so
+jobs fingerprint stably and survive the result cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro._types import Component, Indexing
+from repro.caches.config import CacheConfig, TLBConfig
+from repro.core.tapeworm import TapewormConfig
+from repro.errors import ConfigError
+from repro.harness.runner import RunOptions, run_trap_driven
+from repro.workloads.registry import get_workload
+
+#: report fields ``trap_measure`` can return
+METRICS = ("total_misses", "estimated_misses", "slowdown")
+
+
+def _cache_config(spec: Mapping[str, Any] | CacheConfig | None) -> CacheConfig | None:
+    if spec is None or isinstance(spec, CacheConfig):
+        return spec
+    spec = dict(spec)
+    if "indexing" in spec:
+        spec["indexing"] = Indexing(spec["indexing"])
+    return CacheConfig(**spec)
+
+
+def _tlb_config(spec: Mapping[str, Any] | TLBConfig | None) -> TLBConfig | None:
+    if spec is None or isinstance(spec, TLBConfig):
+        return spec
+    return TLBConfig(**dict(spec))
+
+
+def trap_measure(
+    seed: int,
+    workload: str,
+    total_refs: int,
+    structure: str = "cache",
+    cache: Mapping[str, Any] | CacheConfig | None = None,
+    l2: Mapping[str, Any] | CacheConfig | None = None,
+    tlb: Mapping[str, Any] | TLBConfig | None = None,
+    sampling: int = 1,
+    replacement: str = "lru",
+    handler_variant: str = "optimized",
+    alloc_policy: str = "random",
+    components: tuple[str, ...] | list[str] | None = None,
+    include_data_refs: bool = False,
+    metric: str = "estimated_misses",
+) -> Any:
+    """One trap-driven run, reduced to ``metric`` (or a dict for ``"all"``).
+
+    ``components`` is a sequence of :class:`Component` values
+    (``"user"``, ``"kernel"``, ``"bsd_server"``, ``"x_server"``); ``None``
+    simulates everything.  ``cache``/``l2``/``tlb`` accept the config
+    dataclasses or plain dicts of their fields.
+    """
+    if metric != "all" and metric not in METRICS:
+        raise ConfigError(
+            f"unknown metric {metric!r}; choose from {METRICS + ('all',)}"
+        )
+    spec = get_workload(workload)
+    config = TapewormConfig(
+        structure=structure,
+        cache=_cache_config(cache),
+        l2=_cache_config(l2),
+        tlb=_tlb_config(tlb),
+        sampling=sampling,
+        sampling_seed=seed,
+        replacement=replacement,
+        handler_variant=handler_variant,
+    )
+    simulate = (
+        frozenset(Component(name) for name in components)
+        if components is not None
+        else frozenset(Component)
+    )
+    options = RunOptions(
+        total_refs=total_refs,
+        trial_seed=seed,
+        alloc_policy=alloc_policy,
+        simulate=simulate,
+        include_data_refs=include_data_refs,
+    )
+    report = run_trap_driven(spec, config, options)
+    values = {
+        "total_misses": float(report.stats.total_misses),
+        "estimated_misses": float(report.estimated_misses),
+        "slowdown": float(report.slowdown),
+    }
+    return values if metric == "all" else values[metric]

@@ -1,0 +1,205 @@
+"""The farm scheduler: cache lookups, a process pool, retries.
+
+:meth:`Farm.run_jobs` takes a batch of :class:`~repro.farm.jobs.Job`\\ s
+and returns their values *in job order*, regardless of which worker
+computed what when.  The contract is bit-for-bit equivalence with
+running every job serially in-process:
+
+* every job carries its own seed, so sharding cannot reorder randomness;
+* results are reassembled by job index, so completion order is invisible;
+* cached values round-trip through JSON, which is exact for floats.
+
+Jobs found in the result cache are never executed.  Misses run either
+in-process (``max_workers=1``, or when no process pool can be created —
+restricted environments without ``fork``/semaphores) or on a
+``ProcessPoolExecutor`` with deterministic submission order, a per-job
+timeout, and bounded retry when a worker crashes mid-batch.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.errors import ConfigError, FarmError
+from repro.farm.cache import ResultCache
+from repro.farm.jobs import CODE_VERSION, Job
+from repro.farm.progress import FarmMetrics
+from repro.farm.registry import timed_execute
+
+#: default location of the on-disk result store
+DEFAULT_CACHE_DIR = Path(".farm-cache")
+
+
+@dataclass(frozen=True)
+class FarmConfig:
+    """Scheduler knobs."""
+
+    #: worker processes; 1 means in-process serial execution
+    max_workers: int = 1
+    #: consult/populate the on-disk result store
+    use_cache: bool = True
+    cache_dir: str | Path = DEFAULT_CACHE_DIR
+    #: seconds the master waits per job before declaring it failed
+    job_timeout: float | None = None
+    #: extra scheduling attempts after a worker crash or timeout
+    max_retries: int = 2
+    #: code-version salt mixed into every job key
+    salt: str = CODE_VERSION
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ConfigError(
+                f"max_workers must be at least 1, got {self.max_workers}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ConfigError(
+                f"job_timeout must be positive, got {self.job_timeout}"
+            )
+
+
+class _PoolUnavailable(Exception):
+    """Process pools cannot be created in this environment."""
+
+
+class Farm:
+    """Executes job batches against a shared result cache."""
+
+    def __init__(self, config: FarmConfig | None = None) -> None:
+        self.config = config or FarmConfig()
+        self.cache = ResultCache(
+            self.config.cache_dir, enabled=self.config.use_cache
+        )
+        #: cumulative metrics across every ``run_jobs`` call on this farm
+        self.metrics = FarmMetrics(workers=self.config.max_workers)
+        #: metrics of the most recent ``run_jobs`` call
+        self.last_run: FarmMetrics | None = None
+
+    # -- public surface
+
+    def run_jobs(self, jobs: Sequence[Job]) -> list[Any]:
+        """Return each job's value, in job order."""
+        run = FarmMetrics(workers=self.config.max_workers)
+        run.jobs = len(jobs)
+        start = time.perf_counter()
+
+        results: list[Any] = [None] * len(jobs)
+        keys = [job.key(self.config.salt) for job in jobs]
+        pending: dict[int, Job] = {}
+        for index, (job, key) in enumerate(zip(jobs, keys)):
+            hit, value = self.cache.get(key)
+            if hit:
+                results[index] = value
+                run.cache_hits += 1
+            else:
+                pending[index] = job
+
+        if pending:
+            if self.config.max_workers == 1:
+                self._run_serial(pending, keys, results, run)
+            else:
+                try:
+                    self._run_pool(pending, keys, results, run)
+                except _PoolUnavailable:
+                    run.fallback_serial = True
+                    self._run_serial(pending, keys, results, run)
+
+        run.wall_clock_secs = time.perf_counter() - start
+        self.last_run = run
+        self.metrics.merge(run)
+        self.cache.record_run(run.summary())
+        return results
+
+    def run_job(self, job: Job) -> Any:
+        """Convenience single-job entry point."""
+        return self.run_jobs([job])[0]
+
+    # -- execution strategies
+
+    def _store(
+        self,
+        index: int,
+        job: Job,
+        key: str,
+        value: Any,
+        elapsed: float,
+        results: list[Any],
+        run: FarmMetrics,
+    ) -> None:
+        results[index] = value
+        run.record_execution(elapsed)
+        self.cache.put(
+            key, value, measure=job.measure, seed=job.seed, elapsed=elapsed
+        )
+
+    def _run_serial(
+        self,
+        pending: dict[int, Job],
+        keys: list[str],
+        results: list[Any],
+        run: FarmMetrics,
+    ) -> None:
+        for index in sorted(pending):
+            job = pending[index]
+            value, elapsed = timed_execute(job.measure, dict(job.params), job.seed)
+            self._store(index, job, keys[index], value, elapsed, results, run)
+        pending.clear()
+
+    def _run_pool(
+        self,
+        pending: dict[int, Job],
+        keys: list[str],
+        results: list[Any],
+        run: FarmMetrics,
+    ) -> None:
+        attempts = 0
+        while pending:
+            pool = self._make_pool(len(pending))
+            futures: dict[int, Future] = {}
+            try:
+                # deterministic sharding: jobs enter the queue in index
+                # (and therefore seed) order on every attempt
+                for index in sorted(pending):
+                    job = pending[index]
+                    futures[index] = pool.submit(
+                        timed_execute, job.measure, dict(job.params), job.seed
+                    )
+                for index, future in futures.items():
+                    value, elapsed = future.result(timeout=self.config.job_timeout)
+                    self._store(
+                        index, pending[index], keys[index], value, elapsed,
+                        results, run,
+                    )
+                    del pending[index]
+                pool.shutdown(wait=True)
+            except (BrokenProcessPool, FutureTimeoutError) as exc:
+                # a worker died (or a job hung): drop the poisoned pool
+                # without waiting on it, then retry what's still pending
+                pool.shutdown(wait=False, cancel_futures=True)
+                attempts += 1
+                run.retries += 1
+                if attempts > self.config.max_retries:
+                    failed = ", ".join(
+                        f"{pending[i].measure}(seed={pending[i].seed})"
+                        for i in sorted(pending)
+                    )
+                    raise FarmError(
+                        f"{len(pending)} job(s) still failing after "
+                        f"{attempts} attempt(s) [{failed}]: {exc!r}"
+                    ) from exc
+
+    def _make_pool(self, n_pending: int) -> ProcessPoolExecutor:
+        workers = min(self.config.max_workers, n_pending)
+        try:
+            return ProcessPoolExecutor(max_workers=workers)
+        except (ImportError, NotImplementedError, OSError, ValueError) as exc:
+            raise _PoolUnavailable(str(exc)) from exc

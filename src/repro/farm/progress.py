@@ -1,0 +1,91 @@
+"""Structured metrics for one farm run (and cumulatively).
+
+The farm's promise is "never recompute, never serialize what can
+shard" — :class:`FarmMetrics` is how that promise is audited: wall
+clock, per-job latency, cache hits vs. executions, retries, and whether
+the pool fell back to in-process serial execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class FarmMetrics:
+    """Counters and timings for a batch of jobs."""
+
+    workers: int = 1
+    jobs: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    retries: int = 0
+    fallback_serial: bool = False
+    wall_clock_secs: float = 0.0
+    #: master-observed seconds per executed job, in completion order
+    latencies: list[float] = field(default_factory=list)
+
+    def record_execution(self, elapsed: float) -> None:
+        self.executed += 1
+        self.latencies.append(elapsed)
+
+    @property
+    def mean_latency_secs(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency_secs(self) -> float:
+        return max(self.latencies, default=0.0)
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.jobs == 0:
+            return 0.0
+        return self.cache_hits / self.jobs
+
+    def merge(self, other: "FarmMetrics") -> None:
+        """Fold another run's metrics into this cumulative record."""
+        self.jobs += other.jobs
+        self.cache_hits += other.cache_hits
+        self.executed += other.executed
+        self.retries += other.retries
+        self.fallback_serial = self.fallback_serial or other.fallback_serial
+        self.wall_clock_secs += other.wall_clock_secs
+        self.latencies.extend(other.latencies)
+
+    def summary(self) -> dict[str, Any]:
+        """The structured summary emitted after each run."""
+        return {
+            "workers": self.workers,
+            "jobs": self.jobs,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "retries": self.retries,
+            "fallback_serial": self.fallback_serial,
+            "wall_clock_secs": round(self.wall_clock_secs, 6),
+            "mean_latency_secs": round(self.mean_latency_secs, 6),
+            "max_latency_secs": round(self.max_latency_secs, 6),
+            "hit_ratio": round(self.hit_ratio, 4),
+        }
+
+    def render(self) -> str:
+        """Human-readable one-run report."""
+        lines = [
+            f"jobs          : {self.jobs}",
+            f"cache hits    : {self.cache_hits} ({self.hit_ratio:.0%})",
+            f"executed      : {self.executed}"
+            + (f" on {self.workers} workers" if self.workers > 1 else " serially"),
+            f"retries       : {self.retries}",
+            f"wall clock    : {self.wall_clock_secs:.3f}s",
+        ]
+        if self.latencies:
+            lines.append(
+                f"job latency   : mean {self.mean_latency_secs:.3f}s, "
+                f"max {self.max_latency_secs:.3f}s"
+            )
+        if self.fallback_serial:
+            lines.append("note          : process pool unavailable, ran serially")
+        return "\n".join(lines)

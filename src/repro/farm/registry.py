@@ -1,0 +1,87 @@
+"""Measure registry: the names jobs execute by.
+
+A :class:`~repro.farm.jobs.Job` cannot carry a closure — jobs cross
+process boundaries and live in an on-disk cache, so they name their
+measure by a registered string instead.  A measure is a *module-level*
+callable invoked as ``fn(seed=seed, **params)`` returning a
+JSON-encodable value (almost always a float).
+
+Measures ship with the library (:data:`BUILTIN_MEASURES`, resolved
+lazily by import path so workers pay only for what they run) or are
+registered at runtime with :func:`register` — handy for tests and ad-hoc
+experiments.  Worker processes are forked/spawned from the scheduler, so
+runtime registrations made at module import time are visible to them.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Mapping
+
+from repro.errors import FarmError
+
+#: measure name -> "module:qualname" import path, for measures that ship
+#: with the library
+BUILTIN_MEASURES: dict[str, str] = {
+    "trap.measure": "repro.farm.measures:trap_measure",
+    "table7.measure": "repro.experiments.table7:measure_once",
+    "table8.measure": "repro.experiments.table8:_measure",
+    "table9.measure": "repro.experiments.table9:_measure",
+}
+
+#: runtime registrations, by name
+_RUNTIME: dict[str, str] = {}
+
+
+def register(name: str, target: Callable[..., Any] | str) -> None:
+    """Register ``target`` (a module-level callable, or an import path
+    string ``"module:qualname"``) under ``name``."""
+    if callable(target):
+        qualname = target.__qualname__
+        if "<locals>" in qualname:
+            raise FarmError(
+                f"measure {name!r} must be module-level to run in workers, "
+                f"got nested callable {qualname!r}"
+            )
+        target = f"{target.__module__}:{qualname}"
+    _RUNTIME[name] = target
+
+
+def registered_names() -> tuple[str, ...]:
+    return tuple(sorted(BUILTIN_MEASURES | _RUNTIME))
+
+
+def resolve(name: str) -> Callable[..., Any]:
+    """Import and return the callable behind a measure name."""
+    path = _RUNTIME.get(name) or BUILTIN_MEASURES.get(name)
+    if path is None:
+        raise FarmError(
+            f"unknown measure {name!r}; registered: {', '.join(registered_names())}"
+        )
+    module_name, _, qualname = path.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+        target: Any = module
+        for part in qualname.split("."):
+            target = getattr(target, part)
+    except (ImportError, AttributeError) as exc:
+        raise FarmError(f"measure {name!r} ({path}) failed to import: {exc}") from exc
+    if not callable(target):
+        raise FarmError(f"measure {name!r} ({path}) is not callable")
+    return target
+
+
+def execute_job(measure: str, params: Mapping[str, Any], seed: int) -> Any:
+    """Run one job's measure.  This is the worker-side entry point."""
+    return resolve(measure)(seed=seed, **params)
+
+
+def timed_execute(
+    measure: str, params: Mapping[str, Any], seed: int
+) -> tuple[Any, float]:
+    """``execute_job`` plus worker-side wall-clock seconds."""
+    import time
+
+    start = time.perf_counter()
+    value = execute_job(measure, params, seed)
+    return value, time.perf_counter() - start

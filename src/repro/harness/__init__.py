@@ -13,7 +13,7 @@ from repro.harness.runner import (
     run_trace_driven,
     run_trap_driven,
 )
-from repro.harness.experiment import TrialStats, run_trials
+from repro.harness.experiment import TrialStats, run_trials, run_trials_farm
 from repro.harness.tables import format_table
 
 __all__ = [
@@ -27,5 +27,6 @@ __all__ = [
     "run_trace_driven",
     "TrialStats",
     "run_trials",
+    "run_trials_farm",
     "format_table",
 ]

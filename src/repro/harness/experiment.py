@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:
+    from repro.farm.pool import Farm
 
 
 @dataclass(frozen=True)
@@ -97,17 +100,55 @@ class TrialStats:
         }
 
 
+def _validate_trial_args(n_trials: int, base_seed: int) -> None:
+    """Trial counts and seeds must be true integers — a float ``base_seed``
+    would silently produce float seeds and un-keyable trials."""
+    for name, value in (("n_trials", n_trials), ("base_seed", base_seed)):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigError(
+                f"{name} must be an integer, got {value!r} "
+                f"({type(value).__name__})"
+            )
+    if n_trials <= 0:
+        raise ConfigError(f"n_trials must be positive, got {n_trials}")
+
+
 def run_trials(
     measure: Callable[[int], float],
     n_trials: int,
     base_seed: int = 0,
 ) -> TrialStats:
     """Run ``measure(seed)`` for ``n_trials`` distinct seeds."""
-    if n_trials <= 0:
-        raise ConfigError(f"n_trials must be positive, got {n_trials}")
+    _validate_trial_args(n_trials, base_seed)
     return TrialStats(
         values=tuple(measure(base_seed + trial) for trial in range(n_trials))
     )
+
+
+def run_trials_farm(
+    measure: str,
+    params: Mapping[str, Any],
+    n_trials: int,
+    base_seed: int = 0,
+    *,
+    farm: "Farm",
+) -> TrialStats:
+    """Farm-backed :func:`run_trials`.
+
+    ``measure`` names a registered measure (:mod:`repro.farm.registry`)
+    and ``params`` its non-seed keyword arguments; the farm runs the
+    ``base_seed + trial`` seed ladder through its cache and process
+    pool.  Because each trial is independently seeded, the resulting
+    :class:`TrialStats` is bit-for-bit identical to the serial path.
+    """
+    from repro.farm.jobs import Job
+
+    _validate_trial_args(n_trials, base_seed)
+    jobs = [
+        Job(measure=measure, params=dict(params), seed=base_seed + trial)
+        for trial in range(n_trials)
+    ]
+    return TrialStats(values=tuple(float(v) for v in farm.run_jobs(jobs)))
 
 
 def stats_of(values: Sequence[float]) -> TrialStats:

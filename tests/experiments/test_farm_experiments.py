@@ -1,0 +1,71 @@
+"""Farm-backed experiments are bit-for-bit identical to serial runs."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.farm import Farm, FarmConfig
+from repro.harness.experiment import run_trials_farm
+
+
+@pytest.fixture
+def farm(tmp_path):
+    return Farm(FarmConfig(max_workers=2, cache_dir=tmp_path / "farm-cache"))
+
+
+def test_table7_farm_equals_serial(farm):
+    from repro.experiments.table7 import run_table7
+
+    workloads = ("espresso", "xlisp")
+    serial = run_table7("smoke", n_trials=3, workloads=workloads)
+    farmed = run_table7("smoke", n_trials=3, workloads=workloads, farm=farm)
+    for name in workloads:
+        assert farmed.stats[name].values == serial.stats[name].values
+
+    # a warm-cache rerun executes nothing and still agrees
+    rerun = run_table7("smoke", n_trials=3, workloads=workloads, farm=farm)
+    for name in workloads:
+        assert rerun.stats[name].values == serial.stats[name].values
+    assert farm.last_run.executed == 0
+    assert farm.last_run.cache_hits == 3
+
+
+def test_table9_farm_equals_serial(farm):
+    from repro.experiments.table9 import run_table9
+
+    sizes = (4, 16)
+    serial = run_table9("smoke", n_trials=2, sizes_kb=sizes)
+    farmed = run_table9("smoke", n_trials=2, sizes_kb=sizes, farm=farm)
+    for size in sizes:
+        assert farmed.physical[size].values == serial.physical[size].values
+        assert farmed.virtual[size].values == serial.virtual[size].values
+    # the whole sweep went through as one batch
+    assert farm.last_run.jobs == len(sizes) * 2 * 2
+
+
+def test_table8_farm_equals_serial(farm):
+    from repro.experiments.table8 import run_table8
+
+    sizes = (2, 8)
+    serial = run_table8("smoke", n_trials=2, sizes_kb=sizes)
+    farmed = run_table8("smoke", n_trials=2, sizes_kb=sizes, farm=farm)
+    for size in sizes:
+        assert farmed.sampled[size].values == serial.sampled[size].values
+        assert farmed.unsampled[size].values == serial.unsampled[size].values
+
+
+def test_table10_farm_equals_serial(farm):
+    from repro.experiments.table10 import run_table10
+
+    workloads = ("jpeg_play",)
+    serial = run_table10("smoke", n_trials=2, workloads=workloads)
+    farmed = run_table10("smoke", n_trials=2, workloads=workloads, farm=farm)
+    assert farmed.stats["jpeg_play"].values == serial.stats["jpeg_play"].values
+
+
+def test_run_trials_farm_validates_arguments(farm):
+    with pytest.raises(ConfigError):
+        run_trials_farm("table7.measure", {}, 2.5, farm=farm)
+    with pytest.raises(ConfigError):
+        run_trials_farm("table7.measure", {}, 2, base_seed=1.0, farm=farm)
+    with pytest.raises(ConfigError):
+        run_trials_farm("table7.measure", {}, 0, farm=farm)

@@ -1,0 +1,55 @@
+"""Module-level measures for farm tests.
+
+Farm measures must be importable in worker processes, so the test
+doubles live here rather than as closures inside the tests.  Each is
+registered under a ``test.*`` name at import time; forked workers
+inherit the registration, and spawned ones re-import this module by
+path.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.farm import register
+
+
+def double(seed: int) -> float:
+    return seed * 2.0
+
+
+def counted(seed: int, counter_file: str) -> float:
+    """Record every execution in ``counter_file``, then behave like
+    :func:`double`.  Appends are atomic enough for line counting."""
+    with open(counter_file, "a") as handle:
+        handle.write(f"{seed}\n")
+    return seed * 2.0
+
+
+def crash_always(seed: int) -> float:
+    """Kill the worker process outright (simulates a hard crash)."""
+    os._exit(3)
+
+
+def crash_once(seed: int, sentinel: str) -> float:
+    """Crash the worker on the first attempt, succeed on the retry."""
+    path = Path(sentinel)
+    if not path.exists():
+        path.write_text("crashed")
+        os._exit(3)
+    return seed * 2.0
+
+
+def slow(seed: int, delay: float) -> float:
+    import time
+
+    time.sleep(delay)
+    return float(seed)
+
+
+register("test.double", double)
+register("test.counted", counted)
+register("test.crash_always", crash_always)
+register("test.crash_once", crash_once)
+register("test.slow", slow)

@@ -1,0 +1,78 @@
+"""The on-disk result store: roundtrips, counters, persistence, bypass."""
+
+import json
+
+from repro.farm import ResultCache
+
+
+def test_roundtrip_and_counters(tmp_path):
+    cache = ResultCache(tmp_path)
+    hit, value = cache.get("k1")
+    assert (hit, value) == (False, None)
+    cache.put("k1", 42.5, measure="m", seed=3, elapsed=0.01)
+    hit, value = cache.get("k1")
+    assert (hit, value) == (True, 42.5)
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert len(cache) == 1
+
+
+def test_persists_across_instances(tmp_path):
+    ResultCache(tmp_path).put("k", {"total_misses": 10.0})
+    reopened = ResultCache(tmp_path)
+    hit, value = reopened.get("k")
+    assert hit
+    assert value == {"total_misses": 10.0}
+
+
+def test_floats_roundtrip_exactly(tmp_path):
+    ugly = 0.1 + 0.2  # not representable; repr must round-trip bit-for-bit
+    ResultCache(tmp_path).put("k", ugly)
+    _, value = ResultCache(tmp_path).get("k")
+    assert value == ugly
+
+
+def test_disabled_cache_bypasses_storage(tmp_path):
+    cache = ResultCache(tmp_path, enabled=False)
+    cache.put("k", 1.0)
+    hit, _ = cache.get("k")
+    assert not hit
+    assert not (tmp_path / "results.jsonl").exists()
+    # and an enabled cache over the same dir sees nothing
+    assert len(ResultCache(tmp_path)) == 0
+
+
+def test_corrupt_lines_are_skipped(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("good", 1.0)
+    with (tmp_path / "results.jsonl").open("a") as handle:
+        handle.write("{torn write\n")
+    reopened = ResultCache(tmp_path)
+    assert reopened.get("good") == (True, 1.0)
+    assert len(reopened) == 1
+
+
+def test_clear_drops_everything(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("a", 1.0)
+    cache.put("b", 2.0)
+    assert cache.clear() == 2
+    assert len(cache) == 0
+    assert not (tmp_path / "results.jsonl").exists()
+
+
+def test_record_run_accumulates(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.record_run({"jobs": 4, "cache_hits": 1, "executed": 3,
+                      "retries": 0, "wall_clock_secs": 1.5})
+    cache.record_run({"jobs": 4, "cache_hits": 4, "executed": 0,
+                      "retries": 1, "wall_clock_secs": 0.5})
+    stats = cache.read_stats()
+    assert stats["runs"] == 2
+    assert stats["jobs"] == 8
+    assert stats["cache_hits"] == 5
+    assert stats["executed"] == 3
+    assert stats["retries"] == 1
+    assert stats["wall_clock_secs"] == 2.0
+    # the stats file is valid JSON on disk
+    assert json.loads((tmp_path / "stats.json").read_text())["runs"] == 2

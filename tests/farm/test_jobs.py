@@ -1,0 +1,64 @@
+"""Job fingerprints: stable, canonical, salt-sensitive."""
+
+import pytest
+
+from repro._types import Indexing
+from repro.caches.config import CacheConfig
+from repro.errors import ConfigError
+from repro.farm import Job, canonical, fingerprint
+
+
+def test_key_is_stable_across_param_ordering():
+    a = Job("m", {"x": 1, "y": 2}, seed=7)
+    b = Job("m", {"y": 2, "x": 1}, seed=7)
+    assert a.key() == b.key()
+
+
+def test_key_distinguishes_measure_params_and_seed():
+    base = Job("m", {"x": 1}, seed=0)
+    assert base.key() != Job("other", {"x": 1}, seed=0).key()
+    assert base.key() != Job("m", {"x": 2}, seed=0).key()
+    assert base.key() != Job("m", {"x": 1}, seed=1).key()
+
+
+def test_salt_invalidates_keys():
+    job = Job("m", {"x": 1}, seed=0)
+    assert job.key("v1") != job.key("v2")
+
+
+def test_key_is_a_sha256_hex_digest():
+    key = Job("m", {}, seed=0).key()
+    assert len(key) == 64
+    assert set(key) <= set("0123456789abcdef")
+
+
+def test_canonical_handles_config_dataclasses_and_enums():
+    config = CacheConfig(size_bytes=16 * 1024, indexing=Indexing.VIRTUAL)
+    encoded = canonical(config)
+    assert encoded["__dataclass__"] == "CacheConfig"
+    assert encoded["fields"]["size_bytes"] == 16 * 1024
+    assert encoded["fields"]["indexing"] == {"__enum__": "Indexing.VIRTUAL"}
+    # and the whole thing fingerprints deterministically
+    assert fingerprint("m", {"cache": config}, 0) == fingerprint(
+        "m", {"cache": config}, 0
+    )
+
+
+def test_canonical_sorts_sets_deterministically():
+    assert canonical(frozenset({3, 1, 2})) == canonical(frozenset({2, 3, 1}))
+
+
+def test_canonical_rejects_unfingerprintable_values():
+    with pytest.raises(ConfigError):
+        canonical(object())
+    with pytest.raises(ConfigError):
+        Job("m", {"fn": lambda: None}).key()
+
+
+def test_job_rejects_bad_seed_and_empty_measure():
+    with pytest.raises(ConfigError):
+        Job("m", {}, seed=1.5)
+    with pytest.raises(ConfigError):
+        Job("m", {}, seed=True)
+    with pytest.raises(ConfigError):
+        Job("", {})

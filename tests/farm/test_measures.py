@@ -1,0 +1,89 @@
+"""Registry resolution and the generic ``trap.measure``."""
+
+import pytest
+
+from repro._types import Component, Indexing
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import TapewormConfig
+from repro.errors import ConfigError, FarmError
+from repro.farm import BUILTIN_MEASURES, execute_job, register, resolve
+from repro.farm.measures import trap_measure
+from repro.harness.runner import RunOptions, run_trap_driven
+from repro.workloads.registry import get_workload
+
+REFS = 60_000
+
+
+def test_builtin_measures_all_resolve():
+    for name in BUILTIN_MEASURES:
+        assert callable(resolve(name))
+
+
+def test_register_rejects_closures():
+    with pytest.raises(FarmError, match="module-level"):
+        register("test.closure", lambda seed: 0.0)
+
+
+def test_execute_job_runs_builtin_table7_measure():
+    direct = execute_job(
+        "table7.measure", {"workload": "espresso", "total_refs": REFS}, 100
+    )
+    from repro.experiments.table7 import measure_once
+
+    assert direct == measure_once("espresso", 100, REFS)
+
+
+def test_trap_measure_matches_direct_runner():
+    value = trap_measure(
+        seed=3,
+        workload="mpeg_play",
+        total_refs=REFS,
+        cache={"size_bytes": 4096, "associativity": 4},
+        replacement="random",
+        components=("user",),
+        metric="total_misses",
+    )
+    report = run_trap_driven(
+        get_workload("mpeg_play"),
+        TapewormConfig(
+            cache=CacheConfig(size_bytes=4096, associativity=4),
+            replacement="random",
+            sampling_seed=3,
+        ),
+        RunOptions(
+            total_refs=REFS,
+            trial_seed=3,
+            simulate=frozenset({Component.USER}),
+        ),
+    )
+    assert value == float(report.stats.total_misses)
+
+
+def test_trap_measure_accepts_config_objects_and_dicts():
+    as_dict = trap_measure(
+        seed=1, workload="espresso", total_refs=REFS,
+        cache={"size_bytes": 8192, "indexing": "virtual"},
+        components=("user",), metric="total_misses",
+    )
+    as_config = trap_measure(
+        seed=1, workload="espresso", total_refs=REFS,
+        cache=CacheConfig(size_bytes=8192, indexing=Indexing.VIRTUAL),
+        components=("user",), metric="total_misses",
+    )
+    assert as_dict == as_config
+
+
+def test_trap_measure_all_metric_returns_dict():
+    values = trap_measure(
+        seed=0, workload="espresso", total_refs=REFS,
+        cache={"size_bytes": 4096}, components=("user",), metric="all",
+    )
+    assert set(values) == {"total_misses", "estimated_misses", "slowdown"}
+    assert values["total_misses"] > 0
+
+
+def test_trap_measure_rejects_unknown_metric():
+    with pytest.raises(ConfigError, match="unknown metric"):
+        trap_measure(
+            seed=0, workload="espresso", total_refs=REFS, metric="latency"
+        )

@@ -59,3 +59,19 @@ def test_empty_trials_rejected():
 
 def test_stats_of_wraps_values():
     assert stats_of([3.0, 5.0]).mean == 4.0
+
+
+def test_run_trials_rejects_non_integer_counts():
+    with pytest.raises(ConfigError):
+        run_trials(lambda seed: 0.0, 4.0)
+    with pytest.raises(ConfigError):
+        run_trials(lambda seed: 0.0, "4")
+    with pytest.raises(ConfigError):
+        run_trials(lambda seed: 0.0, True)
+
+
+def test_run_trials_rejects_non_integer_base_seed():
+    with pytest.raises(ConfigError):
+        run_trials(lambda seed: float(seed), 2, base_seed=1.5)
+    with pytest.raises(ConfigError):
+        run_trials(lambda seed: float(seed), 2, base_seed=False)

@@ -26,6 +26,7 @@ def test_version():
         "repro.core",
         "repro.tracing",
         "repro.harness",
+        "repro.farm",
         "repro.analysis",
         "repro.experiments",
         "repro.cli",
