@@ -54,6 +54,12 @@ from repro.harness import (
 from repro.farm import Farm, FarmConfig, Job
 from repro.kernel import Kernel, SyscallInterface
 from repro.machine import Machine, MachineConfig
+from repro.telemetry import (
+    EventTracer,
+    MetricsRegistry,
+    RunManifest,
+    TelemetrySession,
+)
 from repro.tracing import Cache2000, PixieTracer
 from repro.workloads import WORKLOAD_NAMES, get_workload
 
@@ -92,6 +98,10 @@ __all__ = [
     "SyscallInterface",
     "Machine",
     "MachineConfig",
+    "TelemetrySession",
+    "MetricsRegistry",
+    "EventTracer",
+    "RunManifest",
     "Cache2000",
     "PixieTracer",
     "get_workload",

@@ -15,18 +15,29 @@ Commands
     Apply the Table 12 port-feasibility reasoning to one processor.
 ``farm``
     Inspect or clear the execution farm's result cache.
+``telemetry``
+    Inspect, validate or clear the run-manifest log.
+
+``run`` and ``reproduce`` accept ``--trace-out`` (Chrome ``trace_event``
+JSON for Perfetto), ``--metrics-out`` (metrics-registry snapshot JSON)
+and ``--manifest-out``; unless ``--no-manifest`` is given, every
+invocation appends a run-manifest record next to the farm cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+import time
+from typing import Any, Mapping, Sequence
 
+from repro import telemetry
 from repro._types import Component, Indexing
 from repro.caches.config import CacheConfig, TLBConfig
 from repro.core.tapeworm import TapewormConfig
 from repro.errors import ReproError
+from repro.experiments import BUDGET_REFS
 from repro.harness.runner import RunOptions, run_trace_driven, run_trap_driven
 from repro.harness.tables import format_table
 from repro.workloads.registry import WORKLOAD_NAMES, all_workloads, get_workload
@@ -87,6 +98,32 @@ def _components(names: str) -> frozenset[Component]:
         ) from None
 
 
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("telemetry")
+    group.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the trap-level event trace as Chrome trace_event JSON "
+             "(open in Perfetto; '-' for stdout)",
+    )
+    group.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the metrics-registry snapshot as JSON ('-' for stdout)",
+    )
+    group.add_argument(
+        "--manifest-out", metavar="PATH", default=None,
+        help="run-manifest JSONL log (default: "
+             f"{telemetry.DEFAULT_MANIFEST_PATH}; '-' for stdout)",
+    )
+    group.add_argument(
+        "--no-manifest", action="store_true",
+        help="do not append a run-manifest record",
+    )
+    group.add_argument(
+        "--trace-capacity", type=int, default=telemetry.DEFAULT_TRACE_CAPACITY,
+        metavar="N", help="event ring-buffer capacity (oldest dropped beyond it)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -113,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--simulate", type=_components, default=frozenset(Component),
         help="components to register: comma list of user,kernel,bsd,x or 'all'",
     )
+    _add_telemetry_flags(run)
 
     trace = sub.add_parser("trace", help="one Pixie+Cache2000 simulation")
     trace.add_argument("--workload", choices=WORKLOAD_NAMES, default="mpeg_play")
@@ -127,7 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", choices=sorted(EXPERIMENTS) + ["all"]
     )
     reproduce.add_argument(
-        "--budget", choices=("smoke", "quick", "full"), default="quick"
+        "--budget", choices=tuple(sorted(BUDGET_REFS)), default="quick"
     )
     reproduce.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -138,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="bypass the farm's result cache (only meaningful with --jobs)",
     )
+    _add_telemetry_flags(reproduce)
 
     farm = sub.add_parser("farm", help="execution-farm cache utilities")
     farm_sub = farm.add_subparsers(dest="farm_command", required=True)
@@ -148,6 +187,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     clear = farm_sub.add_parser("clear", help="drop every cached result")
     clear.add_argument("--cache-dir", default=None, metavar="DIR")
+
+    tele = sub.add_parser(
+        "telemetry", help="run-manifest and telemetry utilities"
+    )
+    tele_sub = tele.add_subparsers(dest="telemetry_command", required=True)
+    manifests = tele_sub.add_parser(
+        "manifests", help="list recorded run manifests"
+    )
+    manifests.add_argument(
+        "--manifest-path", default=None, metavar="PATH",
+        help=f"manifest log (default {telemetry.DEFAULT_MANIFEST_PATH})",
+    )
+    manifests.add_argument(
+        "--last", type=int, default=20, metavar="N",
+        help="show only the most recent N records",
+    )
+    manifests.add_argument(
+        "--json", action="store_true", help="emit raw JSONL records"
+    )
+    validate = tele_sub.add_parser(
+        "validate", help="schema-check every record in the manifest log"
+    )
+    validate.add_argument("--manifest-path", default=None, metavar="PATH")
+    tele_clear = tele_sub.add_parser(
+        "clear", help="drop the run-manifest log"
+    )
+    tele_clear.add_argument("--manifest-path", default=None, metavar="PATH")
 
     sub.add_parser("workloads", help="list workload models")
 
@@ -163,6 +229,62 @@ def build_parser() -> argparse.ArgumentParser:
     assess.add_argument("processor")
 
     return parser
+
+
+# ---------------------------------------------------------------------------
+# telemetry plumbing shared by ``run`` and ``reproduce``
+# ---------------------------------------------------------------------------
+
+
+def _write_or_print(target: str, payload: str) -> None:
+    if target == "-":
+        print(payload)
+    else:
+        from pathlib import Path
+
+        path = Path(target)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(payload + "\n")
+
+
+def _begin_telemetry(args: argparse.Namespace):
+    """Activate a session when any telemetry output is wanted."""
+    wanted = (
+        args.trace_out
+        or args.metrics_out
+        or args.manifest_out
+        or not args.no_manifest
+    )
+    if not wanted:
+        return None
+    return telemetry.activate(
+        telemetry.TelemetrySession(trace_capacity=args.trace_capacity)
+    )
+
+
+def _finish_telemetry(
+    args: argparse.Namespace,
+    session,
+    manifests: Sequence[telemetry.RunManifest],
+) -> None:
+    """Deactivate and export: trace, metrics snapshot, manifest records."""
+    if session is None:
+        return
+    telemetry.deactivate()
+    if args.metrics_out:
+        _write_or_print(
+            args.metrics_out,
+            json.dumps(session.metrics.snapshot(), indent=2, sort_keys=True),
+        )
+    if args.trace_out:
+        _write_or_print(args.trace_out, json.dumps(session.trace.chrome_trace()))
+    if args.no_manifest:
+        return
+    for manifest in manifests:
+        if args.manifest_out == "-":
+            print(json.dumps(manifest.record(), sort_keys=True))
+        else:
+            telemetry.write_manifest(manifest, args.manifest_out)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -195,7 +317,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
         simulate=args.simulate,
         include_data_refs=args.structure == "tlb",
     )
-    report = run_trap_driven(spec, config, options)
+    session = _begin_telemetry(args)
+    started = time.perf_counter()
+    try:
+        report = run_trap_driven(spec, config, options)
+    except BaseException:
+        if session is not None:
+            telemetry.deactivate()
+        raise
+    manifest = telemetry.RunManifest(
+        kind="run",
+        name=report.workload,
+        configuration=report.configuration,
+        config_hash=telemetry.config_hash(config),
+        seed=args.seed,
+        wall_clock_secs=time.perf_counter() - started,
+        metrics=session.metrics.snapshot() if session is not None else {},
+        results={
+            "misses": report.stats.total_misses,
+            "estimated_misses": report.estimated_misses,
+            "slowdown": report.slowdown,
+            "overhead_cycles": report.overhead_cycles,
+            "traps": report.traps,
+            "page_faults": report.page_faults,
+            "ticks": report.ticks,
+        },
+    )
     print(f"workload      : {report.workload}")
     print(f"configuration : {report.configuration}")
     print(f"references    : {report.total_refs:,}")
@@ -209,6 +356,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     print(f"slowdown      : {report.slowdown:.2f}x")
     print(f"paper scale   : {report.misses_paper_scale() / 1e6:.2f}M misses")
+    _finish_telemetry(args, session, [manifest])
     return 0
 
 
@@ -257,15 +405,111 @@ def _build_farm(args: argparse.Namespace):
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     farm = _build_farm(args)
-    if args.experiment == "all":
-        for name in EXPERIMENTS:
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    session = _begin_telemetry(args)
+    manifests = []
+    try:
+        for name in names:
+            started = time.perf_counter()
             _reproduce_one(name, args.budget, farm)
-            print()
-    else:
-        _reproduce_one(args.experiment, args.budget, farm)
+            if args.experiment == "all":
+                print()
+            results: dict[str, Any] = {
+                "experiment": name,
+                "budget": args.budget,
+                "budget_refs": BUDGET_REFS.get(args.budget, 0),
+            }
+            if farm is not None and farm.last_run is not None:
+                results["farm"] = farm.last_run.summary()
+            manifests.append(
+                telemetry.RunManifest(
+                    kind="experiment",
+                    name=name,
+                    configuration=f"budget={args.budget}",
+                    config_hash=telemetry.config_hash(
+                        {"experiment": name, "budget": args.budget}
+                    ),
+                    seed=0,
+                    wall_clock_secs=time.perf_counter() - started,
+                    metrics=(
+                        session.metrics.snapshot()
+                        if session is not None
+                        else {}
+                    ),
+                    results=results,
+                )
+            )
+    except BaseException:
+        if session is not None:
+            telemetry.deactivate()
+        raise
     if farm is not None and farm.metrics.jobs:
         print(f"farm ({farm.config.max_workers} workers)")
         print(farm.metrics.render())
+    _finish_telemetry(args, session, manifests)
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    path = args.manifest_path or telemetry.DEFAULT_MANIFEST_PATH
+
+    if args.telemetry_command == "clear":
+        from pathlib import Path
+
+        target = Path(path)
+        count = len(telemetry.read_manifests(target))
+        if target.exists():
+            target.unlink()
+        print(f"dropped {count} manifest record(s) from {target}")
+        return 0
+
+    records = telemetry.read_manifests(path)
+
+    if args.telemetry_command == "validate":
+        bad = 0
+        for i, record in enumerate(records):
+            problems = telemetry.validate_record(record)
+            if problems:
+                bad += 1
+                print(f"record {i}: {'; '.join(problems)}", file=sys.stderr)
+        print(f"{len(records)} record(s), {len(records) - bad} valid, {bad} invalid")
+        return 1 if bad else 0
+
+    # ``manifests``: the durable perf trajectory, newest last
+    records = records[-args.last :] if args.last > 0 else records
+    if args.json:
+        for record in records:
+            print(json.dumps(record, sort_keys=True))
+        return 0
+    if not records:
+        print(f"no manifest records in {path}")
+        return 0
+    rows = []
+    for record in records:
+        created = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(record.get("created_unix", 0))
+        )
+        results: Mapping[str, Any] = record.get("results", {})
+        slowdown = results.get("slowdown")
+        rows.append(
+            [
+                created,
+                record.get("kind", "?"),
+                record.get("name", "?"),
+                record.get("config_hash", "?")[:8],
+                record.get("seed", 0),
+                f"{record.get('wall_clock_secs', 0.0):.2f}s",
+                f"{slowdown:.2f}x" if isinstance(slowdown, (int, float)) else "-",
+                record.get("git_version", "?"),
+            ]
+        )
+    print(
+        format_table(
+            ["When", "Kind", "Name", "Config", "Seed", "Wall", "Slowdown", "Git"],
+            rows,
+            title=f"Run manifests ({path})",
+        )
+    )
     return 0
 
 
@@ -386,6 +630,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "profile": _cmd_profile,
         "assess-port": _cmd_assess_port,
         "farm": _cmd_farm,
+        "telemetry": _cmd_telemetry,
     }
     try:
         return handlers[args.command](args)

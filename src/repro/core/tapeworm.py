@@ -424,6 +424,42 @@ class Tapeworm:
         copy.merge(self.stats)
         return copy
 
+    def publish_metrics(self, metrics) -> None:
+        """Publish simulation totals into a metrics registry under the
+        ``tapeworm.*`` namespace.
+
+        ``tapeworm.traps{kind=...}`` reports the trap kind backing this
+        simulation (ECC errors for caches, page-invalid for TLBs) as
+        counted by the kernel's dispatcher — i.e. the traps that
+        actually vectored into the miss handler.
+        """
+        kind = (
+            TrapKind.PAGE_INVALID
+            if self.config.structure == "tlb"
+            else TrapKind.ECC_ERROR
+        )
+        dispatched = self.machine.dispatcher.counts[kind]
+        if dispatched:
+            metrics.counter("tapeworm.traps", kind=kind.value).inc(dispatched)
+        for component, misses in self.stats.misses.items():
+            if misses:
+                metrics.counter(
+                    "tapeworm.misses", component=component.value
+                ).inc(misses)
+        if self.stats.l2_misses:
+            metrics.counter("tapeworm.l2_misses").inc(self.stats.l2_misses)
+        if self.overhead_cycles:
+            metrics.counter("tapeworm.overhead_cycles").inc(
+                self.overhead_cycles
+            )
+        if self.true_errors_detected:
+            metrics.counter("tapeworm.true_errors").inc(
+                self.true_errors_detected
+            )
+        metrics.gauge("tapeworm.estimated_misses").set(
+            self.estimated_total_misses()
+        )
+
     def reset_stats(self) -> None:
         self.stats = CacheStats()
         self.overhead_cycles = 0

@@ -47,6 +47,11 @@ class FarmError(ReproError):
     """
 
 
+class TelemetryError(ReproError):
+    """The observability layer was misused (bad metric name, duplicate
+    session activation, mismatched histogram buckets, bad manifest)."""
+
+
 class UnsupportedStructure(ReproError):
     """The requested structure cannot be simulated by this driver.
 

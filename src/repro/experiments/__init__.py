@@ -10,8 +10,10 @@ counts scale with run length.
 
 from repro.errors import ConfigError
 
-#: total simulated references per budget tier
+#: total simulated references per budget tier; ``tiny`` exists for
+#: telemetry/CI smoke runs that only need artifacts, not statistics
 BUDGET_REFS = {
+    "tiny": 20_000,
     "smoke": 60_000,
     "quick": 300_000,
     "full": 2_000_000,

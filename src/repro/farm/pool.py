@@ -31,6 +31,7 @@ from repro.farm.cache import ResultCache
 from repro.farm.jobs import CODE_VERSION, Job
 from repro.farm.progress import FarmMetrics
 from repro.farm.registry import timed_execute
+from repro.telemetry.session import active as _telemetry
 
 #: default location of the on-disk result store
 DEFAULT_CACHE_DIR = Path(".farm-cache")
@@ -83,6 +84,7 @@ class Farm:
         self.metrics = FarmMetrics(workers=self.config.max_workers)
         #: metrics of the most recent ``run_jobs`` call
         self.last_run: FarmMetrics | None = None
+        self._batch_started = 0.0
 
     # -- public surface
 
@@ -91,6 +93,8 @@ class Farm:
         run = FarmMetrics(workers=self.config.max_workers)
         run.jobs = len(jobs)
         start = time.perf_counter()
+        self._batch_started = start
+        session = _telemetry()
 
         results: list[Any] = [None] * len(jobs)
         keys = [job.key(self.config.salt) for job in jobs]
@@ -100,6 +104,13 @@ class Farm:
             if hit:
                 results[index] = value
                 run.cache_hits += 1
+                if session is not None:
+                    session.trace.farm_job(
+                        "cache_hit",
+                        ts_secs=time.perf_counter() - start,
+                        measure=job.measure,
+                        seed=job.seed,
+                    )
             else:
                 pending[index] = job
 
@@ -117,6 +128,8 @@ class Farm:
         self.last_run = run
         self.metrics.merge(run)
         self.cache.record_run(run.summary())
+        if session is not None:
+            run.publish(session.metrics)
         return results
 
     def run_job(self, job: Job) -> Any:
@@ -137,6 +150,16 @@ class Farm:
     ) -> None:
         results[index] = value
         run.record_execution(elapsed)
+        session = _telemetry()
+        if session is not None:
+            completed = time.perf_counter() - self._batch_started
+            session.trace.farm_job(
+                "job",
+                ts_secs=max(0.0, completed - elapsed),
+                dur_secs=elapsed,
+                measure=job.measure,
+                seed=job.seed,
+            )
         self.cache.put(
             key, value, measure=job.measure, seed=job.seed, elapsed=elapsed
         )
@@ -187,6 +210,14 @@ class Farm:
                 pool.shutdown(wait=False, cancel_futures=True)
                 attempts += 1
                 run.retries += 1
+                session = _telemetry()
+                if session is not None:
+                    session.trace.farm_job(
+                        "retry",
+                        ts_secs=time.perf_counter() - self._batch_started,
+                        pending=len(pending),
+                        error=type(exc).__name__,
+                    )
                 if attempts > self.config.max_retries:
                     failed = ", ".join(
                         f"{pending[i].measure}(seed={pending[i].seed})"

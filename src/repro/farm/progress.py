@@ -4,12 +4,24 @@ The farm's promise is "never recompute, never serialize what can
 shard" — :class:`FarmMetrics` is how that promise is audited: wall
 clock, per-job latency, cache hits vs. executions, retries, and whether
 the pool fell back to in-process serial execution.
+
+Per-job latencies live in a fixed-bucket
+:class:`~repro.telemetry.registry.Histogram` rather than an unbounded
+list: memory stays O(buckets) however many jobs a farm runs, while
+``mean_latency_secs``/``max_latency_secs`` remain bit-exact (the
+histogram tracks exact count, sum and extrema alongside its buckets).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.telemetry.registry import TIME_BUCKET_SECS, Histogram
+
+
+def _latency_histogram() -> Histogram:
+    return Histogram(TIME_BUCKET_SECS)
 
 
 @dataclass
@@ -23,22 +35,20 @@ class FarmMetrics:
     retries: int = 0
     fallback_serial: bool = False
     wall_clock_secs: float = 0.0
-    #: master-observed seconds per executed job, in completion order
-    latencies: list[float] = field(default_factory=list)
+    #: master-observed seconds per executed job (bounded histogram)
+    latency: Histogram = field(default_factory=_latency_histogram)
 
     def record_execution(self, elapsed: float) -> None:
         self.executed += 1
-        self.latencies.append(elapsed)
+        self.latency.observe(elapsed)
 
     @property
     def mean_latency_secs(self) -> float:
-        if not self.latencies:
-            return 0.0
-        return sum(self.latencies) / len(self.latencies)
+        return self.latency.mean
 
     @property
     def max_latency_secs(self) -> float:
-        return max(self.latencies, default=0.0)
+        return self.latency.maximum
 
     @property
     def hit_ratio(self) -> float:
@@ -54,7 +64,7 @@ class FarmMetrics:
         self.retries += other.retries
         self.fallback_serial = self.fallback_serial or other.fallback_serial
         self.wall_clock_secs += other.wall_clock_secs
-        self.latencies.extend(other.latencies)
+        self.latency.merge(other.latency)
 
     def summary(self) -> dict[str, Any]:
         """The structured summary emitted after each run."""
@@ -71,6 +81,22 @@ class FarmMetrics:
             "hit_ratio": round(self.hit_ratio, 4),
         }
 
+    def publish(self, metrics) -> None:
+        """Copy this run's totals into a metrics registry under the
+        ``farm.*`` namespace."""
+        metrics.gauge("farm.workers").set(self.workers)
+        if self.jobs:
+            metrics.counter("farm.jobs").inc(self.jobs)
+        if self.cache_hits:
+            metrics.counter("farm.jobs.cache_hits").inc(self.cache_hits)
+        if self.executed:
+            metrics.counter("farm.jobs.executed").inc(self.executed)
+        if self.retries:
+            metrics.counter("farm.retries").inc(self.retries)
+        metrics.histogram(
+            "farm.jobs.latency", bounds=self.latency.bounds
+        ).merge(self.latency)
+
     def render(self) -> str:
         """Human-readable one-run report."""
         lines = [
@@ -81,7 +107,7 @@ class FarmMetrics:
             f"retries       : {self.retries}",
             f"wall clock    : {self.wall_clock_secs:.3f}s",
         ]
-        if self.latencies:
+        if self.executed:
             lines.append(
                 f"job latency   : mean {self.mean_latency_secs:.3f}s, "
                 f"max {self.max_latency_secs:.3f}s"

@@ -34,6 +34,7 @@ from repro.kernel.scheduler import Demand, Scheduler
 from repro.kernel.syscalls import SyscallInterface
 from repro.kernel.task import Task
 from repro.machine.cpu import ChunkResult
+from repro.telemetry.session import active as _telemetry
 from repro.tracing.cache2000 import Cache2000
 from repro.tracing.pixie import PixieTracer
 from repro.tracing.sampling import TraceSetSampler
@@ -215,6 +216,9 @@ def run_uninstrumented(
     kernel = _boot_kernel(options)
     execution = _WorkloadExecution(spec, kernel, options)
     execution.run()
+    session = _telemetry()
+    if session is not None:
+        kernel.publish_metrics(session.metrics)
     return kernel
 
 
@@ -287,6 +291,10 @@ def run_trap_driven(
     report.slowdown = tapeworm_slowdown(
         report.overhead_cycles, spec, options.total_refs
     )
+    session = _telemetry()
+    if session is not None:
+        kernel.publish_metrics(session.metrics)
+        tapeworm.publish_metrics(session.metrics)
     return report
 
 

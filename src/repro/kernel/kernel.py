@@ -183,3 +183,23 @@ class Kernel:
             total.merge(self.machine.cpu.run_chunk(ctx, self._open_burst))
         self.tick_results.merge(total)
         return total
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def publish_metrics(self, metrics) -> None:
+        """Publish machine totals plus kernel-level counters into a
+        metrics registry (``machine.*`` and ``kernel.*`` namespaces)."""
+        self.machine.publish_metrics(metrics)
+        metrics.gauge("kernel.tasks.user").set(self.tasks.user_task_count())
+        ticks = self.tick_results
+        if ticks.n_refs:
+            metrics.counter("kernel.interrupt.refs").inc(ticks.n_refs)
+            metrics.counter("kernel.interrupt.cycles").inc(
+                ticks.base_cycles + ticks.sim_cycles
+            )
+        if ticks.masked_traps:
+            metrics.counter("kernel.interrupt.masked_traps").inc(
+                ticks.masked_traps
+            )

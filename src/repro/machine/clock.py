@@ -12,6 +12,8 @@ formula.
 
 from __future__ import annotations
 
+import operator
+
 from repro._types import CLOCK_TICK_CYCLES
 from repro.errors import ConfigError
 
@@ -28,7 +30,20 @@ class ClockTimer:
         self.ticks_delivered = 0
 
     def advance(self, cycles: int) -> int:
-        """Advance time; returns how many tick boundaries were crossed."""
+        """Advance time; returns how many tick boundaries were crossed.
+
+        ``cycles`` must be a non-negative integer: rejecting bad values
+        *before* any mutation keeps ``now``/``ticks_delivered`` from
+        being silently corrupted (a float or negative advance would skew
+        every tick boundary for the rest of the run).
+        """
+        try:
+            cycles = operator.index(cycles)
+        except TypeError:
+            raise ConfigError(
+                f"cycles must be an integer, got {cycles!r} "
+                f"({type(cycles).__name__})"
+            ) from None
         if cycles < 0:
             raise ConfigError(f"cannot advance time by {cycles} cycles")
         self.now += cycles
@@ -43,3 +58,9 @@ class ClockTimer:
         self.now = 0
         self._next_tick = self.tick_cycles
         self.ticks_delivered = 0
+
+    def publish_metrics(self, metrics) -> None:
+        """Copy tick totals into a metrics registry."""
+        if self.ticks_delivered:
+            metrics.counter("machine.clock.ticks").inc(self.ticks_delivered)
+        metrics.gauge("machine.clock.now_cycles").set(self.now)

@@ -29,6 +29,7 @@ from repro._types import Component, TrapMechanism
 from repro.errors import MachineError
 from repro.machine.mmu import PAGE_SHIFT, PageTable
 from repro.machine.traps import TrapFrame, TrapKind
+from repro.telemetry.session import active as _telemetry
 
 #: log2 of the ECC check granule (16 bytes).
 GRANULE_SHIFT = 4
@@ -148,6 +149,10 @@ class CPU:
         self.cycles_by_component[ctx.component] += result.base_cycles
 
         ticks = machine.clock.advance(result.base_cycles + result.sim_cycles)
+        if ticks:
+            session = _telemetry()
+            if session is not None:
+                session.trace.clock_ticks(machine.clock.now, ticks)
         if ticks and not self._in_tick and machine.tick_handler is not None:
             self._in_tick = True
             try:
@@ -309,3 +314,18 @@ class CPU:
     def reset_counters(self) -> None:
         self.refs_by_component = {c: 0 for c in Component}
         self.cycles_by_component = {c: 0 for c in Component}
+
+    def publish_metrics(self, metrics) -> None:
+        """Copy the per-component totals into a metrics registry
+        (``machine.cpu.refs{component=...}`` / ``machine.cpu.cycles``)."""
+        for component in Component:
+            refs = self.refs_by_component[component]
+            if refs:
+                metrics.counter(
+                    "machine.cpu.refs", component=component.value
+                ).inc(refs)
+            cycles = self.cycles_by_component[component]
+            if cycles:
+                metrics.counter(
+                    "machine.cpu.cycles", component=component.value
+                ).inc(cycles)

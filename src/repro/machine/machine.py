@@ -20,6 +20,7 @@ from repro.machine.memory import PhysicalMemory
 from repro.machine.mmu import MMU
 from repro.machine.tlb import HardwareTLB
 from repro.machine.traps import TrapDispatcher, TrapKind
+from repro.telemetry.session import active as _telemetry
 
 
 @dataclass(frozen=True)
@@ -88,6 +89,11 @@ class Machine:
 
     def deliver_page_fault(self, ctx: ExecContext, vpn: int) -> None:
         self.dispatcher.counts[TrapKind.PAGE_FAULT] += 1
+        session = _telemetry()
+        if session is not None:
+            session.trace.page_fault(
+                self.clock.now, ctx.component, ctx.tid, vpn
+            )
         if self.page_fault_handler is None:
             raise MachineError(
                 f"page fault on vpn {vpn} of task {ctx.tid} with no kernel "
@@ -108,3 +114,12 @@ class Machine:
 
     def unmask_interrupts(self) -> None:
         self.interrupts_masked = False
+
+    # -- observability
+
+    def publish_metrics(self, metrics) -> None:
+        """Publish every hardware unit's totals into a metrics registry
+        under the ``machine.*`` namespace."""
+        self.cpu.publish_metrics(metrics)
+        self.dispatcher.publish_metrics(metrics)
+        self.clock.publish_metrics(metrics)

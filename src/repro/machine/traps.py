@@ -20,6 +20,7 @@ from typing import Callable
 
 from repro._types import Component
 from repro.errors import MachineError
+from repro.telemetry.session import active as _telemetry
 
 
 class TrapKind(enum.Enum):
@@ -80,6 +81,17 @@ class TrapDispatcher:
         """Deliver a trap; returns handler cycles (0 if unhandled)."""
         self.counts[frame.kind] += 1
         handler = self._handlers.get(frame.kind)
-        if handler is None:
-            return 0
-        return handler(frame)
+        cycles = 0 if handler is None else handler(frame)
+        session = _telemetry()
+        if session is not None:
+            session.trace.trap(frame, cycles)
+        return cycles
+
+    def publish_metrics(self, metrics) -> None:
+        """Copy dispatch totals into a metrics registry
+        (``machine.traps.dispatched{kind=...}``)."""
+        for kind, count in self.counts.items():
+            if count:
+                metrics.counter(
+                    "machine.traps.dispatched", kind=kind.value
+                ).inc(count)

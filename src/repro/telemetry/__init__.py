@@ -1,0 +1,81 @@
+"""repro.telemetry — the observability layer (metrics, traces, manifests).
+
+The paper validated Tapeworm with *Monster*, a DAS 9200 hardware monitor
+that counted instructions and attributed cycles unobtrusively; this
+package is the software analogue for the whole reproduction stack:
+
+* :mod:`~repro.telemetry.registry` — a metrics registry (``Counter``,
+  ``Gauge``, fixed-bucket ``Histogram``) that the machine, kernel,
+  Tapeworm and farm publish into under stable dotted names;
+* :mod:`~repro.telemetry.events` — a bounded ring buffer of trap-level
+  events, exportable as Chrome ``trace_event`` JSON for Perfetto;
+* :mod:`~repro.telemetry.manifest` — append-only JSONL run manifests
+  (config hash, seed, git version, metrics snapshot, wall clock);
+* :mod:`~repro.telemetry.session` — the process-wide on/off switch.
+
+The hard guarantee, pinned by tier-1 tests: simulation results are
+bit-identical with telemetry enabled or disabled.  Instrumentation
+observes; it never participates.
+"""
+
+from repro.telemetry.events import (
+    DEFAULT_TRACE_CAPACITY,
+    FARM_PID,
+    MACHINE_PID,
+    EventTracer,
+    TraceEvent,
+)
+from repro.telemetry.manifest import (
+    DEFAULT_MANIFEST_PATH,
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    config_hash,
+    git_version,
+    read_manifests,
+    validate_record,
+    write_manifest,
+)
+from repro.telemetry.registry import (
+    CYCLE_BUCKETS,
+    TIME_BUCKET_SECS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+)
+from repro.telemetry.session import (
+    TelemetrySession,
+    activate,
+    active,
+    deactivate,
+    enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metric_key",
+    "TIME_BUCKET_SECS",
+    "CYCLE_BUCKETS",
+    "EventTracer",
+    "TraceEvent",
+    "DEFAULT_TRACE_CAPACITY",
+    "MACHINE_PID",
+    "FARM_PID",
+    "RunManifest",
+    "config_hash",
+    "git_version",
+    "read_manifests",
+    "validate_record",
+    "write_manifest",
+    "DEFAULT_MANIFEST_PATH",
+    "MANIFEST_SCHEMA_VERSION",
+    "TelemetrySession",
+    "activate",
+    "active",
+    "deactivate",
+    "enabled",
+]

@@ -1,0 +1,223 @@
+"""The trap-level event tracer: a bounded ring buffer of run events.
+
+Every trap delivery, page fault, clock tick and farm job records one
+:class:`TraceEvent`.  Machine events are timestamped in *simulated*
+cycles (converted to simulated microseconds of the 25 MHz DECstation);
+farm events use master wall-clock time.  The buffer is a fixed-capacity
+ring — when a run out-produces it, the oldest events are dropped and
+counted, never grown — so tracing costs bounded memory on arbitrarily
+long runs.
+
+:meth:`EventTracer.chrome_trace` exports the Chrome ``trace_event``
+JSON format (the "JSON Array Format" with ``traceEvents``), so a whole
+run opens in Perfetto / ``chrome://tracing`` with one process per
+execution domain (simulated machine vs. farm master) and one lane per
+component.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro._types import HOST_CLOCK_HZ
+from repro.errors import TelemetryError
+
+#: trace process ids: simulated-machine lanes vs. farm (wall-clock) lanes
+MACHINE_PID = 1
+FARM_PID = 2
+
+#: simulated cycles per simulated microsecond (25 MHz host)
+CYCLES_PER_US = HOST_CLOCK_HZ / 1_000_000
+
+#: default ring capacity; at ~250 cycles per trap this covers runs of
+#: tens of millions of references before wrapping
+DEFAULT_TRACE_CAPACITY = 65_536
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded run event."""
+
+    kind: str       #: event name ("ecc_error", "clock_tick", "job", ...)
+    category: str   #: trace category ("trap", "fault", "clock", "farm")
+    lane: str       #: display lane ("user", "kernel", "clock", "jobs", ...)
+    pid: int        #: MACHINE_PID or FARM_PID
+    ts_us: float    #: start time, simulated or wall microseconds
+    dur_us: float = 0.0
+    args: Mapping[str, Any] | None = None
+
+
+class EventTracer:
+    """Fixed-capacity ring buffer of :class:`TraceEvent`\\ s."""
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        if capacity <= 0:
+            raise TelemetryError(f"trace capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.recorded = 0
+        self._ring: list[TraceEvent] = []
+        self._next = 0
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to the ring bound (oldest-first)."""
+        return max(0, self.recorded - self.capacity)
+
+    def record(self, event: TraceEvent) -> None:
+        if len(self._ring) < self.capacity:
+            self._ring.append(event)
+        else:
+            self._ring[self._next] = event
+        self._next = (self._next + 1) % self.capacity
+        self.recorded += 1
+
+    def events(self) -> list[TraceEvent]:
+        """Retained events, oldest first."""
+        if self.recorded <= self.capacity:
+            return list(self._ring)
+        return self._ring[self._next :] + self._ring[: self._next]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # ------------------------------------------------------------------
+    # emitters for the standard instrumentation points
+    # ------------------------------------------------------------------
+
+    def trap(self, frame, handler_cycles: int) -> None:
+        """One kernel trap delivery (called by the trap dispatcher)."""
+        self.record(
+            TraceEvent(
+                kind=frame.kind.value,
+                category="trap",
+                lane=frame.component.value,
+                pid=MACHINE_PID,
+                ts_us=frame.cycle / CYCLES_PER_US,
+                dur_us=handler_cycles / CYCLES_PER_US,
+                args={
+                    "tid": frame.tid,
+                    "va": frame.va,
+                    "pa": frame.pa,
+                    "cycle": frame.cycle,
+                    "handler_cycles": handler_cycles,
+                },
+            )
+        )
+
+    def page_fault(self, cycle: int, component, tid: int, vpn: int) -> None:
+        self.record(
+            TraceEvent(
+                kind="page_fault",
+                category="fault",
+                lane=component.value,
+                pid=MACHINE_PID,
+                ts_us=cycle / CYCLES_PER_US,
+                args={"tid": tid, "vpn": vpn, "cycle": cycle},
+            )
+        )
+
+    def clock_ticks(self, cycle: int, ticks: int) -> None:
+        self.record(
+            TraceEvent(
+                kind="clock_tick",
+                category="clock",
+                lane="clock",
+                pid=MACHINE_PID,
+                ts_us=cycle / CYCLES_PER_US,
+                args={"ticks": ticks, "cycle": cycle},
+            )
+        )
+
+    def farm_job(
+        self,
+        kind: str,
+        ts_secs: float,
+        dur_secs: float = 0.0,
+        **args: Any,
+    ) -> None:
+        """Farm job lifecycle ("job", "cache_hit", "retry"); wall clock,
+        relative to the batch start."""
+        self.record(
+            TraceEvent(
+                kind=kind,
+                category="farm",
+                lane="jobs",
+                pid=FARM_PID,
+                ts_us=ts_secs * 1e6,
+                dur_us=dur_secs * 1e6,
+                args=dict(args) or None,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Chrome trace_event export
+    # ------------------------------------------------------------------
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """The run as a Chrome ``trace_event`` JSON object."""
+        trace_events: list[dict[str, Any]] = []
+        lanes: dict[tuple[int, str], int] = {}
+
+        for pid, name in (
+            (MACHINE_PID, "simulated machine"),
+            (FARM_PID, "execution farm"),
+        ):
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
+
+        for event in self.events():
+            lane_key = (event.pid, event.lane)
+            tid = lanes.get(lane_key)
+            if tid is None:
+                tid = lanes[lane_key] = len(lanes) + 1
+                trace_events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": event.pid,
+                        "tid": tid,
+                        "args": {"name": event.lane},
+                    }
+                )
+            record: dict[str, Any] = {
+                "name": event.kind,
+                "cat": event.category,
+                "pid": event.pid,
+                "tid": tid,
+                "ts": event.ts_us,
+            }
+            if event.dur_us > 0:
+                record["ph"] = "X"
+                record["dur"] = event.dur_us
+            else:
+                record["ph"] = "i"
+                record["s"] = "t"
+            if event.args:
+                record["args"] = dict(event.args)
+            trace_events.append(record)
+
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "recorded": self.recorded,
+                "dropped": self.dropped,
+                "capacity": self.capacity,
+            },
+        }
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.chrome_trace()) + "\n")
+        return path

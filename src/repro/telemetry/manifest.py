@@ -1,0 +1,176 @@
+"""Run manifests: one JSONL record per experiment/trial, forever.
+
+Reproducibility claims live or die on machine-readable, comparable run
+artifacts (the gem5 standardization and Ramulator 2.0 re-evaluation
+arguments).  A manifest record captures *what ran* (name, configuration
+and its content hash, seed), *which code ran it* (package code version,
+git revision), *what it cost* (wall clock) and *what it measured* (a
+metrics-registry snapshot plus a small results dict) — enough to plot a
+durable performance trajectory across months of commits.
+
+Records append to ``manifests.jsonl`` next to the farm result cache
+(both are append-only JSONL stores owned by the master process), or to
+any path the CLI's ``--manifest-out`` names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import TelemetryError
+
+#: bump when the record layout changes incompatibly
+MANIFEST_SCHEMA_VERSION = 1
+
+#: default location — deliberately next to the farm's result cache
+DEFAULT_MANIFEST_PATH = Path(".farm-cache") / "manifests.jsonl"
+
+#: required record fields and their JSON types, the schema contract
+#: checked by :func:`validate_record` (tests and CI both call it)
+_SCHEMA: dict[str, type | tuple[type, ...]] = {
+    "schema": int,
+    "kind": str,
+    "name": str,
+    "configuration": str,
+    "config_hash": str,
+    "seed": int,
+    "code_version": str,
+    "git_version": str,
+    "created_unix": (int, float),
+    "wall_clock_secs": (int, float),
+    "metrics": dict,
+    "results": dict,
+}
+
+_git_version_cache: str | None = None
+
+
+def config_hash(config: Any) -> str:
+    """Short content hash of any fingerprintable configuration value.
+
+    Accepts everything :func:`repro.farm.jobs.canonical` does —
+    dataclasses (``TapewormConfig``, ``CacheConfig``), enums, mappings,
+    sequences and JSON scalars — so semantically equal configs hash
+    equal regardless of spelling.
+    """
+    from repro.farm.jobs import canonical
+
+    blob = json.dumps(canonical(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def git_version() -> str:
+    """The repository's short revision, or ``"unknown"`` outside git."""
+    global _git_version_cache
+    if _git_version_cache is None:
+        try:
+            result = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=5,
+                cwd=Path(__file__).resolve().parent,
+            )
+            _git_version_cache = (
+                result.stdout.strip() if result.returncode == 0 else "unknown"
+            )
+        except (OSError, subprocess.SubprocessError):
+            _git_version_cache = "unknown"
+    return _git_version_cache or "unknown"
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """One run's manifest, ready to serialize."""
+
+    kind: str                 #: "run", "experiment", "trial", ...
+    name: str                 #: workload or experiment name
+    configuration: str        #: human-readable configuration description
+    config_hash: str          #: content hash from :func:`config_hash`
+    seed: int = 0
+    wall_clock_secs: float = 0.0
+    metrics: Mapping[str, Any] = field(default_factory=dict)
+    results: Mapping[str, Any] = field(default_factory=dict)
+
+    def record(self) -> dict[str, Any]:
+        """The JSONL record, stamped with schema and provenance."""
+        from repro.farm.jobs import CODE_VERSION
+
+        return {
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "kind": self.kind,
+            "name": self.name,
+            "configuration": self.configuration,
+            "config_hash": self.config_hash,
+            "seed": self.seed,
+            "code_version": CODE_VERSION,
+            "git_version": git_version(),
+            "created_unix": round(time.time(), 3),
+            "wall_clock_secs": round(self.wall_clock_secs, 6),
+            "metrics": dict(self.metrics),
+            "results": dict(self.results),
+        }
+
+
+def write_manifest(
+    manifest: RunManifest | Mapping[str, Any],
+    path: str | Path | None = None,
+) -> Path:
+    """Append one record to the manifest log; returns the path written."""
+    record = manifest.record() if isinstance(manifest, RunManifest) else dict(manifest)
+    problems = validate_record(record)
+    if problems:
+        raise TelemetryError(
+            f"refusing to write an invalid manifest record: {'; '.join(problems)}"
+        )
+    path = Path(path) if path is not None else DEFAULT_MANIFEST_PATH
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def read_manifests(path: str | Path | None = None) -> list[dict[str, Any]]:
+    """All records in the log, oldest first; torn lines are skipped."""
+    path = Path(path) if path is not None else DEFAULT_MANIFEST_PATH
+    if not path.exists():
+        return []
+    records = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # a torn write loses one record, not the log
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def validate_record(record: Mapping[str, Any]) -> list[str]:
+    """Schema-check one record; returns a list of problems (empty = ok)."""
+    problems = []
+    for name, expected in _SCHEMA.items():
+        if name not in record:
+            problems.append(f"missing field {name!r}")
+        elif isinstance(record[name], bool) or not isinstance(
+            record[name], expected
+        ):
+            problems.append(
+                f"field {name!r} should be {expected}, "
+                f"got {type(record[name]).__name__}"
+            )
+    if not problems and record["schema"] > MANIFEST_SCHEMA_VERSION:
+        problems.append(
+            f"schema {record['schema']} is newer than supported "
+            f"{MANIFEST_SCHEMA_VERSION}"
+        )
+    return problems

@@ -1,0 +1,246 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Every execution layer publishes into one :class:`MetricsRegistry` under
+stable dotted names with optional labels, e.g.::
+
+    machine.cpu.refs{component=user}
+    machine.traps.dispatched{kind=ecc_error}
+    tapeworm.misses{component=kernel}
+    farm.jobs.latency
+
+Publication is *pull-shaped*: layers keep their own plain-int counters
+on the hot path (exactly as before this module existed) and copy the
+totals into the registry once, at end of run, via their
+``publish_metrics`` methods.  Nothing in the simulation ever reads a
+metric, so instrumentation cannot perturb results — the Monster
+property, "unobtrusive by construction".  The only inline metric is the
+farm's latency histogram, which observes wall-clock (not simulated)
+time.
+
+:class:`Histogram` keeps fixed buckets plus exact count/sum/min/max, so
+means and maxima are bit-exact while percentiles cost O(n_buckets)
+memory no matter how many values are observed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterator, Mapping
+
+from repro.errors import TelemetryError
+
+#: dotted, lowercase metric names: ``machine.cpu.refs``
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+
+#: default histogram bounds for wall-clock seconds (farm job latency)
+TIME_BUCKET_SECS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0
+)
+
+#: default histogram bounds for simulated handler cycles
+CYCLE_BUCKETS = (50, 100, 250, 500, 1_000, 5_000, 10_000, 100_000)
+
+
+def metric_key(name: str, labels: Mapping[str, str]) -> str:
+    """The registry key: ``name{label=value,...}`` with sorted labels."""
+    if not _NAME_RE.match(name):
+        raise TelemetryError(
+            f"bad metric name {name!r}; use dotted lowercase like "
+            "'machine.cpu.refs'"
+        )
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise TelemetryError(f"counters only go up; cannot inc by {n}")
+        self.value += n
+
+    def snapshot(self) -> Any:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def snapshot(self) -> Any:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket distribution with exact count/sum/min/max.
+
+    ``bounds`` are ascending bucket upper edges; one overflow bucket
+    catches everything above the last edge.  Memory is O(len(bounds))
+    regardless of how many values are observed — this is what bounds
+    the farm's per-job latency record.  ``percentile`` interpolates
+    linearly inside the winning bucket and clamps to the exact observed
+    minimum/maximum, so small samples still report sane numbers.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, bounds: tuple[float, ...] = TIME_BUCKET_SECS) -> None:
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise TelemetryError(
+                f"histogram bounds must be ascending and non-empty: {bounds!r}"
+            )
+        self.bounds: tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: list[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = 0.0
+        self.maximum = 0.0
+
+    def observe(self, value: int | float) -> None:
+        value = float(value)
+        if self.count == 0:
+            self.minimum = self.maximum = value
+        else:
+            self.minimum = min(self.minimum, value)
+            self.maximum = max(self.maximum, value)
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (p in [0, 100]) from the buckets."""
+        if not 0 <= p <= 100:
+            raise TelemetryError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = (
+                    self.bounds[i] if i < len(self.bounds) else self.maximum
+                )
+                fraction = (rank - cumulative) / bucket_count
+                value = lower + (upper - lower) * max(0.0, min(1.0, fraction))
+                return max(self.minimum, min(self.maximum, value))
+            cumulative += bucket_count
+        return self.maximum
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise TelemetryError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.minimum, self.maximum = other.minimum, other.maximum
+        else:
+            self.minimum = min(self.minimum, other.minimum)
+            self.maximum = max(self.maximum, other.maximum)
+        self.count += other.count
+        self.total += other.total
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+
+    def snapshot(self) -> Any:
+        buckets = {f"le_{bound:g}": n for bound, n in zip(self.bounds, self.counts)}
+        buckets["le_inf"] = self.counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics.
+
+    Asking for an existing name with a different metric type (or
+    different histogram bounds) is an error — names are a stable,
+    machine-comparable contract, not a namespace free-for-all.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, key: str, factory, expected_kind: str):
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        elif metric.kind != expected_kind:
+            raise TelemetryError(
+                f"metric {key!r} is a {metric.kind}, not a {expected_kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get_or_create(metric_key(name, labels), Counter, "counter")
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get_or_create(metric_key(name, labels), Gauge, "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        bounds: tuple[float, ...] = TIME_BUCKET_SECS,
+        **labels: str,
+    ) -> Histogram:
+        histogram = self._get_or_create(
+            metric_key(name, labels), lambda: Histogram(bounds), "histogram"
+        )
+        if histogram.bounds != tuple(float(b) for b in bounds):
+            raise TelemetryError(
+                f"metric {metric_key(name, labels)!r} already exists with "
+                "different bucket bounds"
+            )
+        return histogram
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._metrics
+
+    def items(self) -> Iterator[tuple[str, Counter | Gauge | Histogram]]:
+        yield from sorted(self._metrics.items())
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-encodable view: key -> number (counter/gauge) or dict
+        (histogram), sorted by key for stable diffs."""
+        return {key: metric.snapshot() for key, metric in self.items()}

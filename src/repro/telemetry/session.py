@@ -1,0 +1,73 @@
+"""The process-wide telemetry session — the zero-cost-when-disabled gate.
+
+Instrumentation points throughout the machine, kernel, Tapeworm and
+farm all read one module-level slot::
+
+    session = active()
+    if session is not None:
+        session.trace.trap(frame, cycles)
+
+With no session activated (the default, and the state every test and
+benchmark runs in unless it opts in) that is a single global load and a
+``None`` check — and crucially, *nothing* in the simulation ever reads
+telemetry state, so results are bit-identical with telemetry on or off.
+``tests/telemetry/test_unobtrusive.py`` pins that property.
+
+Sessions are per-process; farm worker processes run without one, and
+the farm master records job lifecycle on their behalf.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import TelemetryError
+from repro.telemetry.events import DEFAULT_TRACE_CAPACITY, EventTracer
+from repro.telemetry.registry import MetricsRegistry
+
+
+class TelemetrySession:
+    """One run's worth of observability state: metrics + event trace."""
+
+    def __init__(self, trace_capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        self.metrics = MetricsRegistry()
+        self.trace = EventTracer(trace_capacity)
+
+
+_active: TelemetrySession | None = None
+
+
+def active() -> TelemetrySession | None:
+    """The currently activated session, or None (telemetry disabled)."""
+    return _active
+
+
+def activate(session: TelemetrySession | None = None) -> TelemetrySession:
+    """Install ``session`` (or a fresh one) as the process-wide session."""
+    global _active
+    if _active is not None:
+        raise TelemetryError("a telemetry session is already active")
+    _active = session or TelemetrySession()
+    return _active
+
+
+def deactivate() -> TelemetrySession:
+    """Remove and return the active session."""
+    global _active
+    if _active is None:
+        raise TelemetryError("no telemetry session is active")
+    session, _active = _active, None
+    return session
+
+
+@contextmanager
+def enabled(
+    trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+) -> Iterator[TelemetrySession]:
+    """Scope a telemetry session over a block of simulation work."""
+    session = activate(TelemetrySession(trace_capacity))
+    try:
+        yield session
+    finally:
+        deactivate()

@@ -1,0 +1,105 @@
+"""FarmMetrics: bounded latency accounting with exact summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.farm.progress import FarmMetrics
+from repro.telemetry.registry import TIME_BUCKET_SECS, MetricsRegistry
+
+
+class TestLatencyHistogram:
+    def test_memory_is_bounded_by_buckets_not_jobs(self):
+        metrics = FarmMetrics()
+        for i in range(50_000):
+            metrics.record_execution(0.001 * (i % 100))
+        assert metrics.executed == 50_000
+        assert len(metrics.latency.counts) == len(TIME_BUCKET_SECS) + 1
+
+    def test_mean_and_max_are_exact(self):
+        metrics = FarmMetrics()
+        for elapsed in (0.1, 0.2, 0.6):
+            metrics.record_execution(elapsed)
+        assert metrics.mean_latency_secs == pytest.approx(0.3)
+        assert metrics.max_latency_secs == 0.6
+
+    def test_empty_metrics_report_zero(self):
+        metrics = FarmMetrics()
+        assert metrics.mean_latency_secs == 0.0
+        assert metrics.max_latency_secs == 0.0
+        assert metrics.hit_ratio == 0.0
+
+
+class TestMerge:
+    def test_merge_folds_latencies(self):
+        a, b = FarmMetrics(), FarmMetrics()
+        a.record_execution(0.1)
+        b.record_execution(0.5)
+        b.jobs, b.cache_hits = 3, 2
+        a.merge(b)
+        assert a.executed == 2
+        assert a.mean_latency_secs == pytest.approx(0.3)
+        assert a.max_latency_secs == 0.5
+        assert (a.jobs, a.cache_hits) == (3, 2)
+
+
+class TestSummary:
+    def test_summary_keys_are_stable(self):
+        """`repro farm stats` consumes these keys; they are a contract."""
+        metrics = FarmMetrics(workers=2)
+        metrics.jobs = 4
+        metrics.cache_hits = 1
+        metrics.record_execution(0.25)
+        summary = metrics.summary()
+        assert list(summary) == [
+            "workers",
+            "jobs",
+            "cache_hits",
+            "executed",
+            "retries",
+            "fallback_serial",
+            "wall_clock_secs",
+            "mean_latency_secs",
+            "max_latency_secs",
+            "hit_ratio",
+        ]
+        assert summary["mean_latency_secs"] == 0.25
+        assert summary["max_latency_secs"] == 0.25
+        assert summary["hit_ratio"] == 0.25
+
+    def test_render_mentions_latency_only_when_executed(self):
+        metrics = FarmMetrics()
+        assert "latency" not in metrics.render()
+        metrics.record_execution(0.5)
+        assert "job latency" in metrics.render()
+
+
+class TestPublish:
+    def test_publish_into_registry(self):
+        metrics = FarmMetrics(workers=3)
+        metrics.jobs = 5
+        metrics.cache_hits = 2
+        metrics.retries = 1
+        metrics.record_execution(0.1)
+        metrics.record_execution(0.3)
+        registry = MetricsRegistry()
+        metrics.publish(registry)
+        snap = registry.snapshot()
+        assert snap["farm.workers"] == 3
+        assert snap["farm.jobs"] == 5
+        assert snap["farm.jobs.cache_hits"] == 2
+        assert snap["farm.jobs.executed"] == 2
+        assert snap["farm.retries"] == 1
+        assert snap["farm.jobs.latency"]["count"] == 2
+        assert snap["farm.jobs.latency"]["max"] == 0.3
+
+    def test_publish_accumulates_across_runs(self):
+        registry = MetricsRegistry()
+        for _ in range(2):
+            metrics = FarmMetrics()
+            metrics.jobs = 1
+            metrics.record_execution(0.1)
+            metrics.publish(registry)
+        snap = registry.snapshot()
+        assert snap["farm.jobs"] == 2
+        assert snap["farm.jobs.latency"]["count"] == 2

@@ -37,6 +37,59 @@ def test_empty_machine_fractions_are_zero(kernel):
     assert all(value == 0.0 for value in fractions.values())
 
 
+def test_counters_monotone_across_a_run(kernel):
+    """Monster reads never decrease as the workload executes — the
+    counters are cumulative, like the logic analyzer's."""
+    monster = Monster(kernel)
+    task = kernel.spawn("t", Component.USER)
+    instructions, cycles, seconds = 0, 0, 0.0
+    for chunk in range(4):
+        base = chunk * 4096
+        kernel.run_chunk(task, np.arange(base, base + 4096, 4, dtype=np.int64))
+        assert monster.instructions() > instructions
+        assert monster.cycles() > cycles
+        assert monster.run_time_secs() > seconds
+        instructions = monster.instructions()
+        cycles = monster.cycles()
+        seconds = monster.run_time_secs()
+    assert instructions == 4 * 1024
+
+
+def test_run_time_consistent_with_host_clock(kernel):
+    """run_time_secs is exactly cycles / 25 MHz — the DECstation's
+    clock rate — at every point during a run."""
+    monster = Monster(kernel)
+    assert monster.run_time_secs() == 0.0
+    task = kernel.spawn("t", Component.USER)
+    kernel.run_chunk(task, np.arange(0, 8192, 4, dtype=np.int64))
+    assert monster.run_time_secs() == monster.cycles() / HOST_CLOCK_HZ
+    assert monster.run_time_secs() * HOST_CLOCK_HZ == pytest.approx(
+        monster.cycles()
+    )
+
+
+def test_fractions_sum_to_one_after_full_run():
+    """Across a real multi-component workload run, component fractions
+    still partition the cycle total."""
+    spec = get_workload("mpeg_play")
+    booted = run_uninstrumented(spec, RunOptions(total_refs=40_000, trial_seed=2))
+    fractions = Monster(booted).component_fractions()
+    assert sum(fractions.values()) == pytest.approx(1.0)
+    assert all(0.0 <= value <= 1.0 for value in fractions.values())
+
+
+def test_reading_matches_counters():
+    spec = get_workload("espresso")
+    booted = run_uninstrumented(spec, RunOptions(total_refs=30_000, trial_seed=0))
+    monster = Monster(booted)
+    reading = monster.reading(spec)
+    assert reading.instructions == monster.instructions()
+    assert reading.run_time_secs == monster.run_time_secs()
+    assert (
+        reading.frac_kernel + reading.frac_bsd + reading.frac_x + reading.frac_user
+    ) == pytest.approx(1.0)
+
+
 def test_reading_from_uninstrumented_run():
     spec = get_workload("ousterhout")
     booted = run_uninstrumented(

@@ -78,6 +78,29 @@ class TestClock:
         with pytest.raises(ConfigError):
             clock.advance(-1)
 
+    @pytest.mark.parametrize("bad", [2.5, 1.0, "10", None, float("nan")])
+    def test_rejects_non_integer_cycles(self, bad):
+        """Floats would silently corrupt ``now``; only true integers
+        (including numpy's) may advance the clock."""
+        clock = ClockTimer(tick_cycles=100)
+        with pytest.raises(ConfigError):
+            clock.advance(bad)
+
+    def test_accepts_numpy_integers(self):
+        np = pytest.importorskip("numpy")
+        clock = ClockTimer(tick_cycles=100)
+        assert clock.advance(np.int64(150)) == 1
+        assert clock.now == 150
+
+    def test_state_unchanged_after_rejected_advance(self):
+        clock = ClockTimer(tick_cycles=100)
+        clock.advance(42)
+        for bad in (-5, 2.5):
+            with pytest.raises(ConfigError):
+                clock.advance(bad)
+        assert clock.now == 42
+        assert clock.ticks_delivered == 0
+
 
 class TestOpsSurvey:
     def test_matrix_is_complete(self):

@@ -1,0 +1,161 @@
+"""The bounded event ring and its Chrome trace_event export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro._types import Component
+from repro.errors import TelemetryError
+from repro.machine.traps import TrapFrame, TrapKind
+from repro.telemetry.events import (
+    CYCLES_PER_US,
+    FARM_PID,
+    MACHINE_PID,
+    EventTracer,
+    TraceEvent,
+)
+
+
+def _event(i: int) -> TraceEvent:
+    return TraceEvent(
+        kind=f"e{i}", category="test", lane="lane", pid=MACHINE_PID, ts_us=float(i)
+    )
+
+
+class TestRingBuffer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(TelemetryError):
+            EventTracer(0)
+
+    def test_under_capacity_keeps_everything(self):
+        tracer = EventTracer(capacity=8)
+        for i in range(5):
+            tracer.record(_event(i))
+        assert len(tracer) == 5
+        assert tracer.recorded == 5
+        assert tracer.dropped == 0
+        assert [e.kind for e in tracer.events()] == [f"e{i}" for i in range(5)]
+
+    def test_overflow_drops_oldest_and_counts(self):
+        tracer = EventTracer(capacity=4)
+        for i in range(10):
+            tracer.record(_event(i))
+        assert len(tracer) == 4
+        assert tracer.recorded == 10
+        assert tracer.dropped == 6
+        # survivors are the newest four, oldest first
+        assert [e.kind for e in tracer.events()] == ["e6", "e7", "e8", "e9"]
+
+    def test_exactly_full_is_not_a_drop(self):
+        tracer = EventTracer(capacity=3)
+        for i in range(3):
+            tracer.record(_event(i))
+        assert tracer.dropped == 0
+        assert [e.kind for e in tracer.events()] == ["e0", "e1", "e2"]
+
+
+class TestEmitters:
+    def test_trap_event_converts_cycles_to_microseconds(self):
+        tracer = EventTracer()
+        frame = TrapFrame(
+            kind=TrapKind.ECC_ERROR,
+            tid=3,
+            component=Component.USER,
+            va=0x1000,
+            pa=0x2000,
+            cycle=250,
+        )
+        tracer.trap(frame, handler_cycles=246)
+        (event,) = tracer.events()
+        assert event.kind == "ecc_error"
+        assert event.category == "trap"
+        assert event.lane == "user"
+        assert event.pid == MACHINE_PID
+        assert event.ts_us == pytest.approx(250 / CYCLES_PER_US)
+        assert event.dur_us == pytest.approx(246 / CYCLES_PER_US)
+        assert event.args["handler_cycles"] == 246
+
+    def test_page_fault_and_clock_events(self):
+        tracer = EventTracer()
+        tracer.page_fault(100, Component.KERNEL, tid=0, vpn=7)
+        tracer.clock_ticks(200, ticks=2)
+        fault, tick = tracer.events()
+        assert (fault.kind, fault.lane) == ("page_fault", "kernel")
+        assert fault.args["vpn"] == 7
+        assert (tick.kind, tick.category, tick.args["ticks"]) == (
+            "clock_tick",
+            "clock",
+            2,
+        )
+
+    def test_farm_job_uses_wall_clock_microseconds(self):
+        tracer = EventTracer()
+        tracer.farm_job("job", ts_secs=0.5, dur_secs=0.25, measure="m", seed=1)
+        (event,) = tracer.events()
+        assert event.pid == FARM_PID
+        assert event.ts_us == pytest.approx(500_000.0)
+        assert event.dur_us == pytest.approx(250_000.0)
+        assert event.args == {"measure": "m", "seed": 1}
+
+
+class TestChromeTrace:
+    def _tracer(self) -> EventTracer:
+        tracer = EventTracer(capacity=16)
+        frame = TrapFrame(
+            kind=TrapKind.PAGE_INVALID,
+            tid=1,
+            component=Component.USER,
+            va=0,
+            pa=0,
+            cycle=500,
+        )
+        tracer.trap(frame, handler_cycles=246)
+        tracer.clock_ticks(1000, ticks=1)
+        tracer.farm_job("cache_hit", ts_secs=0.1)
+        return tracer
+
+    def test_structure_and_metadata(self):
+        trace = self._tracer().chrome_trace()
+        assert set(trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+        events = trace["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {(e["name"], e["pid"]) for e in meta}
+        assert ("process_name", MACHINE_PID) in names
+        assert ("process_name", FARM_PID) in names
+        # one thread_name per (pid, lane) actually used
+        lanes = {
+            (e["pid"], e["args"]["name"])
+            for e in meta
+            if e["name"] == "thread_name"
+        }
+        assert lanes == {
+            (MACHINE_PID, "user"),
+            (MACHINE_PID, "clock"),
+            (FARM_PID, "jobs"),
+        }
+
+    def test_phases_durations_and_json_round_trip(self):
+        trace = self._tracer().chrome_trace()
+        payload = json.loads(json.dumps(trace))
+        real = [e for e in payload["traceEvents"] if e["ph"] != "M"]
+        assert len(real) == 3
+        for event in real:
+            assert {"name", "cat", "pid", "tid", "ts", "ph"} <= set(event)
+            if event["ph"] == "X":
+                assert event["dur"] > 0
+            else:
+                assert event["ph"] == "i"
+                assert event["s"] == "t"
+        assert payload["otherData"] == {
+            "recorded": 3,
+            "dropped": 0,
+            "capacity": 16,
+        }
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = self._tracer().write_chrome_trace(tmp_path / "sub" / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert loaded["otherData"]["recorded"] == 3

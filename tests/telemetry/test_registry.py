@@ -1,0 +1,201 @@
+"""Counters, gauges, histograms and the registry's naming contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.registry import (
+    CYCLE_BUCKETS,
+    TIME_BUCKET_SECS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+)
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("machine.cpu.refs", {}) == "machine.cpu.refs"
+
+    def test_labels_sorted(self):
+        key = metric_key("tapeworm.misses", {"component": "user", "a": "b"})
+        assert key == "tapeworm.misses{a=b,component=user}"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "Machine.cpu", "machine..cpu", ".cpu", "cpu.", "machine cpu", "9abc"],
+    )
+    def test_bad_names_rejected(self, bad):
+        with pytest.raises(TelemetryError):
+            metric_key(bad, {})
+
+    def test_underscores_and_digits_ok(self):
+        assert metric_key("farm.jobs_v2.l2", {}) == "farm.jobs_v2.l2"
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.snapshot() == 0
+        c.inc()
+        c.inc(41)
+        assert c.snapshot() == 42
+
+    def test_negative_increment_rejected(self):
+        c = Counter()
+        with pytest.raises(TelemetryError):
+            c.inc(-1)
+        assert c.snapshot() == 0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        g.set(7)
+        g.set(3)
+        assert g.snapshot() == 3
+
+
+class TestHistogram:
+    def test_bounds_must_ascend(self):
+        with pytest.raises(TelemetryError):
+            Histogram(())
+        with pytest.raises(TelemetryError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(TelemetryError):
+            Histogram((2.0, 1.0))
+
+    def test_exact_count_sum_min_max(self):
+        h = Histogram((1.0, 10.0))
+        for v in (0.25, 3.5, 99.0, 0.5):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(103.25)
+        assert h.minimum == 0.25
+        assert h.maximum == 99.0
+        assert h.mean == pytest.approx(103.25 / 4)
+
+    def test_overflow_bucket_catches_large_values(self):
+        h = Histogram((1.0,))
+        h.observe(0.5)
+        h.observe(100.0)
+        assert h.counts == [1, 1]
+
+    def test_memory_stays_bounded(self):
+        h = Histogram(TIME_BUCKET_SECS)
+        for i in range(10_000):
+            h.observe(i * 0.01)
+        assert len(h.counts) == len(TIME_BUCKET_SECS) + 1
+        assert h.count == 10_000
+
+    def test_percentile_clamps_to_observed_extrema(self):
+        h = Histogram((100.0,))
+        h.observe(40.0)
+        h.observe(60.0)
+        assert h.percentile(0) >= h.minimum
+        assert h.percentile(100) <= h.maximum
+        assert h.minimum <= h.percentile(50) <= h.maximum
+
+    def test_percentile_uniform_data_roughly_linear(self):
+        h = Histogram(tuple(float(b) for b in range(10, 110, 10)))
+        for i in range(1, 101):
+            h.observe(float(i))
+        # uniform 1..100: p50 should land near 50, p90 near 90
+        assert h.percentile(50) == pytest.approx(50.0, abs=10.0)
+        assert h.percentile(90) == pytest.approx(90.0, abs=10.0)
+
+    def test_percentile_empty_and_range_check(self):
+        h = Histogram((1.0,))
+        assert h.percentile(50) == 0.0
+        with pytest.raises(TelemetryError):
+            h.percentile(101)
+        with pytest.raises(TelemetryError):
+            h.percentile(-1)
+
+    def test_merge_sums_exactly(self):
+        a, b = Histogram((1.0, 10.0)), Histogram((1.0, 10.0))
+        a.observe(0.5)
+        b.observe(5.0)
+        b.observe(50.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.total == pytest.approx(55.5)
+        assert a.minimum == 0.5
+        assert a.maximum == 50.0
+        assert a.counts == [1, 1, 1]
+
+    def test_merge_empty_is_identity(self):
+        a = Histogram((1.0,))
+        a.observe(0.5)
+        before = (a.count, a.total, a.minimum, a.maximum, list(a.counts))
+        a.merge(Histogram((1.0,)))
+        assert (a.count, a.total, a.minimum, a.maximum, list(a.counts)) == before
+
+    def test_merge_into_empty_adopts_extrema(self):
+        a, b = Histogram((1.0,)), Histogram((1.0,))
+        b.observe(0.25)
+        a.merge(b)
+        assert (a.minimum, a.maximum) == (0.25, 0.25)
+
+    def test_merge_mismatched_bounds_rejected(self):
+        with pytest.raises(TelemetryError):
+            Histogram((1.0,)).merge(Histogram((2.0,)))
+
+    def test_snapshot_shape(self):
+        h = Histogram((1.0, 10.0))
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["sum"] == 0.5
+        assert set(snap["buckets"]) == {"le_1", "le_10", "le_inf"}
+        for p in ("p50", "p90", "p99"):
+            assert snap["min"] <= snap[p] <= snap["max"]
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+        assert len(reg) == 1
+
+    def test_labels_distinguish_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("machine.cpu.refs", component="user").inc(3)
+        reg.counter("machine.cpu.refs", component="kernel").inc(5)
+        snap = reg.snapshot()
+        assert snap["machine.cpu.refs{component=user}"] == 3
+        assert snap["machine.cpu.refs{component=kernel}"] == 5
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b")
+        with pytest.raises(TelemetryError):
+            reg.gauge("a.b")
+        with pytest.raises(TelemetryError):
+            reg.histogram("a.b")
+
+    def test_histogram_bounds_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h.one", bounds=TIME_BUCKET_SECS)
+        with pytest.raises(TelemetryError):
+            reg.histogram("h.one", bounds=tuple(float(b) for b in CYCLE_BUCKETS))
+
+    def test_contains_uses_full_key(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b", k="v")
+        assert "a.b{k=v}" in reg
+        assert "a.b" not in reg
+
+    def test_snapshot_sorted_and_json_shaped(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("z.last").inc(1)
+        reg.gauge("a.first").set(2)
+        reg.histogram("m.mid").observe(0.5)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)  # must be JSON-encodable

@@ -1,8 +1,18 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import _parse_size, build_parser, main
+from repro.telemetry import validate_record
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cwd(tmp_path, monkeypatch):
+    """Commands write their manifest log (and farm cache) relative to
+    the cwd; keep test runs out of the repository checkout."""
+    monkeypatch.chdir(tmp_path)
 
 
 class TestParsing:
@@ -94,3 +104,179 @@ class TestCommands:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["reproduce", "figure99"])
+
+
+class TestTelemetryOutputs:
+    RUN = [
+        "run", "--workload", "espresso", "--cache-size", "2K",
+        "--refs", "20000", "--simulate", "user",
+    ]
+
+    def test_run_writes_trace_metrics_and_manifest(self, tmp_path, capsys):
+        trace_path = tmp_path / "out" / "trace.json"
+        metrics_path = tmp_path / "out" / "metrics.json"
+        manifest_path = tmp_path / "out" / "manifests.jsonl"
+        code = main(
+            self.RUN
+            + [
+                "--trace-out", str(trace_path),
+                "--metrics-out", str(metrics_path),
+                "--manifest-out", str(manifest_path),
+            ]
+        )
+        assert code == 0
+        assert "slowdown" in capsys.readouterr().out
+
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+        assert {e["ph"] for e in trace["traceEvents"]} <= {"M", "X", "i"}
+        assert trace["otherData"]["dropped"] == 0
+
+        metrics = json.loads(metrics_path.read_text())
+        assert any(key.startswith("tapeworm.") for key in metrics)
+        assert any(key.startswith("machine.cpu.refs") for key in metrics)
+
+        (line,) = manifest_path.read_text().splitlines()
+        record = json.loads(line)
+        assert validate_record(record) == []
+        assert record["kind"] == "run"
+        assert record["name"] == "espresso"
+        assert record["results"]["misses"] > 0
+
+    def test_run_default_manifest_location(self, tmp_path):
+        assert main(self.RUN) == 0
+        log = tmp_path / ".farm-cache" / "manifests.jsonl"
+        assert log.exists()
+        (record,) = [json.loads(l) for l in log.read_text().splitlines()]
+        assert validate_record(record) == []
+
+    def test_no_manifest_suppresses_record(self, tmp_path):
+        assert main(self.RUN + ["--no-manifest"]) == 0
+        assert not (tmp_path / ".farm-cache" / "manifests.jsonl").exists()
+
+    def test_metrics_out_stdout(self, capsys):
+        assert main(self.RUN + ["--metrics-out", "-", "--no-manifest"]) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("{") :]
+        metrics = json.loads(payload)
+        assert "tapeworm.overhead_cycles" in metrics
+
+    def test_trace_capacity_bounds_the_ring(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            self.RUN
+            + [
+                "--trace-out", str(trace_path),
+                "--trace-capacity", "8",
+                "--no-manifest",
+            ]
+        )
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        assert trace["otherData"]["capacity"] == 8
+        assert trace["otherData"]["dropped"] > 0
+        real = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+        assert len(real) == 8
+
+    def test_reproduce_table7_exports_artifacts(self, tmp_path, capsys):
+        """The acceptance path: a Table 7 run exports a Chrome trace and
+        a schema-valid JSONL manifest."""
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        manifest_path = tmp_path / "manifests.jsonl"
+        code = main(
+            [
+                "reproduce", "table7", "--budget", "tiny",
+                "--trace-out", str(trace_path),
+                "--metrics-out", str(metrics_path),
+                "--manifest-out", str(manifest_path),
+            ]
+        )
+        assert code == 0
+        assert "Table 7" in capsys.readouterr().out
+
+        trace = json.loads(trace_path.read_text())
+        assert any(e.get("cat") == "trap" for e in trace["traceEvents"])
+        names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "simulated machine" in names
+
+        metrics = json.loads(metrics_path.read_text())
+        assert any(key.startswith("tapeworm.traps") for key in metrics)
+
+        (record,) = [
+            json.loads(line)
+            for line in manifest_path.read_text().splitlines()
+        ]
+        assert validate_record(record) == []
+        assert record["kind"] == "experiment"
+        assert record["name"] == "table7"
+        assert record["results"]["budget"] == "tiny"
+
+    def test_manifest_out_stdout(self, capsys):
+        assert main(self.RUN + ["--manifest-out", "-"]) == 0
+        out = capsys.readouterr().out
+        line = [l for l in out.splitlines() if l.startswith("{")][-1]
+        assert validate_record(json.loads(line)) == []
+
+
+class TestTelemetryCommand:
+    def _seed_log(self):
+        assert main(
+            [
+                "run", "--workload", "espresso", "--cache-size", "2K",
+                "--refs", "20000", "--simulate", "user",
+            ]
+        ) == 0
+
+    def test_manifests_table(self, capsys):
+        self._seed_log()
+        capsys.readouterr()
+        assert main(["telemetry", "manifests"]) == 0
+        out = capsys.readouterr().out
+        assert "Run manifests" in out
+        assert "espresso" in out
+
+    def test_manifests_json(self, capsys):
+        self._seed_log()
+        capsys.readouterr()
+        assert main(["telemetry", "manifests", "--json"]) == 0
+        (line,) = capsys.readouterr().out.splitlines()
+        assert validate_record(json.loads(line)) == []
+
+    def test_manifests_empty_log(self, capsys):
+        assert main(["telemetry", "manifests"]) == 0
+        assert "no manifest records" in capsys.readouterr().out
+
+    def test_manifests_last_n(self, capsys):
+        for _ in range(3):
+            self._seed_log()
+        capsys.readouterr()
+        assert main(["telemetry", "manifests", "--json", "--last", "2"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 2
+
+    def test_validate_clean_log(self, capsys):
+        self._seed_log()
+        capsys.readouterr()
+        assert main(["telemetry", "validate"]) == 0
+        assert "1 valid, 0 invalid" in capsys.readouterr().out
+
+    def test_validate_flags_bad_records(self, tmp_path, capsys):
+        log = tmp_path / "bad.jsonl"
+        log.write_text('{"kind": "run"}\n')
+        code = main(["telemetry", "validate", "--manifest-path", str(log)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "0 valid, 1 invalid" in captured.out
+        assert "missing field" in captured.err
+
+    def test_clear(self, tmp_path, capsys):
+        self._seed_log()
+        capsys.readouterr()
+        assert main(["telemetry", "clear"]) == 0
+        assert "dropped 1 manifest record(s)" in capsys.readouterr().out
+        assert not (tmp_path / ".farm-cache" / "manifests.jsonl").exists()
+        assert main(["telemetry", "clear"]) == 0  # idempotent
