@@ -1,0 +1,324 @@
+"""Microbenchmarks for the simulation hot paths.
+
+Three benchmarks time the engines this repo's sweeps ride on:
+
+* **chunk_engine** — the trap-driven chunk engine end to end
+  (``run_trap_driven``), reporting simulated references per wall second;
+* **cache2000** — the trace-driven simulator per associativity, timing
+  the grouped-set kernel fast path against the per-address
+  ``SetAssociativeCache`` path on the same stream (misses are asserted
+  equal; the ratio is the kernel's speedup);
+* **tlb** — ``SimulatedTLB.access_chunk`` against the per-reference
+  ``access`` loop.
+
+Results are emitted as ``BENCH_PR3.json``: a schema-versioned envelope
+whose ``records`` are :class:`repro.telemetry.manifest.RunManifest`
+records (kind ``"perf"``), each individually valid under
+:func:`repro.telemetry.manifest.validate_record` — so the same tooling
+that reads run manifests reads the perf trajectory.  Run it with::
+
+    PYTHONPATH=src python -m benchmarks.perf --budget tiny
+
+``--budget`` scales the streams (``tiny``/``smoke``/``quick``/``full``);
+CI runs ``tiny`` and archives the JSON as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.caches.config import CacheConfig, TLBConfig
+from repro.caches.replacement import make_policy
+from repro.caches.tlb import SimulatedTLB
+from repro.core.tapeworm import TapewormConfig
+from repro.telemetry.manifest import RunManifest, config_hash, validate_record
+from repro.tracing.cache2000 import Cache2000
+
+#: bump when the BENCH_PR3.json envelope changes incompatibly
+BENCH_SCHEMA_VERSION = 1
+
+#: default output location (next to the rendered table results)
+DEFAULT_BENCH_PATH = Path(__file__).parent.parent / "results" / "BENCH_PR3.json"
+
+#: reference-stream lengths per budget tier
+BENCH_REFS = {
+    "tiny": 50_000,
+    "smoke": 150_000,
+    "quick": 600_000,
+    "full": 2_400_000,
+}
+
+ASSOCIATIVITIES = (1, 2, 4, 8)
+_CHUNK_REFS = 65_536
+_SEED = 1994
+
+
+def _code_stream(n: int, rng: np.random.Generator) -> np.ndarray:
+    """A code-shaped address stream: sequential word runs, loops, jumps.
+
+    Word-granularity sequential runs collapse 4:1 onto 16-byte lines —
+    the locality structure both simulator paths see in practice.
+    """
+    out = np.empty(n, dtype=np.int64)
+    pc = 0
+    i = 0
+    while i < n:
+        run = min(int(rng.integers(8, 200)), n - i)
+        out[i : i + run] = (pc + np.arange(run)) * 4
+        i += run
+        pc += run
+        if rng.random() < 0.6:
+            pc = max(0, pc - int(rng.integers(16, 2048)))  # loop back
+        else:
+            pc = int(rng.integers(0, 1 << 16))  # call/jump
+    return out
+
+
+def _timed(fn: Callable[[], Any]) -> tuple[Any, float]:
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def _record(
+    name: str,
+    configuration: str,
+    config: Any,
+    wall: float,
+    metrics: dict,
+    results: dict,
+) -> dict:
+    record = RunManifest(
+        kind="perf",
+        name=name,
+        configuration=configuration,
+        config_hash=config_hash(config),
+        seed=_SEED,
+        wall_clock_secs=wall,
+        metrics=metrics,
+        results=results,
+    ).record()
+    problems = validate_record(record)
+    if problems:  # pragma: no cover - schema drift guard
+        raise AssertionError(f"invalid perf record {name}: {problems}")
+    return record
+
+
+# ---------------------------------------------------------------------------
+# 1. the trap-driven chunk engine
+# ---------------------------------------------------------------------------
+
+def bench_chunk_engine(budget: str) -> dict:
+    """End-to-end trap-driven throughput (chunk engine + rescan index)."""
+    from repro.harness.runner import RunOptions, run_trap_driven
+    from repro.workloads import get_workload
+
+    total_refs = BENCH_REFS[budget]
+    spec = get_workload("espresso")
+    config = TapewormConfig(cache=CacheConfig(size_bytes=4096))
+    options = RunOptions(total_refs=total_refs, trial_seed=_SEED)
+    report, wall = _timed(lambda: run_trap_driven(spec, config, options))
+    return _record(
+        name="chunk-engine",
+        configuration=f"espresso, {config.cache.describe()}",
+        config=config,
+        wall=wall,
+        metrics={"refs_per_sec": round(report.total_refs / max(wall, 1e-9))},
+        results={
+            "refs": report.total_refs,
+            "traps": report.traps,
+            "misses": report.stats.total_misses,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# 2. Cache2000 per associativity: grouped kernel vs per-address path
+# ---------------------------------------------------------------------------
+
+def _drive(sim: Cache2000, stream: np.ndarray) -> int:
+    misses = 0
+    for start in range(0, len(stream), _CHUNK_REFS):
+        misses += sim.simulate_chunk(stream[start : start + _CHUNK_REFS])
+    return misses
+
+
+def bench_cache2000(budget: str) -> list[dict]:
+    """Fast vs general path per associativity, on one shared stream."""
+    stream = _code_stream(BENCH_REFS[budget], np.random.default_rng(_SEED))
+    records = []
+    for associativity in ASSOCIATIVITIES:
+        config = CacheConfig(
+            size_bytes=8192, line_bytes=16, associativity=associativity
+        )
+        fast = Cache2000(config, policy=make_policy("lru"))
+        slow = Cache2000(
+            config, policy=make_policy("lru"), force_general_path=True
+        )
+        fast_misses, fast_secs = _timed(lambda: _drive(fast, stream))
+        slow_misses, slow_secs = _timed(lambda: _drive(slow, stream))
+        assert fast_misses == slow_misses, (
+            f"paths diverged at {associativity}-way: "
+            f"{fast_misses} != {slow_misses}"
+        )
+        assert fast.resident_lines() == slow.resident_lines()
+        records.append(
+            _record(
+                name=f"cache2000-{associativity}way-lru",
+                configuration=config.describe(),
+                config=config,
+                wall=fast_secs + slow_secs,
+                metrics={
+                    "fast_refs_per_sec": round(len(stream) / max(fast_secs, 1e-9)),
+                    "general_refs_per_sec": round(
+                        len(stream) / max(slow_secs, 1e-9)
+                    ),
+                },
+                results={
+                    "refs": len(stream),
+                    "misses": fast_misses,
+                    "fast_secs": round(fast_secs, 6),
+                    "general_secs": round(slow_secs, 6),
+                    "speedup": round(slow_secs / max(fast_secs, 1e-9), 2),
+                },
+            )
+        )
+    return records
+
+
+# ---------------------------------------------------------------------------
+# 3. the TLB chunk path
+# ---------------------------------------------------------------------------
+
+def bench_tlb(budget: str) -> dict:
+    """``access_chunk`` vs the per-reference ``access`` loop."""
+    n = BENCH_REFS[budget]
+    rng = np.random.default_rng(_SEED)
+    # Page-granule view of a real reference stream: each page touched is
+    # referenced many consecutive times (spatial locality within the
+    # page) before the stream moves on — mostly to a nearby page, with
+    # occasional far jumps.
+    pages = []
+    total = 0
+    page = 0
+    while total < n:
+        repeat = int(rng.integers(8, 96))
+        pages.append((page, repeat))
+        total += repeat
+        if rng.random() < 0.85:
+            page = max(0, page + int(rng.integers(-2, 4)))
+        else:
+            page = int(rng.integers(0, 4096))
+    vpns = np.repeat(
+        np.array([p for p, _ in pages], dtype=np.int64),
+        np.array([r for _, r in pages]),
+    )[:n]
+    config = TLBConfig(n_entries=64)
+    chunked = SimulatedTLB(config, make_policy("lru"))
+    per_ref = SimulatedTLB(config, make_policy("lru"))
+
+    def _chunked() -> int:
+        misses = 0
+        for start in range(0, n, _CHUNK_REFS):
+            misses += chunked.access_chunk(0, vpns[start : start + _CHUNK_REFS])
+        return misses
+
+    def _looped() -> int:
+        misses = 0
+        for vpn in vpns.tolist():
+            hit, _ = per_ref.access(0, vpn)
+            misses += not hit
+        return misses
+
+    fast_misses, fast_secs = _timed(_chunked)
+    slow_misses, slow_secs = _timed(_looped)
+    assert fast_misses == slow_misses
+    assert chunked.resident_keys() == per_ref.resident_keys()
+    return _record(
+        name="tlb-chunk-path",
+        configuration=config.describe(),
+        config=config,
+        wall=fast_secs + slow_secs,
+        metrics={
+            "chunk_refs_per_sec": round(n / max(fast_secs, 1e-9)),
+            "per_ref_refs_per_sec": round(n / max(slow_secs, 1e-9)),
+        },
+        results={
+            "refs": n,
+            "misses": fast_misses,
+            "chunk_secs": round(fast_secs, 6),
+            "per_ref_secs": round(slow_secs, 6),
+            "speedup": round(slow_secs / max(fast_secs, 1e-9), 2),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# the envelope
+# ---------------------------------------------------------------------------
+
+def run_all(budget: str = "tiny") -> dict:
+    """Run every microbenchmark; returns the BENCH_PR3 payload."""
+    if budget not in BENCH_REFS:
+        raise ValueError(
+            f"unknown budget {budget!r}; choose from {sorted(BENCH_REFS)}"
+        )
+    records = [bench_chunk_engine(budget)]
+    records.extend(bench_cache2000(budget))
+    records.append(bench_tlb(budget))
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "suite": "BENCH_PR3",
+        "budget": budget,
+        "records": records,
+    }
+
+
+def write_bench(payload: dict, path: str | Path | None = None) -> Path:
+    path = Path(path) if path is not None else DEFAULT_BENCH_PATH
+    problems = validate_bench(payload)
+    if problems:
+        raise AssertionError(f"refusing to write invalid payload: {problems}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def validate_bench(payload: dict) -> list[str]:
+    """Schema-check one BENCH_PR3 payload; empty list = valid."""
+    problems = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema") != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema {payload.get('schema')!r} != {BENCH_SCHEMA_VERSION}"
+        )
+    if payload.get("suite") != "BENCH_PR3":
+        problems.append(f"unexpected suite {payload.get('suite')!r}")
+    if payload.get("budget") not in BENCH_REFS:
+        problems.append(f"unknown budget {payload.get('budget')!r}")
+    records = payload.get("records")
+    if not isinstance(records, list) or not records:
+        problems.append("records must be a non-empty list")
+        return problems
+    for record in records:
+        problems.extend(validate_record(record))
+        if record.get("kind") != "perf":
+            problems.append(f"record {record.get('name')!r} is not kind=perf")
+    names = [record.get("name") for record in records]
+    if len(set(names)) != len(names):
+        problems.append("duplicate record names")
+    return problems
+
+
+def speedup_of(payload: dict, name: str) -> float:
+    """The recorded speedup of one benchmark (e.g. cache2000-2way-lru)."""
+    for record in payload["records"]:
+        if record["name"] == name:
+            return float(record["results"]["speedup"])
+    raise KeyError(name)

@@ -1,0 +1,62 @@
+"""CLI for the perf microbenchmarks: ``python -m benchmarks.perf``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from benchmarks.perf import (
+    BENCH_REFS,
+    DEFAULT_BENCH_PATH,
+    run_all,
+    speedup_of,
+    write_bench,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.perf",
+        description="simulation hot-path microbenchmarks -> BENCH_PR3.json",
+    )
+    parser.add_argument(
+        "--budget", choices=tuple(sorted(BENCH_REFS)), default="tiny"
+    )
+    parser.add_argument(
+        "--out", default=str(DEFAULT_BENCH_PATH), help="output JSON path"
+    )
+    parser.add_argument(
+        "--check-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit nonzero unless the 2-way LRU Cache2000 kernel is at "
+        "least X times faster than the per-address path",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_all(args.budget)
+    path = write_bench(payload, args.out)
+
+    print(f"budget={args.budget} -> {path}")
+    for record in payload["records"]:
+        speedup = record["results"].get("speedup")
+        extra = f"  speedup={speedup:g}x" if speedup is not None else ""
+        wall = record["wall_clock_secs"]
+        print(f"  {record['name']:<24} wall={wall:8.3f}s{extra}")
+
+    if args.check_speedup is not None:
+        achieved = speedup_of(payload, "cache2000-2way-lru")
+        if achieved < args.check_speedup:
+            print(
+                f"FAIL: 2-way LRU speedup {achieved:g}x < "
+                f"required {args.check_speedup:g}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"2-way LRU speedup {achieved:g}x >= {args.check_speedup:g}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

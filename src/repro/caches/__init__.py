@@ -16,6 +16,7 @@ from repro.caches.replacement import (
     make_policy,
 )
 from repro.caches.cache import SetAssociativeCache, MissOutcome
+from repro.caches.kernels import GroupedSetKernel, supports_policy
 from repro.caches.tlb import SimulatedTLB
 from repro.caches.multilevel import SplitCache, TwoLevelCache
 from repro.caches.stack import StackSimulator
@@ -31,6 +32,8 @@ __all__ = [
     "make_policy",
     "SetAssociativeCache",
     "MissOutcome",
+    "GroupedSetKernel",
+    "supports_policy",
     "SimulatedTLB",
     "SplitCache",
     "TwoLevelCache",

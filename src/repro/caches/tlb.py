@@ -10,8 +10,15 @@ superpage-capable TLB would behave.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro._types import PAGE_SIZE
 from repro.caches.config import TLBConfig
+from repro.caches.kernels import (
+    collapse_consecutive,
+    grouped_stack_pass,
+    supports_policy,
+)
 from repro.caches.replacement import LRUPolicy, ReplacementPolicy
 
 Key = tuple[int, int]  # (tid, superpage number)
@@ -54,6 +61,43 @@ class SimulatedTLB:
             self.policy.touch(entries, way)
             return True, None
         return False, self._insert(entries, key)
+
+    def access_chunk(self, tid: int, vpns: np.ndarray) -> int:
+        """Trace-driven path over a whole chunk of VPNs; returns misses.
+
+        Under LRU or FIFO replacement this runs the grouped-set kernel
+        (stable sort by set, consecutive-duplicate collapse, per-run
+        stack update) and is bit-identical to calling :meth:`access` per
+        reference — including the ``searches``/``insertions`` counters
+        and the final entry state, which :meth:`miss_insert` shares.
+        Other policies fall back to the per-reference loop.
+        """
+        vpns = np.asarray(vpns, dtype=np.int64)
+        n = len(vpns)
+        if n == 0:
+            return 0
+        if not supports_policy(self.policy):
+            misses = 0
+            for vpn in vpns.tolist():
+                hit, _ = self.access(tid, int(vpn))
+                misses += not hit
+            return misses
+        superpages = vpns // self.config.pages_per_entry
+        sets = superpages % self.config.n_sets
+        order = np.argsort(sets, kind="stable")
+        sets_sorted = sets[order]
+        superpages_sorted = superpages[order]
+        keep = collapse_consecutive(sets_sorted, superpages_sorted)
+        misses = grouped_stack_pass(
+            self._sets,
+            self.config.effective_associativity,
+            isinstance(self.policy, LRUPolicy),
+            sets_sorted[keep].tolist(),
+            [(tid, sp) for sp in superpages_sorted[keep].tolist()],
+        )
+        self.searches += n
+        self.insertions += misses
+        return misses
 
     def miss_insert(self, tid: int, vpn: int) -> Key | None:
         """Trap-driven path: insert a known-missing translation.

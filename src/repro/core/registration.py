@@ -31,11 +31,31 @@ class FrameRecord:
 
 
 class PageRegistry:
-    """Who maps what, among the pages in the Tapeworm domain."""
+    """Who maps what, among the pages in the Tapeworm domain.
 
-    def __init__(self) -> None:
+    Besides the frame/mapping tables, the registry maintains two derived
+    indexes kept exact on every register/remove:
+
+    * per task: ``tid -> {vpn: pfn}`` (insertion-ordered), so
+      task-scoped sweeps never scan other tasks' mappings;
+    * per superpage: ``(tid, vpn // pages_per_superpage) -> {vpn}``, so
+      a TLB miss handler can enumerate the machine pages covered by one
+      simulated entry without scanning the task (``pages_per_superpage``
+      is the TLB's ``pages_per_entry``; the default of 1 keeps the index
+      trivial for cache simulations, which never query it).
+    """
+
+    def __init__(self, pages_per_superpage: int = 1) -> None:
+        if pages_per_superpage < 1:
+            raise TapewormError(
+                f"pages_per_superpage must be >= 1, got {pages_per_superpage}"
+            )
+        self.pages_per_superpage = pages_per_superpage
         self._frames: dict[int, FrameRecord] = {}
         self._by_mapping: dict[tuple[int, int], int] = {}  # (tid, vpn) -> pfn
+        self._by_task: dict[int, dict[int, int]] = {}  # tid -> {vpn: pfn}
+        #: (tid, superpage) -> vpns mapped under that simulated entry
+        self._by_superpage: dict[tuple[int, int], set[int]] = {}
 
     @staticmethod
     def _split(pa: int, va: int) -> tuple[int, int]:
@@ -54,6 +74,9 @@ class PageRegistry:
         record.refcount += 1
         record.mappings.add(key)
         self._by_mapping[key] = pfn
+        self._by_task.setdefault(tid, {})[vpn] = pfn
+        superpage_key = (tid, vpn // self.pages_per_superpage)
+        self._by_superpage.setdefault(superpage_key, set()).add(vpn)
         return record.refcount == 1
 
     def remove(self, tid: int, pa: int, va: int) -> bool:
@@ -70,6 +93,15 @@ class PageRegistry:
         record.refcount -= 1
         record.mappings.discard(key)
         del self._by_mapping[key]
+        task_index = self._by_task[tid]
+        del task_index[vpn]
+        if not task_index:
+            del self._by_task[tid]
+        superpage_key = (tid, vpn // self.pages_per_superpage)
+        under = self._by_superpage[superpage_key]
+        under.discard(vpn)
+        if not under:
+            del self._by_superpage[superpage_key]
         if record.refcount == 0:
             del self._frames[pfn]
             return True
@@ -100,12 +132,15 @@ class PageRegistry:
         return set() if record is None else set(record.mappings)
 
     def mappings_of_task(self, tid: int) -> list[tuple[int, int]]:
-        """(vpn, pfn) pairs registered for one task."""
-        return [
-            (vpn, pfn)
-            for (mtid, vpn), pfn in self._by_mapping.items()
-            if mtid == tid
-        ]
+        """(vpn, pfn) pairs registered for one task, in registration
+        order (served by the per-task index, no global scan)."""
+        return list(self._by_task.get(tid, {}).items())
+
+    def vpns_under(self, tid: int, superpage: int) -> list[int]:
+        """Machine-page VPNs one task has registered under a simulated
+        superpage entry, ascending.  O(pages found), not O(task pages) —
+        the index the TLB miss handler hits on every trap."""
+        return sorted(self._by_superpage.get((tid, superpage), ()))
 
     def registered_frames(self) -> set[int]:
         return set(self._frames)

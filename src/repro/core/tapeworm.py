@@ -95,7 +95,16 @@ class Tapeworm:
         self.machine = kernel.machine
         self.config = config
         self.cost_model = HandlerCostModel(config.handler_variant)
-        self.registry = PageRegistry()
+        # TLB simulations index registrations by (tid, superpage) so the
+        # miss handler can enumerate an entry's pages without scanning
+        # the whole task (cache simulations never query that index).
+        self.registry = PageRegistry(
+            pages_per_superpage=(
+                config.tlb.pages_per_entry
+                if config.structure == "tlb"
+                else 1
+            )
+        )
         self.stats = CacheStats()
         self.overhead_cycles = 0
         self.true_errors_detected = 0
@@ -299,11 +308,9 @@ class Tapeworm:
         if table.is_page_trapped(vpn):
             self.primitives.tw_clear_page_trap(vpn=vpn, tid=tid)
         if self.tlb.contains(tid, vpn):
-            remaining = [
-                rvpn
-                for rvpn, _ in self.registry.mappings_of_task(tid)
-                if self.tlb.superpage_of(rvpn) == self.tlb.superpage_of(vpn)
-            ]
+            remaining = self.registry.vpns_under(
+                tid, self.tlb.superpage_of(vpn)
+            )
             if not remaining:
                 self.tlb.evict(tid, vpn)
             # pages still registered under the entry keep running free;
@@ -409,11 +416,9 @@ class Tapeworm:
         return self._miss_cycles
 
     def _registered_pages_of_entry(self, tid: int, superpage: int) -> list[int]:
-        return [
-            vpn
-            for vpn, _ in self.registry.mappings_of_task(tid)
-            if self.tlb.superpage_of(vpn) == superpage
-        ]
+        """The machine pages one simulated entry covers — served by the
+        registry's (tid, superpage) index, not a scan of the task."""
+        return self.registry.vpns_under(tid, superpage)
 
     # ------------------------------------------------------------------
     # results (read through the syscall interface)

@@ -245,6 +245,10 @@ def run_system_trace_driven(
     execution.chunk_tap = tracer.tap
     execution.run()
     tracer.finish()
+    session = _telemetry()
+    if session is not None:
+        kernel.publish_metrics(session.metrics)
+        tracer.simulator.publish_metrics(session.metrics)
     report = tracer.report(spec.name)
     report.slowdown = (
         report.overhead_cycles
@@ -368,6 +372,10 @@ def run_trace_driven(
         if sampler is not None:
             addresses = sampler.filter_chunk(addresses)
         simulator.simulate_chunk(addresses, tid=chunk.tid, component=chunk.component)
+
+    session = _telemetry()
+    if session is not None:
+        simulator.publish_metrics(session.metrics)
 
     report = TraceRunReport(
         workload=spec.name,

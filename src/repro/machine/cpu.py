@@ -27,12 +27,17 @@ import numpy as np
 
 from repro._types import Component, TrapMechanism
 from repro.errors import MachineError
+from repro.machine.chunkindex import PositionIndex
 from repro.machine.mmu import PAGE_SHIFT, PageTable
 from repro.machine.traps import TrapFrame, TrapKind
 from repro.telemetry.session import active as _telemetry
 
 #: log2 of the ECC check granule (16 bytes).
 GRANULE_SHIFT = 4
+
+#: the granule size/mask derived from it — used wherever a physical
+#: address must be aligned to one ECC check granule
+GRANULE_BYTES = 1 << GRANULE_SHIFT
 
 #: Cycles charged for a VM page fault (kernel fault path + map).  Faults
 #: occur in instrumented and uninstrumented runs alike, so this is *base*
@@ -227,6 +232,11 @@ class CPU:
 
         heap = [int(i) for i in np.nonzero(candidate_mask)[0]]
         heapq.heapify(heap)
+        # Rescan indexes, built lazily on the first handler that traps a
+        # displaced location: "next occurrence of this granule/VPN after
+        # position i" becomes two bisects instead of an O(chunk) scan.
+        granule_index: PositionIndex | None = None
+        vpn_index: PositionIndex | None = None
         previous = -1
         while heap:
             i = heapq.heappop(heap)
@@ -258,7 +268,7 @@ class CPU:
                     # no-allocate-on-write mechanism that defeats D-cache
                     # simulation on this machine (section 4.4)
                     machine.ecc.clear_trap(
-                        int(pas[i]) & ~15, 16
+                        int(pas[i]) & ~(GRANULE_BYTES - 1), GRANULE_BYTES
                     )
                     result.silent_clears += 1
                 elif machine.interrupts_masked:
@@ -300,14 +310,16 @@ class CPU:
             # occur later in this very chunk; queue those positions.
             if use_ecc:
                 for granule in machine.ecc.drain_recent_sets():
-                    later = np.nonzero(granules[i + 1 :] == granule)[0]
-                    for offset in later:
-                        heapq.heappush(heap, i + 1 + int(offset))
+                    if granule_index is None:
+                        granule_index = PositionIndex(granules)
+                    for pos in granule_index.occurrences_after(granule, i):
+                        heapq.heappush(heap, int(pos))
             if use_pages:
                 for vpn in table.drain_recent_invalidations():
-                    later = np.nonzero(vpns[i + 1 :] == vpn)[0]
-                    for offset in later:
-                        heapq.heappush(heap, i + 1 + int(offset))
+                    if vpn_index is None:
+                        vpn_index = PositionIndex(vpns)
+                    for pos in vpn_index.occurrences_after(vpn, i):
+                        heapq.heappush(heap, int(pos))
 
     # ------------------------------------------------------------------
 

@@ -21,13 +21,18 @@ toward ~22 at zero, as in Figure 2's table.
 
 Two execution paths produce identical miss counts:
 
-* a vectorized exact path for direct-mapped caches (a stable
-  sort-by-set scan — a direct-mapped set always holds the last tag that
-  touched it, so a reference misses iff it differs from its set's
-  previous tag);
+* the vectorized :class:`~repro.caches.kernels.GroupedSetKernel` fast
+  path — a stable sort-by-set grouped stack pass, exact for *any*
+  associativity under LRU or FIFO replacement (direct-mapped chunks
+  reduce to pure numpy);
 * a general per-address path over the shared
-  :class:`~repro.caches.cache.SetAssociativeCache` for any associativity
-  and policy.
+  :class:`~repro.caches.cache.SetAssociativeCache` for everything else
+  (seeded-random replacement consumes its RNG in global miss order,
+  which grouping would permute).
+
+Per-chunk dispatch counts are kept in ``fastpath_chunks`` /
+``general_chunks`` and published as
+``tracing.cache2000.fastpath{taken=...}`` by :meth:`publish_metrics`.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ import numpy as np
 from repro._types import Component, Indexing
 from repro.caches.cache import SetAssociativeCache
 from repro.caches.config import CacheConfig
+from repro.caches.kernels import GroupedSetKernel, supports_policy
 from repro.caches.replacement import LRUPolicy, ReplacementPolicy
 from repro.caches.stats import CacheStats
 from repro.errors import ConfigError
@@ -47,7 +53,7 @@ CACHE2000_CYCLES_PER_HIT = 53
 #: extra cycles when it misses (replacement-policy work)
 CACHE2000_MISS_PREMIUM_CYCLES = 280
 
-#: space id used to mix tids into the fast path's tag encoding
+#: space id used to mix tids into the fast path's key encoding
 _MAX_SPACES = 4096
 
 
@@ -64,15 +70,23 @@ class Cache2000:
         self.policy = policy or LRUPolicy()
         self.stats = CacheStats()
         self.processing_cycles = 0
-        # the fast path is only valid for direct-mapped caches (where
-        # replacement policy is irrelevant)
-        self._vectorized = (
-            config.associativity == 1 and not force_general_path
+        #: per-chunk dispatch counts (telemetry: tracing.cache2000.fastpath)
+        self.fastpath_chunks = 0
+        self.general_chunks = 0
+        # The grouped kernel is exact for LRU/FIFO at any associativity.
+        # Direct-mapped caches never consult the policy (the victim is
+        # forced), so they always take the fast path.
+        self._vectorized = not force_general_path and (
+            config.associativity == 1 or supports_policy(self.policy)
         )
         if self._vectorized:
-            self._state = np.full(config.n_sets, -1, dtype=np.int64)
+            policy_name = getattr(self.policy, "name", "lru")
+            if config.associativity == 1:
+                policy_name = "lru"  # irrelevant for DM; keep kernel happy
+            self._kernel = GroupedSetKernel(config, policy_name)
             self._cache = None
         else:
+            self._kernel = None
             self._cache = SetAssociativeCache(config, self.policy)
 
     # ------------------------------------------------------------------
@@ -93,36 +107,19 @@ class Cache2000:
         if n == 0:
             return 0
         if self._vectorized:
-            misses = self._simulate_vectorized(addresses, tid)
+            misses = self._kernel.simulate_chunk(
+                addresses, space=self._space_of(tid)
+            )
+            self.fastpath_chunks += 1
         else:
             misses = self._simulate_general(addresses, tid)
+            self.general_chunks += 1
         self.stats.count_refs(component, n)
         self.stats.count_miss(component, misses)
         self.processing_cycles += (
             n * CACHE2000_CYCLES_PER_HIT
             + misses * CACHE2000_MISS_PREMIUM_CYCLES
         )
-        return misses
-
-    def _simulate_vectorized(self, addresses: np.ndarray, tid: int) -> int:
-        config = self.config
-        lines = np.asarray(addresses, dtype=np.int64) >> config.line_shift
-        sets = lines % config.n_sets
-        tags = (lines // config.n_sets) * _MAX_SPACES + self._space_of(tid)
-        order = np.argsort(sets, kind="stable")
-        sets_sorted = sets[order]
-        tags_sorted = tags[order]
-        first = np.empty(len(sets_sorted), dtype=bool)
-        first[0] = True
-        np.not_equal(sets_sorted[1:], sets_sorted[:-1], out=first[1:])
-        previous = np.empty_like(tags_sorted)
-        previous[1:] = tags_sorted[:-1]
-        previous[first] = self._state[sets_sorted[first]]
-        misses = int(np.count_nonzero(tags_sorted != previous))
-        last = np.empty(len(sets_sorted), dtype=bool)
-        last[-1] = True
-        np.not_equal(sets_sorted[1:], sets_sorted[:-1], out=last[:-1])
-        self._state[sets_sorted[last]] = tags_sorted[last]
         return misses
 
     def _simulate_general(self, addresses: np.ndarray, tid: int) -> int:
@@ -139,11 +136,29 @@ class Cache2000:
     def resident_lines(self) -> int:
         """Occupancy, for cross-path consistency checks."""
         if self._vectorized:
-            return int(np.count_nonzero(self._state >= 0))
+            return self._kernel.occupancy()
         return self._cache.occupancy()
+
+    def resident_keys(self) -> set[tuple[int, int]]:
+        """Every resident ``(space, line_addr)``, whichever path ran."""
+        if self._vectorized:
+            return self._kernel.resident_keys()
+        return self._cache.resident_keys()
 
     def average_cycles_per_address(self) -> float:
         total = self.stats.total_refs
         if total == 0:
             return 0.0
         return self.processing_cycles / total
+
+    def publish_metrics(self, metrics) -> None:
+        """Copy the dispatch counts into a metrics registry
+        (``tracing.cache2000.fastpath{taken=true|false}``)."""
+        if self.fastpath_chunks:
+            metrics.counter(
+                "tracing.cache2000.fastpath", taken="true"
+            ).inc(self.fastpath_chunks)
+        if self.general_chunks:
+            metrics.counter(
+                "tracing.cache2000.fastpath", taken="false"
+            ).inc(self.general_chunks)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.caches.config import CacheConfig
+from repro.caches.kernels import dm_grouped_pass
 from repro.errors import ConfigError
 from repro.tracing.cache2000 import CACHE2000_CYCLES_PER_HIT
 from repro.tracing.pixie import PixieTracer
@@ -60,7 +61,13 @@ class MultiSizeDMSweep:
         self.processing_cycles = 0
 
     def simulate_chunk(self, addresses: np.ndarray) -> None:
-        """Fold one chunk into every size's miss count."""
+        """Fold one chunk into every size's miss count.
+
+        Each size runs one :func:`~repro.caches.kernels.dm_grouped_pass`
+        — the same exact direct-mapped kernel Cache2000's fast path uses
+        — with the stable set-order argsort shared across sizes of equal
+        set count.
+        """
         n = len(addresses)
         if n == 0:
             return
@@ -73,21 +80,9 @@ class MultiSizeDMSweep:
             if order is None:
                 order = np.argsort(sets, kind="stable")
                 order_cache[n_sets] = order
-            sets_sorted = sets[order]
-            lines_sorted = lines[order]
-            first = np.empty(n, dtype=bool)
-            first[0] = True
-            np.not_equal(sets_sorted[1:], sets_sorted[:-1], out=first[1:])
-            previous = np.empty_like(lines_sorted)
-            previous[1:] = lines_sorted[:-1]
-            previous[first] = self._states[index][sets_sorted[first]]
-            self.misses[index] += int(
-                np.count_nonzero(lines_sorted != previous)
+            self.misses[index] += dm_grouped_pass(
+                self._states[index], sets, lines, order
             )
-            last = np.empty(n, dtype=bool)
-            last[-1] = True
-            np.not_equal(sets_sorted[1:], sets_sorted[:-1], out=last[:-1])
-            self._states[index][sets_sorted[last]] = lines_sorted[last]
         self.refs += n
         self.processing_cycles += (
             n * SWEEP_CYCLES_PER_ADDRESS_PER_SIZE * len(self.configs)

@@ -65,3 +65,42 @@ def test_mappings_of_frame_and_task():
     assert sorted(registry.mappings_of_task(1)) == [(0x10, 4), (0x30, 5)]
     assert len(registry) == 3
     assert registry.registered_frames() == {4, 5}
+
+
+def test_mappings_of_task_preserves_registration_order():
+    registry = PageRegistry()
+    registry.register(1, 0x7000, 0x30000)
+    registry.register(2, 0x4000, 0x50000)
+    registry.register(1, 0x5000, 0x10000)
+    assert registry.mappings_of_task(1) == [(0x30, 7), (0x10, 5)]
+    registry.remove(1, 0x7000, 0x30000)
+    assert registry.mappings_of_task(1) == [(0x10, 5)]
+    assert registry.mappings_of_task(9) == []
+
+
+def test_superpage_index_groups_vpns_per_entry():
+    """A 4-page superpage: vpns 0-3 share entry 0, 4-7 entry 1."""
+    registry = PageRegistry(pages_per_superpage=4)
+    for vpn in (1, 3, 4, 2):
+        registry.register(1, vpn * PAGE_SIZE, vpn * PAGE_SIZE)
+    registry.register(2, 9 * PAGE_SIZE, 1 * PAGE_SIZE)  # other task
+    assert registry.vpns_under(1, 0) == [1, 2, 3]
+    assert registry.vpns_under(1, 1) == [4]
+    assert registry.vpns_under(2, 0) == [1]
+    assert registry.vpns_under(1, 5) == []
+    registry.remove(1, 2 * PAGE_SIZE, 2 * PAGE_SIZE)
+    assert registry.vpns_under(1, 0) == [1, 3]
+
+
+def test_superpage_index_cleans_up_empty_entries():
+    registry = PageRegistry(pages_per_superpage=2)
+    registry.register(1, 0x4000, 0x10000)
+    registry.remove(1, 0x4000, 0x10000)
+    assert registry.vpns_under(1, (0x10000 // PAGE_SIZE) // 2) == []
+    assert registry._by_superpage == {}
+    assert registry._by_task == {}
+
+
+def test_invalid_pages_per_superpage_rejected():
+    with pytest.raises(TapewormError):
+        PageRegistry(pages_per_superpage=0)

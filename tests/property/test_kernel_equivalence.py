@@ -1,0 +1,166 @@
+"""Bit-equality of the grouped-set kernel against the per-reference path.
+
+The contract the trace-driven fast path rests on: for every covered
+configuration — associativities {1,2,4,8}, policies {lru, fifo,
+seeded random}, virtual/physical indexing, multi-tid streams — the
+:class:`Cache2000` fast path produces *identical* per-chunk miss
+counts, final occupancy and resident keys to the per-reference
+:class:`SetAssociativeCache` loop.  Seeded-random configs are covered
+too: the dispatcher must route them to the general path (grouping would
+permute their RNG stream), so equality is by construction.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._types import Indexing
+from repro.caches.cache import SetAssociativeCache
+from repro.caches.config import CacheConfig, TLBConfig
+from repro.caches.kernels import GroupedSetKernel, supports_policy
+from repro.caches.replacement import make_policy
+from repro.caches.tlb import SimulatedTLB
+from repro.tracing.cache2000 import Cache2000
+
+ASSOCIATIVITIES = (1, 2, 4, 8)
+POLICIES = ("lru", "fifo", "random")
+INDEXINGS = (Indexing.PHYSICAL, Indexing.VIRTUAL)
+
+
+def _config(associativity: int, indexing: Indexing) -> CacheConfig:
+    return CacheConfig(
+        size_bytes=512,  # small: constant pressure, frequent evictions
+        line_bytes=16,
+        associativity=associativity,
+        indexing=indexing,
+    )
+
+
+# ---------------------------------------------------------------------------
+# exhaustive grid on a fixed pseudo-random multi-tid stream
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("associativity", ASSOCIATIVITIES)
+@pytest.mark.parametrize("policy_name", POLICIES)
+@pytest.mark.parametrize("indexing", INDEXINGS)
+def test_cache2000_paths_bit_identical(associativity, policy_name, indexing):
+    rng = np.random.default_rng(
+        hash((associativity, policy_name, indexing.value)) & 0xFFFF
+    )
+    config = _config(associativity, indexing)
+    fast = Cache2000(config, policy=make_policy(policy_name, seed=3))
+    slow = Cache2000(
+        config, policy=make_policy(policy_name, seed=3),
+        force_general_path=True,
+    )
+    for _ in range(12):
+        tid = int(rng.integers(0, 3))
+        n = int(rng.integers(1, 600))
+        base = int(rng.integers(0, 40)) * 64
+        addrs = (base + rng.integers(0, 256, size=n) * 4).astype(np.int64)
+        assert fast.simulate_chunk(addrs, tid=tid) == slow.simulate_chunk(
+            addrs, tid=tid
+        )
+    assert fast.stats.total_misses == slow.stats.total_misses
+    assert fast.resident_lines() == slow.resident_lines()
+    assert fast.resident_keys() == slow.resident_keys()
+
+
+@pytest.mark.parametrize("associativity", ASSOCIATIVITIES)
+@pytest.mark.parametrize("policy_name", ("lru", "fifo"))
+def test_kernel_matches_reference_cache_directly(associativity, policy_name):
+    """The kernel itself (not just Cache2000 dispatch) vs the reference."""
+    rng = np.random.default_rng(99 + associativity)
+    config = _config(associativity, Indexing.VIRTUAL)
+    kernel = GroupedSetKernel(config, policy_name)
+    reference = SetAssociativeCache(config, make_policy(policy_name))
+    for _ in range(10):
+        tid = int(rng.integers(0, 4))
+        addrs = (rng.integers(0, 512, size=400) * 4).astype(np.int64)
+        ref_misses = 0
+        for addr in addrs.tolist():
+            hit, _ = reference.access(tid, addr)
+            ref_misses += not hit
+        assert kernel.simulate_chunk(addrs, space=tid) == ref_misses
+    assert kernel.occupancy() == reference.occupancy()
+    assert kernel.resident_keys() == reference.resident_keys()
+
+
+def test_random_policy_routes_to_general_path():
+    config = _config(2, Indexing.PHYSICAL)
+    policy = make_policy("random", seed=11)
+    assert not supports_policy(policy)
+    sim = Cache2000(config, policy=policy)
+    assert sim._cache is not None and sim._kernel is None
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: adversarial streams, chunked arbitrarily
+# ---------------------------------------------------------------------------
+
+_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),       # tid
+        st.lists(
+            st.integers(min_value=0, max_value=255),  # word index
+            min_size=1,
+            max_size=80,
+        ),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    chunks=_streams,
+    associativity=st.sampled_from(ASSOCIATIVITIES),
+    policy_name=st.sampled_from(("lru", "fifo")),
+    indexing=st.sampled_from(INDEXINGS),
+)
+def test_property_paths_agree_on_any_stream(
+    chunks, associativity, policy_name, indexing
+):
+    config = _config(associativity, indexing)
+    fast = Cache2000(config, policy=make_policy(policy_name))
+    slow = Cache2000(
+        config, policy=make_policy(policy_name), force_general_path=True
+    )
+    assert fast._kernel is not None  # the point of the test
+    for tid, words in chunks:
+        addrs = np.asarray(words, dtype=np.int64) * 4
+        assert fast.simulate_chunk(addrs, tid=tid) == slow.simulate_chunk(
+            addrs, tid=tid
+        )
+    assert fast.resident_keys() == slow.resident_keys()
+
+
+# ---------------------------------------------------------------------------
+# the TLB chunk path
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("associativity", (0, 2, 4))  # 0 = fully associative
+@pytest.mark.parametrize("policy_name", POLICIES)
+@pytest.mark.parametrize("page_kb", (4, 16))
+def test_tlb_chunk_path_bit_identical(associativity, policy_name, page_kb):
+    config = TLBConfig(
+        n_entries=16, associativity=associativity, page_bytes=page_kb * 1024
+    )
+    rng = np.random.default_rng(17 + associativity + page_kb)
+    chunked = SimulatedTLB(config, make_policy(policy_name, seed=5))
+    per_ref = SimulatedTLB(config, make_policy(policy_name, seed=5))
+    for _ in range(8):
+        tid = int(rng.integers(0, 3))
+        vpns = rng.integers(0, 200, size=300).astype(np.int64)
+        ref_misses = 0
+        for vpn in vpns.tolist():
+            hit, _ = per_ref.access(tid, vpn)
+            ref_misses += not hit
+        assert chunked.access_chunk(tid, vpns) == ref_misses
+    assert chunked.resident_keys() == per_ref.resident_keys()
+    assert chunked.searches == per_ref.searches
+    assert chunked.insertions == per_ref.insertions
+    # trap-driven inserts keep working against the same state afterwards
+    assert chunked.miss_insert(9, 0) == per_ref.miss_insert(9, 0)

@@ -1,0 +1,74 @@
+"""The perf microbenchmark suite: schema contract and envelope checks.
+
+``benchmarks/perf`` is the regression baseline future PRs diff against,
+so its output schema is pinned here: every record must satisfy the
+telemetry manifest schema, and the envelope must self-validate.  The
+suite itself runs at the ``tiny`` budget (sub-second) — its internal
+assertions double as a cross-path bit-equality check on real streams.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.perf import (
+    BENCH_SCHEMA_VERSION,
+    run_all,
+    speedup_of,
+    validate_bench,
+    write_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_all("tiny")
+
+
+def test_payload_is_schema_valid(payload):
+    assert validate_bench(payload) == []
+    assert payload["schema"] == BENCH_SCHEMA_VERSION
+
+
+def test_expected_benchmarks_present(payload):
+    names = {record["name"] for record in payload["records"]}
+    assert {
+        "chunk-engine",
+        "cache2000-1way-lru",
+        "cache2000-2way-lru",
+        "cache2000-4way-lru",
+        "cache2000-8way-lru",
+        "tlb-chunk-path",
+    } <= names
+
+
+def test_kernel_speedups_recorded(payload):
+    # The assertion inside bench_cache2000 already pinned bit-equality;
+    # here we only require the fast path not to be a slowdown (the >= 5x
+    # acceptance number is checked by --check-speedup at real budgets,
+    # not under test-runner load).
+    for associativity in (1, 2, 4, 8):
+        assert speedup_of(payload, f"cache2000-{associativity}way-lru") > 1.0
+    assert speedup_of(payload, "tlb-chunk-path") > 1.0
+
+
+def test_write_and_reload_round_trip(payload, tmp_path):
+    path = write_bench(payload, tmp_path / "BENCH_PR3.json")
+    reloaded = json.loads(path.read_text())
+    assert validate_bench(reloaded) == []
+    assert reloaded == json.loads(json.dumps(payload))
+
+
+def test_validate_rejects_broken_payloads(payload):
+    assert validate_bench({"schema": 0}) != []
+    bad = json.loads(json.dumps(payload))
+    bad["records"][0].pop("config_hash")
+    assert any("config_hash" in p for p in validate_bench(bad))
+    dupe = json.loads(json.dumps(payload))
+    dupe["records"].append(dupe["records"][0])
+    assert any("duplicate" in p for p in validate_bench(dupe))
+
+
+def test_unknown_budget_rejected():
+    with pytest.raises(ValueError):
+        run_all("galactic")

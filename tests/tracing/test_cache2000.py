@@ -48,11 +48,48 @@ def test_vectorized_path_matches_general_path():
     assert fast.resident_lines() == slow.resident_lines()
 
 
-def test_associative_configs_use_general_path():
+def test_associative_configs_take_the_grouped_fast_path():
     sim = Cache2000(CacheConfig(size_bytes=64, line_bytes=16, associativity=2))
-    assert sim._cache is not None
+    assert sim._kernel is not None and sim._cache is None
     sim.simulate_chunk(_addrs(0x00, 0x20, 0x00))
     assert sim.stats.total_misses == 2  # 2-way set holds both
+    assert sim.fastpath_chunks == 1 and sim.general_chunks == 0
+
+
+def test_random_replacement_stays_on_the_general_path():
+    from repro.caches.replacement import make_policy
+
+    sim = Cache2000(
+        CacheConfig(size_bytes=64, line_bytes=16, associativity=2),
+        policy=make_policy("random", seed=7),
+    )
+    assert sim._cache is not None and sim._kernel is None
+    sim.simulate_chunk(_addrs(0x00, 0x20, 0x00))
+    assert sim.fastpath_chunks == 0 and sim.general_chunks == 1
+
+
+def test_force_general_path_is_respected():
+    sim = Cache2000(
+        CacheConfig(size_bytes=64, line_bytes=16), force_general_path=True
+    )
+    assert sim._cache is not None and sim._kernel is None
+
+
+def test_fastpath_dispatch_counts_publish_to_metrics():
+    from repro.telemetry.registry import MetricsRegistry
+
+    config = CacheConfig(size_bytes=64, line_bytes=16, associativity=2)
+    fast = Cache2000(config)
+    slow = Cache2000(config, force_general_path=True)
+    for sim in (fast, slow):
+        sim.simulate_chunk(_addrs(0x00, 0x20))
+        sim.simulate_chunk(_addrs(0x40))
+    registry = MetricsRegistry()
+    fast.publish_metrics(registry)
+    slow.publish_metrics(registry)
+    snapshot = registry.snapshot()
+    assert snapshot["tracing.cache2000.fastpath{taken=true}"] == 2
+    assert snapshot["tracing.cache2000.fastpath{taken=false}"] == 2
 
 
 def test_virtual_indexing_tags_tids():
