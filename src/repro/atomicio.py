@@ -1,0 +1,62 @@
+"""Crash-consistent file writes: temp file + ``os.replace``.
+
+The farm result cache, its stats file, and the telemetry manifest log
+are all small append-only (or rewrite-on-update) stores owned by one
+master process.  A plain ``open(..., "a").write(line)`` can be torn by
+a crash or kill mid-write, leaving a half-line that poisons naive
+readers.  These helpers make every durable write atomic at the
+filesystem level: the new contents are staged in a temporary file *in
+the same directory* (so the rename cannot cross filesystems), fsynced,
+and swapped in with ``os.replace`` — readers observe either the old
+complete file or the new complete file, never a torn tail.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def _replace_with(path: Path, data: bytes) -> None:
+    """Stage ``data`` next to ``path`` and atomically swap it in."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomically replace ``path`` with ``text``."""
+    path = Path(path)
+    _replace_with(path, text.encode("utf-8"))
+    return path
+
+
+def atomic_append_line(path: str | Path, line: str) -> Path:
+    """Atomically append one line to ``path``.
+
+    Implemented as read + rewrite + replace, so a kill at any instant
+    leaves either the previous complete log or the new complete log on
+    disk — never a torn record.  O(file size) per append, which is fine
+    for the small JSONL stores this library keeps (hundreds of records).
+    """
+    path = Path(path)
+    existing = path.read_bytes() if path.exists() else b""
+    if existing and not existing.endswith(b"\n"):
+        # a pre-hardening torn tail: seal it so the new record starts clean
+        existing += b"\n"
+    _replace_with(path, existing + line.encode("utf-8") + b"\n")
+    return path

@@ -17,6 +17,14 @@ Commands
     Inspect or clear the execution farm's result cache.
 ``telemetry``
     Inspect, validate or clear the run-manifest log.
+``chaos``
+    Run a fault-injection plan and verify the detected-or-absorbed
+    contract, or print the default plan as JSON to edit.
+
+``run`` and ``reproduce`` also accept ``--fault-plan PLAN.json`` to
+inject machine-plane faults (and, with ``--jobs``, worker faults) into
+an ordinary simulation; without the flag the fault subsystem is inert
+and results are bit-identical to a build without it.
 
 ``run`` and ``reproduce`` accept ``--trace-out`` (Chrome ``trace_event``
 JSON for Perfetto), ``--metrics-out`` (metrics-registry snapshot JSON)
@@ -150,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--simulate", type=_components, default=frozenset(Component),
         help="components to register: comma list of user,kernel,bsd,x or 'all'",
     )
+    run.add_argument(
+        "--fault-plan", metavar="PLAN.json", default=None,
+        help="inject the machine-plane faults of this plan into the run "
+             "and audit the trap invariant at the plan's cadence",
+    )
     _add_telemetry_flags(run)
 
     trace = sub.add_parser("trace", help="one Pixie+Cache2000 simulation")
@@ -175,6 +188,11 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument(
         "--no-cache", action="store_true",
         help="bypass the farm's result cache (only meaningful with --jobs)",
+    )
+    reproduce.add_argument(
+        "--fault-plan", metavar="PLAN.json", default=None,
+        help="inject the plan's machine-plane faults into every trial and "
+             "its worker faults into the farm (with --jobs)",
     )
     _add_telemetry_flags(reproduce)
 
@@ -214,6 +232,38 @@ def build_parser() -> argparse.ArgumentParser:
         "clear", help="drop the run-manifest log"
     )
     tele_clear.add_argument("--manifest-path", default=None, metavar="PATH")
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection runs and plan utilities"
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_run = chaos_sub.add_parser(
+        "run",
+        help="execute a fault plan; exit non-zero on any silent fault",
+    )
+    chaos_run.add_argument(
+        "--plan", metavar="PLAN.json", default=None,
+        help="fault plan to execute (default: the built-in default plan)",
+    )
+    chaos_run.add_argument(
+        "--workload", choices=WORKLOAD_NAMES, default="mpeg_play"
+    )
+    chaos_run.add_argument(
+        "--refs", type=int, default=None, metavar="N",
+        help="trap-driven budget per machine-plane fault class",
+    )
+    chaos_run.add_argument("--seed", type=int, default=0)
+    chaos_run.add_argument(
+        "--report-out", metavar="PATH", default=None,
+        help="also write the full report as JSON ('-' for stdout)",
+    )
+    chaos_run.add_argument(
+        "--json", action="store_true",
+        help="print the JSON report instead of the text rendering",
+    )
+    chaos_sub.add_parser(
+        "plan", help="print the default fault plan as editable JSON"
+    )
 
     sub.add_parser("workloads", help="list workload models")
 
@@ -287,6 +337,36 @@ def _finish_telemetry(
             telemetry.write_manifest(manifest, args.manifest_out)
 
 
+def _load_fault_plan(args: argparse.Namespace):
+    """The plan named by ``--fault-plan``, or None when faults are off."""
+    if getattr(args, "fault_plan", None) is None:
+        return None
+    from repro.faults import load_plan
+
+    return load_plan(args.fault_plan)
+
+
+def _print_fault_summary(session) -> None:
+    """One line per run: what landed, what the auditor saw."""
+    for record in session.runs:
+        applied = record.injector.injections_applied()
+        divergences = record.divergences()
+        # a persistent divergence re-reports every audit; show each once
+        unique: dict[tuple, Any] = {}
+        for divergence in divergences:
+            key = (divergence.kind, divergence.granule, divergence.tid,
+                   divergence.vpn)
+            unique.setdefault(key, divergence)
+        print(
+            f"faults        : {applied} injected, "
+            f"{len(record.reports)} audit(s), "
+            f"{len(divergences)} divergence(s) "
+            f"({len(unique)} distinct)"
+        )
+        for divergence in unique.values():
+            print(f"  divergence  : {divergence.describe()}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = get_workload(args.workload)
     if args.structure == "tlb":
@@ -317,14 +397,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         simulate=args.simulate,
         include_data_refs=args.structure == "tlb",
     )
+    fault_plan = _load_fault_plan(args)
     session = _begin_telemetry(args)
     started = time.perf_counter()
+    fault_session = None
     try:
+        if fault_plan is not None:
+            from repro.faults import activate as activate_faults
+
+            fault_session = activate_faults(fault_plan)
         report = run_trap_driven(spec, config, options)
     except BaseException:
         if session is not None:
             telemetry.deactivate()
         raise
+    finally:
+        if fault_session is not None:
+            from repro.faults import deactivate as deactivate_faults
+
+            deactivate_faults()
     manifest = telemetry.RunManifest(
         kind="run",
         name=report.workload,
@@ -356,6 +447,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     print(f"slowdown      : {report.slowdown:.2f}x")
     print(f"paper scale   : {report.misses_paper_scale() / 1e6:.2f}M misses")
+    if fault_session is not None:
+        _print_fault_summary(fault_session)
     _finish_telemetry(args, session, [manifest])
     return 0
 
@@ -393,20 +486,35 @@ def _reproduce_one(name: str, budget: str, farm=None) -> None:
     print(module.render(result))
 
 
-def _build_farm(args: argparse.Namespace):
+def _build_farm(args: argparse.Namespace, fault_plan=None):
     if args.jobs is None:
         return None
     from repro.farm import Farm, FarmConfig
 
+    worker_faults = None
+    if fault_plan is not None:
+        from repro.faults.infra import WorkerFaults
+
+        worker_faults = WorkerFaults.from_plan(fault_plan)
     return Farm(
-        FarmConfig(max_workers=args.jobs, use_cache=not args.no_cache)
+        FarmConfig(
+            max_workers=args.jobs,
+            use_cache=not args.no_cache,
+            worker_faults=worker_faults,
+        )
     )
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
-    farm = _build_farm(args)
+    fault_plan = _load_fault_plan(args)
+    farm = _build_farm(args, fault_plan)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     session = _begin_telemetry(args)
+    fault_session = None
+    if fault_plan is not None:
+        from repro.faults import activate as activate_faults
+
+        fault_session = activate_faults(fault_plan)
     manifests = []
     try:
         for name in names:
@@ -443,9 +551,16 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         if session is not None:
             telemetry.deactivate()
         raise
+    finally:
+        if fault_session is not None:
+            from repro.faults import deactivate as deactivate_faults
+
+            deactivate_faults()
     if farm is not None and farm.metrics.jobs:
         print(f"farm ({farm.config.max_workers} workers)")
         print(farm.metrics.render())
+    if fault_session is not None and fault_session.runs:
+        _print_fault_summary(fault_session)
     _finish_telemetry(args, session, manifests)
     return 0
 
@@ -536,8 +651,33 @@ def _cmd_farm(args: argparse.Namespace) -> int:
     print(f"cache hits    : {stats['cache_hits']}")
     print(f"executed      : {stats['executed']}")
     print(f"retries       : {stats['retries']}")
+    print(f"corrupt       : {stats['cache_corrupt']}")
     print(f"wall clock    : {stats['wall_clock_secs']:.3f}s")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import default_plan, load_plan
+    from repro.faults.chaos import DEFAULT_CHAOS_REFS, run_chaos
+
+    if args.chaos_command == "plan":
+        print(default_plan().dumps())
+        return 0
+
+    plan = load_plan(args.plan) if args.plan else default_plan()
+    report = run_chaos(
+        plan,
+        workload=args.workload,
+        refs=args.refs if args.refs is not None else DEFAULT_CHAOS_REFS,
+        seed=args.seed,
+    )
+    if args.json:
+        print(report.dumps())
+    else:
+        print(report.render())
+    if args.report_out:
+        _write_or_print(args.report_out, report.dumps())
+    return 0 if report.ok else 1
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -631,6 +771,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "assess-port": _cmd_assess_port,
         "farm": _cmd_farm,
         "telemetry": _cmd_telemetry,
+        "chaos": _cmd_chaos,
     }
     try:
         return handlers[args.command](args)

@@ -38,7 +38,12 @@ from repro.core.primitives import TrapPrimitives
 from repro.core.registration import PageRegistry
 from repro.core.replace import Replacer
 from repro.core.sampling import SetSampler
-from repro.errors import ConfigError, TapewormError, UnsupportedStructure
+from repro.errors import (
+    ConfigError,
+    DoubleBitError,
+    TapewormError,
+    UnsupportedStructure,
+)
 from repro.kernel.kernel import Kernel
 from repro.machine.ecc import TrapClass
 from repro.machine.mmu import PAGE_SHIFT
@@ -368,9 +373,21 @@ class Tapeworm:
 
     def _cache_miss(self, frame: TrapFrame) -> int:
         # Classify first: Tapeworm must not swallow true memory errors.
-        trap_class = self.machine.ecc.classify(frame.pa)
+        diagnostic = self.machine.ecc.diagnose(frame.pa)
+        trap_class = diagnostic.trap_class
         if trap_class is not TrapClass.TAPEWORM:
             self.true_errors_detected += 1
+            if not diagnostic.recoverable:
+                # Two or more corrupted data bits: an uncorrectable
+                # pattern even after software undoes its own check-bit
+                # flip.  The real machine would panic; we surface the
+                # structured diagnostic instead of silently scrubbing.
+                raise DoubleBitError(
+                    "uncorrectable ECC error in task "
+                    f"{frame.tid} at cycle {frame.cycle}: "
+                    f"{diagnostic.describe()}",
+                    diagnostic=diagnostic,
+                )
             self.machine.ecc.scrub(frame.pa)
             if self.machine.ecc.is_tapeworm_trapped(frame.pa):
                 # restore our own trap that scrubbing removed

@@ -20,7 +20,18 @@ class MemoryFault(MachineError):
 
 
 class DoubleBitError(MachineError):
-    """The ECC logic detected an uncorrectable (double-bit) memory error."""
+    """The ECC logic detected an uncorrectable (double-bit) memory error.
+
+    Carries the structured :class:`~repro.machine.ecc.ECCDiagnostic`
+    produced by the controller's SEC-DED decode — the physical address,
+    granule, corrupted bit positions and classification — so handlers
+    and chaos reports can name exactly what died instead of guessing
+    from a message string.
+    """
+
+    def __init__(self, message: str, diagnostic=None) -> None:
+        super().__init__(message)
+        self.diagnostic = diagnostic
 
 
 class KernelError(ReproError):
@@ -45,6 +56,11 @@ class FarmError(ReproError):
     Raised when a job keeps crashing its worker (or timing out) after the
     configured retries, or when a job names an unknown measure.
     """
+
+
+class FaultInjectionError(ReproError):
+    """The fault-injection layer was misused (bad plan, double session
+    activation, injecting into a structure the fault cannot target)."""
 
 
 class TelemetryError(ReproError):

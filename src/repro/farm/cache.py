@@ -4,25 +4,51 @@ Layout under the cache directory (default ``.farm-cache/``):
 
 ``results.jsonl``
     One JSON object per cached result: ``{"key", "measure", "seed",
-    "value", "elapsed"}``.  Append-only; on a duplicate key the latest
-    line wins (results are deterministic, so duplicates agree anyway).
+    "value", "elapsed", "crc"}``.  Append-only; on a duplicate key the
+    latest line wins (results are deterministic, so duplicates agree
+    anyway).  ``crc`` is a CRC32 over the record's canonical JSON
+    (without the ``crc`` field itself); records failing the check — or
+    failing to parse at all — are *quarantined*: skipped, copied to
+    ``quarantine.jsonl``, counted under :attr:`ResultCache.corrupt`,
+    and logged once.  A corrupt cache never crashes a run and never
+    serves a damaged value; the job simply recomputes.
 ``stats.json``
     Cumulative farm counters across runs, maintained by
     :meth:`ResultCache.record_run` and read by ``repro farm stats``.
+``quarantine.jsonl``
+    Raw corrupt lines, kept for post-mortems.
 
-Only the scheduler process reads or writes the store — workers return
-results to the master — so no file locking is needed.  Values must be
-JSON-encodable (floats round-trip exactly through ``json``).
+All writes are crash-consistent (temp file + ``os.replace`` via
+:mod:`repro.atomicio`), so a scheduler killed mid-write can tear at
+most the final line of the *previous* format — and the loader tolerates
+that too.  Only the scheduler process reads or writes the store —
+workers return results to the master — so no file locking is needed.
+Values must be JSON-encodable (floats round-trip exactly through
+``json``).
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import zlib
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
+from repro.atomicio import atomic_append_line, atomic_write_text
+
 RESULTS_FILE = "results.jsonl"
 STATS_FILE = "stats.json"
+QUARANTINE_FILE = "quarantine.jsonl"
+
+logger = logging.getLogger(__name__)
+
+
+def record_crc(record: Mapping[str, Any]) -> str:
+    """CRC32 (hex) over a record's canonical JSON, ``crc`` excluded."""
+    body = {name: value for name, value in record.items() if name != "crc"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return f"{zlib.crc32(blob.encode('utf-8')) & 0xFFFFFFFF:08x}"
 
 
 class ResultCache:
@@ -42,6 +68,11 @@ class ResultCache:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        #: corrupt records skipped (quarantined) since this instance
+        #: first read the store
+        self.corrupt = 0
+        self._corrupt_recorded = 0
+        self._corruption_logged = False
         self._index: dict[str, Any] | None = None
 
     # -- storage
@@ -54,19 +85,55 @@ class ResultCache:
     def _stats_path(self) -> Path:
         return self.directory / STATS_FILE
 
+    @property
+    def _quarantine_path(self) -> Path:
+        return self.directory / QUARANTINE_FILE
+
+    def _quarantine(self, line: str, reason: str) -> None:
+        self.corrupt += 1
+        if not self._corruption_logged:
+            self._corruption_logged = True
+            logger.warning(
+                "farm cache %s holds corrupt record(s) (%s); quarantining "
+                "to %s and recomputing — further corruptions this run are "
+                "counted silently",
+                self._results_path, reason, self._quarantine_path,
+            )
+        try:
+            atomic_append_line(self._quarantine_path, line)
+        except OSError:
+            pass  # quarantine is best-effort; the skip is what matters
+
+    def _read_records(self) -> Iterator[dict[str, Any]]:
+        """Yield verified records; corrupt lines are quarantined."""
+        if not self._results_path.exists():
+            return
+        for line in self._results_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # a torn or truncated trailing line, or garbage bytes
+                self._quarantine(line, "not valid JSON")
+                continue
+            if not isinstance(record, dict) or "key" not in record or (
+                "value" not in record
+            ):
+                self._quarantine(line, "missing key/value fields")
+                continue
+            if "crc" in record and record["crc"] != record_crc(record):
+                self._quarantine(line, "CRC mismatch")
+                continue
+            # pre-CRC records (no "crc" field) are accepted as-is
+            yield record
+
     def _load(self) -> dict[str, Any]:
         if self._index is None:
             self._index = {}
-            if self._results_path.exists():
-                for line in self._results_path.read_text().splitlines():
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                        self._index[record["key"]] = record["value"]
-                    except (json.JSONDecodeError, KeyError, TypeError):
-                        continue  # a torn write loses one entry, not the cache
+            for record in self._read_records():
+                self._index[record["key"]] = record["value"]
         return self._index
 
     # -- the get/put surface
@@ -97,10 +164,10 @@ class ResultCache:
             "value": value,
             "elapsed": round(elapsed, 6),
         }
-        line = json.dumps(record, sort_keys=True)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        with self._results_path.open("a") as handle:
-            handle.write(line + "\n")
+        record["crc"] = record_crc(record)
+        atomic_append_line(
+            self._results_path, json.dumps(record, sort_keys=True)
+        )
         self._load()[key] = value
 
     def __len__(self) -> int:
@@ -110,25 +177,18 @@ class ResultCache:
         return self.enabled and key in self._load()
 
     def entries(self) -> Iterator[dict[str, Any]]:
-        """Yield the stored records (latest per key)."""
-        if not self._results_path.exists():
-            return
+        """Yield the stored verified records (latest per key)."""
         latest: dict[str, dict[str, Any]] = {}
-        for line in self._results_path.read_text().splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-                latest[record["key"]] = record
-            except (json.JSONDecodeError, KeyError, TypeError):
-                continue
+        for record in self._read_records():
+            latest[record["key"]] = record
         yield from latest.values()
 
     def clear(self) -> int:
         """Drop every stored result; returns how many were dropped."""
         count = len(self._load())
-        for path in (self._results_path, self._stats_path):
+        for path in (
+            self._results_path, self._stats_path, self._quarantine_path
+        ):
             if path.exists():
                 path.unlink()
         self._index = {}
@@ -137,19 +197,21 @@ class ResultCache:
     # -- cumulative run statistics (the ``repro farm stats`` view)
 
     def read_stats(self) -> dict[str, Any]:
-        if self._stats_path.exists():
-            try:
-                return json.loads(self._stats_path.read_text())
-            except json.JSONDecodeError:
-                pass
-        return {
+        stats = {
             "runs": 0,
             "jobs": 0,
             "cache_hits": 0,
             "executed": 0,
             "retries": 0,
+            "cache_corrupt": 0,
             "wall_clock_secs": 0.0,
         }
+        if self._stats_path.exists():
+            try:
+                stats.update(json.loads(self._stats_path.read_text()))
+            except json.JSONDecodeError:
+                pass
+        return stats
 
     def record_run(self, summary: Mapping[str, Any]) -> None:
         """Fold one farm run's summary into the cumulative counters."""
@@ -161,8 +223,11 @@ class ResultCache:
         stats["cache_hits"] += summary.get("cache_hits", 0)
         stats["executed"] += summary.get("executed", 0)
         stats["retries"] += summary.get("retries", 0)
+        stats["cache_corrupt"] += self.corrupt - self._corrupt_recorded
+        self._corrupt_recorded = self.corrupt
         stats["wall_clock_secs"] = round(
             stats["wall_clock_secs"] + summary.get("wall_clock_secs", 0.0), 6
         )
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self._stats_path.write_text(json.dumps(stats, indent=2) + "\n")
+        atomic_write_text(
+            self._stats_path, json.dumps(stats, indent=2) + "\n"
+        )

@@ -18,6 +18,7 @@ timeout, and bounded retry when a worker crashes mid-batch.
 
 from __future__ import annotations
 
+import random
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -31,6 +32,7 @@ from repro.farm.cache import ResultCache
 from repro.farm.jobs import CODE_VERSION, Job
 from repro.farm.progress import FarmMetrics
 from repro.farm.registry import timed_execute
+from repro.faults.infra import WorkerFaults, faulted_execute
 from repro.telemetry.session import active as _telemetry
 
 #: default location of the on-disk result store
@@ -52,6 +54,21 @@ class FarmConfig:
     max_retries: int = 2
     #: code-version salt mixed into every job key
     salt: str = CODE_VERSION
+    #: first retry delay in seconds; doubles each attempt
+    backoff_base: float = 0.05
+    #: ceiling on any single retry delay
+    backoff_max: float = 2.0
+    #: jitter fraction added on top of the exponential delay (seeded)
+    backoff_jitter: float = 0.25
+    #: seed for the jitter stream, so retry timing replays exactly
+    backoff_seed: int = 0
+    #: consecutive no-progress pool failures before the circuit breaker
+    #: degrades the rest of the batch to in-process serial execution
+    #: (0 disables; must be <= max_retries to ever engage, since retry
+    #: exhaustion raises first)
+    breaker_threshold: int = 0
+    #: worker-fault schedule injected by chaos runs (None = no faults)
+    worker_faults: WorkerFaults | None = None
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
@@ -66,6 +83,30 @@ class FarmConfig:
             raise ConfigError(
                 f"job_timeout must be positive, got {self.job_timeout}"
             )
+        if self.backoff_base < 0:
+            raise ConfigError(
+                f"backoff_base must be non-negative, got {self.backoff_base}"
+            )
+        if self.backoff_max < self.backoff_base:
+            raise ConfigError(
+                f"backoff_max ({self.backoff_max}) must be >= "
+                f"backoff_base ({self.backoff_base})"
+            )
+        if self.backoff_jitter < 0:
+            raise ConfigError(
+                f"backoff_jitter must be non-negative, got {self.backoff_jitter}"
+            )
+        if self.breaker_threshold < 0:
+            raise ConfigError(
+                f"breaker_threshold must be non-negative, "
+                f"got {self.breaker_threshold}"
+            )
+
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based):
+        exponential with a seeded jitter fraction, capped."""
+        base = min(self.backoff_max, self.backoff_base * 2 ** (attempt - 1))
+        return round(base * (1.0 + self.backoff_jitter * rng.random()), 6)
 
 
 class _PoolUnavailable(Exception):
@@ -92,6 +133,7 @@ class Farm:
         """Return each job's value, in job order."""
         run = FarmMetrics(workers=self.config.max_workers)
         run.jobs = len(jobs)
+        corrupt_before = self.cache.corrupt
         start = time.perf_counter()
         self._batch_started = start
         session = _telemetry()
@@ -125,6 +167,7 @@ class Farm:
                     self._run_serial(pending, keys, results, run)
 
         run.wall_clock_secs = time.perf_counter() - start
+        run.cache_corrupt = self.cache.corrupt - corrupt_before
         self.last_run = run
         self.metrics.merge(run)
         self.cache.record_run(run.summary())
@@ -177,6 +220,48 @@ class Farm:
             self._store(index, job, keys[index], value, elapsed, results, run)
         pending.clear()
 
+    def _submit(
+        self, pool: ProcessPoolExecutor, index: int, job: Job, attempt: int
+    ) -> Future:
+        faults = self.config.worker_faults
+        if faults is not None:
+            return pool.submit(
+                faulted_execute,
+                faults.action_for(index, attempt),
+                faults.hang_secs,
+                job.measure,
+                dict(job.params),
+                job.seed,
+            )
+        return pool.submit(
+            timed_execute, job.measure, dict(job.params), job.seed
+        )
+
+    def _trip_breaker(
+        self,
+        pending: dict[int, Job],
+        keys: list[str],
+        results: list[Any],
+        run: FarmMetrics,
+    ) -> None:
+        """Degrade the rest of the batch to in-process serial execution.
+
+        Sound because jobs themselves are deterministic and the
+        failures being counted are *pool-level* (workers dying, jobs
+        never returning) — executing in the master sidesteps the pool
+        entirely.  Worker-fault schedules never apply on this path.
+        """
+        run.breaker_tripped = True
+        run.fallback_serial = True
+        session = _telemetry()
+        if session is not None:
+            session.trace.farm_job(
+                "breaker_open",
+                ts_secs=time.perf_counter() - self._batch_started,
+                pending=len(pending),
+            )
+        self._run_serial(pending, keys, results, run)
+
     def _run_pool(
         self,
         pending: dict[int, Job],
@@ -184,41 +269,58 @@ class Farm:
         results: list[Any],
         run: FarmMetrics,
     ) -> None:
+        config = self.config
         attempts = 0
+        consecutive_failures = 0
+        jitter_rng = random.Random(config.backoff_seed)
         while pending:
+            if (
+                config.breaker_threshold
+                and consecutive_failures >= config.breaker_threshold
+            ):
+                self._trip_breaker(pending, keys, results, run)
+                return
             pool = self._make_pool(len(pending))
             futures: dict[int, Future] = {}
+            progressed = False
             try:
                 # deterministic sharding: jobs enter the queue in index
                 # (and therefore seed) order on every attempt
                 for index in sorted(pending):
-                    job = pending[index]
-                    futures[index] = pool.submit(
-                        timed_execute, job.measure, dict(job.params), job.seed
+                    futures[index] = self._submit(
+                        pool, index, pending[index], attempts
                     )
                 for index, future in futures.items():
-                    value, elapsed = future.result(timeout=self.config.job_timeout)
+                    value, elapsed = future.result(timeout=config.job_timeout)
                     self._store(
                         index, pending[index], keys[index], value, elapsed,
                         results, run,
                     )
                     del pending[index]
+                    progressed = True
                 pool.shutdown(wait=True)
             except (BrokenProcessPool, FutureTimeoutError) as exc:
                 # a worker died (or a job hung): drop the poisoned pool
-                # without waiting on it, then retry what's still pending
+                # without waiting on it, then back off and retry what's
+                # still pending
                 pool.shutdown(wait=False, cancel_futures=True)
                 attempts += 1
-                run.retries += 1
+                consecutive_failures = (
+                    1 if progressed else consecutive_failures + 1
+                )
+                delay = config.backoff_delay(attempts, jitter_rng)
+                run.record_retry(attempts, delay)
                 session = _telemetry()
                 if session is not None:
                     session.trace.farm_job(
                         "retry",
                         ts_secs=time.perf_counter() - self._batch_started,
+                        attempt=attempts,
+                        backoff_secs=delay,
                         pending=len(pending),
                         error=type(exc).__name__,
                     )
-                if attempts > self.config.max_retries:
+                if attempts > config.max_retries:
                     failed = ", ".join(
                         f"{pending[i].measure}(seed={pending[i].seed})"
                         for i in sorted(pending)
@@ -227,6 +329,7 @@ class Farm:
                         f"{len(pending)} job(s) still failing after "
                         f"{attempts} attempt(s) [{failed}]: {exc!r}"
                     ) from exc
+                time.sleep(delay)
 
     def _make_pool(self, n_pending: int) -> ProcessPoolExecutor:
         workers = min(self.config.max_workers, n_pending)

@@ -34,13 +34,23 @@ class FarmMetrics:
     executed: int = 0
     retries: int = 0
     fallback_serial: bool = False
+    #: the circuit breaker degraded the batch to serial execution
+    breaker_tripped: bool = False
+    #: corrupt cache records quarantined during this run
+    cache_corrupt: int = 0
     wall_clock_secs: float = 0.0
+    #: (attempt, backoff_secs) per retry, in order
+    retry_events: list = field(default_factory=list)
     #: master-observed seconds per executed job (bounded histogram)
     latency: Histogram = field(default_factory=_latency_histogram)
 
     def record_execution(self, elapsed: float) -> None:
         self.executed += 1
         self.latency.observe(elapsed)
+
+    def record_retry(self, attempt: int, backoff_secs: float) -> None:
+        self.retries += 1
+        self.retry_events.append((attempt, backoff_secs))
 
     @property
     def mean_latency_secs(self) -> float:
@@ -63,7 +73,10 @@ class FarmMetrics:
         self.executed += other.executed
         self.retries += other.retries
         self.fallback_serial = self.fallback_serial or other.fallback_serial
+        self.breaker_tripped = self.breaker_tripped or other.breaker_tripped
+        self.cache_corrupt += other.cache_corrupt
         self.wall_clock_secs += other.wall_clock_secs
+        self.retry_events.extend(other.retry_events)
         self.latency.merge(other.latency)
 
     def summary(self) -> dict[str, Any]:
@@ -75,6 +88,8 @@ class FarmMetrics:
             "executed": self.executed,
             "retries": self.retries,
             "fallback_serial": self.fallback_serial,
+            "breaker_tripped": self.breaker_tripped,
+            "cache_corrupt": self.cache_corrupt,
             "wall_clock_secs": round(self.wall_clock_secs, 6),
             "mean_latency_secs": round(self.mean_latency_secs, 6),
             "max_latency_secs": round(self.max_latency_secs, 6),
@@ -91,8 +106,16 @@ class FarmMetrics:
             metrics.counter("farm.jobs.cache_hits").inc(self.cache_hits)
         if self.executed:
             metrics.counter("farm.jobs.executed").inc(self.executed)
-        if self.retries:
-            metrics.counter("farm.retries").inc(self.retries)
+        for attempt, backoff_secs in self.retry_events:
+            metrics.counter(
+                "farm.retries",
+                attempt=str(attempt),
+                backoff_secs=f"{backoff_secs:.3f}",
+            ).inc()
+        if self.breaker_tripped:
+            metrics.counter("farm.breaker_tripped").inc()
+        if self.cache_corrupt:
+            metrics.counter("cache.corrupt").inc(self.cache_corrupt)
         metrics.histogram(
             "farm.jobs.latency", bounds=self.latency.bounds
         ).merge(self.latency)
@@ -112,6 +135,14 @@ class FarmMetrics:
                 f"job latency   : mean {self.mean_latency_secs:.3f}s, "
                 f"max {self.max_latency_secs:.3f}s"
             )
-        if self.fallback_serial:
+        if self.breaker_tripped:
+            lines.append(
+                "note          : circuit breaker open, degraded to serial"
+            )
+        elif self.fallback_serial:
             lines.append("note          : process pool unavailable, ran serially")
+        if self.cache_corrupt:
+            lines.append(
+                f"cache corrupt : {self.cache_corrupt} record(s) quarantined"
+            )
         return "\n".join(lines)

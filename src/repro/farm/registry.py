@@ -27,6 +27,7 @@ BUILTIN_MEASURES: dict[str, str] = {
     "table7.measure": "repro.experiments.table7:measure_once",
     "table8.measure": "repro.experiments.table8:_measure",
     "table9.measure": "repro.experiments.table9:_measure",
+    "chaos.probe": "repro.faults.infra:chaos_probe",
 }
 
 #: runtime registrations, by name

@@ -1,0 +1,52 @@
+"""repro.faults — deterministic fault injection and trap auditing.
+
+Two planes of failure, one replayable plan:
+
+* machine plane — ECC flips, DMA trap erasure, spurious traps, dropped
+  trap clears, audited by :class:`~repro.faults.auditor.TrapInvariantAuditor`;
+* infrastructure plane — killed/hung farm workers and garbled cache
+  records, absorbed by the farm's retry/backoff/quarantine hardening.
+
+The contract (pinned by the chaos suite): every injected fault is either
+*detected* (auditor divergence, raised exception) or *absorbed* (scrub,
+retry, quarantine, serial fallback) — never silent.
+"""
+
+from repro.faults.auditor import AuditReport, Divergence, TrapInvariantAuditor
+from repro.faults.injector import Injection, MachineFaultInjector
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultPlane,
+    FaultSpec,
+    default_plan,
+    load_plan,
+)
+from repro.faults.session import (
+    FaultRunRecord,
+    FaultSession,
+    activate,
+    active,
+    deactivate,
+    enabled,
+)
+
+__all__ = [
+    "AuditReport",
+    "Divergence",
+    "TrapInvariantAuditor",
+    "Injection",
+    "MachineFaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlane",
+    "FaultSpec",
+    "default_plan",
+    "load_plan",
+    "FaultRunRecord",
+    "FaultSession",
+    "activate",
+    "active",
+    "deactivate",
+    "enabled",
+]

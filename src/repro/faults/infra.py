@@ -1,0 +1,136 @@
+"""Infrastructure-plane faults: the execution farm under attack.
+
+The farm's hardening claims — retry with backoff absorbs crashed
+workers, timeouts absorb hung workers, CRC quarantine absorbs garbled
+cache records, the circuit breaker degrades to serial when the pool
+keeps dying — are only claims until something actually kills, hangs and
+garbles.  This module is that something.
+
+:class:`WorkerFaults` is the picklable worker-side schedule: the farm
+master wraps each pool submission in :func:`faulted_execute`, which
+consults the schedule *inside the worker* and either dies
+(``os._exit``), sleeps past the job timeout, or runs the real measure.
+By default faults fire only on a job's first scheduling attempt, so the
+farm's retry machinery can absorb them; ``persistent`` faults keep
+firing on every attempt, which is how the circuit breaker is driven
+into its serial fallback.  Serial execution (in the master process)
+never applies worker faults — that asymmetry is exactly why degrading
+to serial is a sound last resort.
+
+:func:`garble_cache_records` corrupts stored farm-cache records on
+disk, modeling bit rot or a torn write that still parses.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.farm.registry import timed_execute
+from repro.faults.plan import FaultKind, FaultPlan
+
+#: exit status of a deliberately killed worker (recognizable in cores)
+KILL_EXIT_STATUS = 43
+
+
+@dataclass(frozen=True)
+class WorkerFaults:
+    """Which batch job indices to kill or hang, and for how long."""
+
+    kills: frozenset[int] = frozenset()
+    hangs: frozenset[int] = frozenset()
+    hang_secs: float = 30.0
+    #: fire on every attempt instead of only the first (drives the
+    #: circuit breaker instead of the retry path)
+    persistent: bool = False
+
+    @classmethod
+    def from_plan(cls, plan: FaultPlan) -> "WorkerFaults | None":
+        """Extract the worker-fault schedule from a plan's infra specs;
+        None when the plan schedules no worker faults."""
+        kills: set[int] = set()
+        hangs: set[int] = set()
+        hang_secs = 30.0
+        persistent = False
+        for spec in plan.infra_specs():
+            if spec.kind is FaultKind.WORKER_KILL:
+                kills.update(spec.occurrences())
+            elif spec.kind is FaultKind.WORKER_HANG:
+                hangs.update(spec.occurrences())
+                hang_secs = float(spec.params.get("hang_secs", hang_secs))
+            else:
+                continue
+            persistent = persistent or bool(
+                spec.params.get("persistent", False)
+            )
+        if not kills and not hangs:
+            return None
+        return cls(
+            kills=frozenset(kills),
+            hangs=frozenset(hangs),
+            hang_secs=hang_secs,
+            persistent=persistent,
+        )
+
+    def action_for(self, job_index: int, attempt: int) -> str | None:
+        if attempt > 0 and not self.persistent:
+            return None
+        if job_index in self.kills:
+            return "kill"
+        if job_index in self.hangs:
+            return "hang"
+        return None
+
+
+def faulted_execute(
+    action: str | None,
+    hang_secs: float,
+    measure: str,
+    params: Mapping[str, Any],
+    seed: int,
+) -> tuple[Any, float]:
+    """Worker-side wrapper around ``timed_execute`` that first applies
+    a scheduled fault (runs in the *worker* process)."""
+    if action == "kill":
+        os._exit(KILL_EXIT_STATUS)
+    if action == "hang":
+        time.sleep(hang_secs)
+    return timed_execute(measure, params, seed)
+
+
+def chaos_probe(seed: int = 0, scale: float = 1.0) -> float:
+    """A tiny deterministic measure for infra chaos runs: cheap enough
+    to kill and retry dozens of times, distinctive enough that a wrong
+    cached value is caught by equality."""
+    return round(scale * (seed * seed + 3 * seed + 1), 6)
+
+
+def garble_cache_records(
+    directory: str | Path, indices: tuple[int, ...] = (0,)
+) -> int:
+    """Corrupt stored farm-cache records in place; returns how many.
+
+    Each targeted line gets one character in its middle replaced — the
+    record usually still parses as JSON but no longer matches its CRC,
+    which is precisely the corruption class checksums exist for.
+    """
+    from repro.farm.cache import RESULTS_FILE
+
+    path = Path(directory) / RESULTS_FILE
+    if not path.exists():
+        return 0
+    lines = path.read_text().splitlines()
+    garbled = 0
+    for index in indices:
+        if not 0 <= index < len(lines) or not lines[index]:
+            continue
+        line = lines[index]
+        middle = len(line) // 2
+        replacement = "0" if line[middle] != "0" else "1"
+        lines[index] = line[:middle] + replacement + line[middle + 1 :]
+        garbled += 1
+    path.write_text("\n".join(lines) + "\n")
+    return garbled

@@ -1,0 +1,214 @@
+"""Fault plans: what to break, when, and reproducibly.
+
+A :class:`FaultPlan` is the single replayable description of a chaos
+run.  It carries a seed and a list of :class:`FaultSpec`\\ s; every
+random choice any injector makes is drawn from a generator seeded by
+``(plan.seed, trial_seed)``, so a run is fully determined by
+``(plan, seed)`` — the property that turns "it broke once in the farm"
+into a unit test.
+
+Faults live on two planes:
+
+* the **machine plane** breaks the simulated hardware the way §3/§4 of
+  the paper says real hardware breaks Tapeworm: correctable single-bit
+  ECC flips, uncorrectable double-bit errors, DMA writes that silently
+  regenerate ECC over planted traps, spurious traps, and dropped
+  trap-clear operations;
+* the **infrastructure plane** breaks the execution farm around the
+  simulation: killed workers, hung workers, and garbled cache records.
+
+Machine-plane schedules are in units of executed *chunks*; infra-plane
+schedules are in units of *job index* within a batch.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.errors import ConfigError
+
+
+class FaultPlane(enum.Enum):
+    MACHINE = "machine"
+    INFRA = "infra"
+
+
+class FaultKind(enum.Enum):
+    """Every fault class the chaos layer can inject."""
+
+    #: correctable single-bit ECC flip (must not perturb miss counts)
+    ECC_SINGLE = "ecc_single"
+    #: uncorrectable double-bit pattern (must raise ``DoubleBitError``)
+    ECC_DOUBLE = "ecc_double"
+    #: DMA write regenerating ECC over a planted trap (the §4.3 hazard)
+    DMA_TRAP_CLEAR = "dma_trap_clear"
+    #: trap set on a line the simulated cache holds
+    SPURIOUS_TRAP = "spurious_trap"
+    #: a ``tw_clear_trap`` call silently dropped
+    TRAP_CLEAR_DROP = "trap_clear_drop"
+    #: farm worker killed mid-job
+    WORKER_KILL = "worker_kill"
+    #: farm worker hangs past the job timeout
+    WORKER_HANG = "worker_hang"
+    #: on-disk cache record corrupted
+    CACHE_GARBLE = "cache_garble"
+
+    @property
+    def plane(self) -> FaultPlane:
+        if self in (
+            FaultKind.WORKER_KILL,
+            FaultKind.WORKER_HANG,
+            FaultKind.CACHE_GARBLE,
+        ):
+            return FaultPlane.INFRA
+        return FaultPlane.MACHINE
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault class with its trigger schedule.
+
+    Occurrences fire at ``start, start + every, ...`` (``count`` times);
+    ``every == 0`` stacks them all at ``start``.  ``params`` carries
+    kind-specific knobs (``hang_secs``, ``persistent``, ...).
+    """
+
+    kind: FaultKind
+    count: int = 1
+    start: int = 0
+    every: int = 0
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigError(f"fault count must be >= 1, got {self.count}")
+        if self.start < 0 or self.every < 0:
+            raise ConfigError(
+                f"fault schedule must be non-negative "
+                f"(start={self.start}, every={self.every})"
+            )
+
+    def occurrences(self) -> tuple[int, ...]:
+        """The trigger indices (chunk or job positions), ascending."""
+        return tuple(self.start + i * self.every for i in range(self.count))
+
+    def to_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "kind": self.kind.value,
+            "count": self.count,
+            "start": self.start,
+            "every": self.every,
+        }
+        if self.params:
+            record["params"] = dict(self.params)
+        return record
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serializable batch of fault specs."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    #: audit the trap invariant every N chunks (0 = final audit only)
+    audit_every: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ConfigError(f"plan seed must be an integer, got {self.seed!r}")
+        if self.audit_every < 0:
+            raise ConfigError(
+                f"audit_every must be non-negative, got {self.audit_every}"
+            )
+
+    def machine_specs(self) -> tuple[FaultSpec, ...]:
+        return tuple(
+            s for s in self.specs if s.kind.plane is FaultPlane.MACHINE
+        )
+
+    def infra_specs(self) -> tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.kind.plane is FaultPlane.INFRA)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    # -- serialization (the ``--plan``/``--fault-plan`` file format)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "audit_every": self.audit_every,
+            "faults": [spec.to_dict() for spec in self.specs],
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, Mapping):
+            raise ConfigError(
+                f"a fault plan must be a JSON object, got {type(payload).__name__}"
+            )
+        specs = []
+        for entry in payload.get("faults", ()):
+            try:
+                kind = FaultKind(entry["kind"])
+            except (KeyError, TypeError):
+                raise ConfigError(f"fault entry needs a 'kind': {entry!r}") from None
+            except ValueError:
+                known = ", ".join(k.value for k in FaultKind)
+                raise ConfigError(
+                    f"unknown fault kind {entry['kind']!r}; known: {known}"
+                ) from None
+            specs.append(
+                FaultSpec(
+                    kind=kind,
+                    count=int(entry.get("count", 1)),
+                    start=int(entry.get("start", 0)),
+                    every=int(entry.get("every", 0)),
+                    params=dict(entry.get("params", {})),
+                )
+            )
+        return cls(
+            specs=tuple(specs),
+            seed=int(payload.get("seed", 0)),
+            audit_every=int(payload.get("audit_every", 0)),
+        )
+
+
+def load_plan(path: str | Path) -> FaultPlan:
+    """Read a fault plan from a JSON file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigError(f"cannot read fault plan {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"fault plan {path} is not valid JSON: {exc}") from exc
+    return FaultPlan.from_dict(payload)
+
+
+def default_plan(seed: int = 0xFA017) -> FaultPlan:
+    """One fault per class — the chaos-smoke contract plan."""
+    return FaultPlan(
+        seed=seed,
+        audit_every=1,
+        specs=(
+            FaultSpec(FaultKind.ECC_SINGLE, count=2, start=2, every=5),
+            FaultSpec(FaultKind.ECC_DOUBLE, count=1, start=9),
+            FaultSpec(FaultKind.DMA_TRAP_CLEAR, count=1, start=4),
+            FaultSpec(FaultKind.SPURIOUS_TRAP, count=1, start=3),
+            FaultSpec(FaultKind.TRAP_CLEAR_DROP, count=1, start=6),
+            FaultSpec(FaultKind.WORKER_KILL, count=1, start=0),
+            FaultSpec(
+                FaultKind.WORKER_HANG, count=1, start=1,
+                params={"hang_secs": 5.0},
+            ),
+            FaultSpec(FaultKind.CACHE_GARBLE, count=1, start=0),
+        ),
+    )

@@ -1,0 +1,140 @@
+"""The process-wide fault-injection session.
+
+Mirrors :mod:`repro.telemetry.session`: one module-level slot that the
+harness reads once per run.  With no session active (the default) the
+trap-driven runner pays a single global load and a ``None`` check, and
+*nothing* in the simulation reads fault state — results are
+bit-identical with the subsystem present or absent, which
+``tests/faults/test_unobtrusive.py`` pins.
+
+With a session active, every trap-driven run started while it holds a
+:class:`~repro.faults.plan.FaultPlan` gets a :class:`FaultRunRecord`:
+a machine-plane injector armed on the chunk tap plus a trap-invariant
+auditor running at the plan's cadence and once at end of run.  The
+records stay on the session after the runs finish (even runs aborted by
+a :class:`~repro.errors.DoubleBitError`), which is how the chaos runner
+correlates what was injected with what was detected.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+from repro.faults.auditor import AuditReport, Divergence, TrapInvariantAuditor
+from repro.faults.injector import MachineFaultInjector
+from repro.faults.plan import FaultPlan
+
+
+class FaultRunRecord:
+    """One trap-driven run's injector + auditor, bound to its Tapeworm."""
+
+    def __init__(self, plan: FaultPlan, tapeworm, trial_seed: int) -> None:
+        self.plan = plan
+        self.tapeworm = tapeworm
+        self.trial_seed = trial_seed
+        self.injector = MachineFaultInjector(tapeworm, plan, trial_seed)
+        self.auditor = TrapInvariantAuditor(tapeworm)
+        self.chunks = 0
+        self.finished = False
+        self.injector.arm()
+
+    # the chunk tap installed by the runner
+    def observe_chunk(self, tid: int, component, vas: np.ndarray) -> None:
+        self.injector.on_chunk(tid, component, vas)
+        self.chunks += 1
+        cadence = self.plan.audit_every
+        if cadence and self.chunks % cadence == 0:
+            self.auditor.audit(chunk_index=self.chunks - 1)
+
+    def finish(self) -> AuditReport:
+        """Disarm the injector and run the final audit (idempotent)."""
+        if not self.finished:
+            self.finished = True
+            self.injector.disarm()
+            self.auditor.audit(chunk_index=self.chunks - 1, final=True)
+        return self.auditor.reports[-1]
+
+    # -- convenience views for reports and the chaos runner
+
+    @property
+    def reports(self) -> list[AuditReport]:
+        return self.auditor.reports
+
+    def divergences(self) -> list[Divergence]:
+        return [d for report in self.reports for d in report.divergences]
+
+    @property
+    def first_divergence(self) -> Divergence | None:
+        return self.auditor.first_divergence
+
+    def publish(self, metrics) -> None:
+        """Publish ``faults.*`` metrics into a telemetry registry."""
+        for entry in self.injector.ledger:
+            if entry.applied:
+                metrics.counter(
+                    "faults.injected", kind=entry.kind.value
+                ).inc()
+        checks = sum(report.checks for report in self.reports)
+        if self.reports:
+            metrics.counter("faults.audits").inc(len(self.reports))
+        if checks:
+            metrics.counter("faults.audit_checks").inc(checks)
+        for divergence in self.divergences():
+            metrics.counter(
+                "faults.divergences", kind=divergence.kind
+            ).inc()
+
+
+class FaultSession:
+    """Process-wide fault-injection state: the plan plus run records."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.runs: list[FaultRunRecord] = []
+
+    def begin_run(self, tapeworm, trial_seed: int) -> FaultRunRecord:
+        record = FaultRunRecord(self.plan, tapeworm, trial_seed)
+        self.runs.append(record)
+        return record
+
+    @property
+    def last_run(self) -> FaultRunRecord | None:
+        return self.runs[-1] if self.runs else None
+
+
+_active: FaultSession | None = None
+
+
+def active() -> FaultSession | None:
+    """The currently activated session, or None (faults disabled)."""
+    return _active
+
+
+def activate(plan: FaultPlan) -> FaultSession:
+    global _active
+    if _active is not None:
+        raise FaultInjectionError("a fault session is already active")
+    _active = FaultSession(plan)
+    return _active
+
+
+def deactivate() -> FaultSession:
+    global _active
+    if _active is None:
+        raise FaultInjectionError("no fault session is active")
+    session, _active = _active, None
+    return session
+
+
+@contextmanager
+def enabled(plan: FaultPlan) -> Iterator[FaultSession]:
+    """Scope fault injection over a block of simulation work."""
+    session = activate(plan)
+    try:
+        yield session
+    finally:
+        deactivate()

@@ -24,6 +24,7 @@ from repro.caches.replacement import make_policy
 from repro.core.report import TrapRunReport
 from repro.core.tapeworm import Tapeworm, TapewormConfig
 from repro.errors import ConfigError
+from repro.faults.session import active as _faults
 from repro.harness.slowdown import (
     cache2000_slowdown,
     normal_run_cycles,
@@ -268,8 +269,19 @@ def run_trap_driven(
     tapeworm = Tapeworm(kernel, tw_config)
     tapeworm.install()
     execution = _WorkloadExecution(spec, kernel, options)
-    execution.apply_attributes()
-    execution.run()
+    fault_session = _faults()
+    fault_run = None
+    if fault_session is not None:
+        fault_run = fault_session.begin_run(tapeworm, options.trial_seed)
+        execution.chunk_tap = fault_run.observe_chunk
+    try:
+        execution.apply_attributes()
+        execution.run()
+    finally:
+        # the final audit still runs when a DoubleBitError aborts the
+        # workload: an injected fault must never exit unexamined
+        if fault_run is not None:
+            fault_run.finish()
 
     cpu = kernel.machine.cpu
     stats = tapeworm.snapshot_stats()
@@ -299,6 +311,8 @@ def run_trap_driven(
     if session is not None:
         kernel.publish_metrics(session.metrics)
         tapeworm.publish_metrics(session.metrics)
+        if fault_run is not None:
+            fault_run.publish(session.metrics)
     return report
 
 

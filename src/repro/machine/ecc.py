@@ -164,6 +164,40 @@ class TrapClass(enum.Enum):
     TRUE_DOUBLE = "true_double"
 
 
+@dataclass(frozen=True)
+class ECCDiagnostic:
+    """Structured result of classifying one ECC trap.
+
+    ``recoverable`` is the decision the paper's handler makes: a single
+    corrupted *data* bit can always be repaired (even under Tapeworm's
+    own check-bit flip, which software knows how to undo), while two or
+    more data-bit errors form a genuinely uncorrectable pattern — the
+    once-a-year double-bit error the DECstation would panic on.
+    """
+
+    pa: int
+    granule: int
+    trap_class: TrapClass
+    status: ECCStatus
+    #: corrupted data-bit positions injected into this granule, sorted
+    data_bits: tuple[int, ...] = ()
+    #: whether Tapeworm's designated check bit is currently flipped here
+    tapeworm_flipped: bool = False
+
+    @property
+    def recoverable(self) -> bool:
+        return len(self.data_bits) <= 1
+
+    def describe(self) -> str:
+        bits = ",".join(str(b) for b in self.data_bits) or "none"
+        return (
+            f"pa={self.pa:#x} granule={self.granule} "
+            f"class={self.trap_class.value} status={self.status.value} "
+            f"data_bits=[{bits}] tapeworm_bit={self.tapeworm_flipped} "
+            f"recoverable={self.recoverable}"
+        )
+
+
 class ECCController:
     """The memory-controller ASIC's diagnostic interface, machine-wide.
 
@@ -258,28 +292,67 @@ class ECCController:
         self.granule_trapped[granule] = True
 
     def classify(self, pa: int) -> TrapClass:
-        """Classify an ECC trap at ``pa`` the way Tapeworm's handler does.
+        """Classify an ECC trap at ``pa`` the way Tapeworm's handler does."""
+        return self.diagnose(pa).trap_class
+
+    def diagnose(self, pa: int) -> ECCDiagnostic:
+        """Full classification of an ECC trap at ``pa``.
 
         Reconstructs the word-level ECC state — the Tapeworm check-bit
         flip and/or injected data-bit errors — and runs the SEC-DED
-        decode of :class:`ECCWord`.
+        decode of :class:`ECCWord`.  The diagnostic carries everything a
+        handler (or a raised :class:`~repro.errors.DoubleBitError`)
+        needs: the corrupted bit positions, whether our own check bit is
+        flipped, and whether the pattern is recoverable.
         """
         granule = self.memory.granule_of(pa)
+        tapeworm = bool(self._tapeworm[granule])
         errors = self._true_errors.get(granule, set())
         if not errors:
             # the fast path: only our own check-bit flip is present
-            return TrapClass.TAPEWORM
+            return ECCDiagnostic(
+                pa=pa,
+                granule=granule,
+                trap_class=TrapClass.TAPEWORM,
+                status=ECCStatus.SINGLE_BIT,
+                tapeworm_flipped=tapeworm,
+            )
         word = ECCWord(0)
-        if self._tapeworm[granule]:
+        if tapeworm:
             word.flip_check_bit(TAPEWORM_CHECK_BIT)
         for _, bit in sorted(errors):
             word.flip_data_bit(bit)
         status, _ = word.status()
-        if status is ECCStatus.DOUBLE_BIT or self._tapeworm[granule]:
+        if status is ECCStatus.DOUBLE_BIT or tapeworm:
             # Tapeworm's flip plus a true error is at least a double-bit
             # pattern; either way the true error is detected.
-            return TrapClass.TRUE_DOUBLE
-        return TrapClass.TRUE_SINGLE
+            trap_class = TrapClass.TRUE_DOUBLE
+        else:
+            trap_class = TrapClass.TRUE_SINGLE
+        return ECCDiagnostic(
+            pa=pa,
+            granule=granule,
+            trap_class=trap_class,
+            status=status,
+            data_bits=tuple(sorted(bit for _, bit in errors)),
+            tapeworm_flipped=tapeworm,
+        )
+
+    def tapeworm_granules(self) -> np.ndarray:
+        """Granule numbers whose Tapeworm check bit is currently flipped
+        (ascending).  Read-only view for auditors and fault injectors."""
+        return np.nonzero(self._tapeworm)[0]
+
+    def true_error_granules(self) -> dict[int, int]:
+        """``granule -> number of injected data-bit errors`` for every
+        granule still carrying an unscrubbed true error.  The
+        trap-invariant auditor sweeps this at end of run: an injected
+        error that was never referenced (so never classified) must not
+        vanish silently."""
+        return {
+            granule: len(errors)
+            for granule, errors in self._true_errors.items()
+        }
 
     def scrub(self, pa: int) -> None:
         """Repair injected errors at ``pa`` (what the kernel's error

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.atomicio import atomic_append_line
 from repro.errors import TelemetryError
 
 #: bump when the record layout changes incompatibly
@@ -130,9 +131,8 @@ def write_manifest(
             f"refusing to write an invalid manifest record: {'; '.join(problems)}"
         )
     path = Path(path) if path is not None else DEFAULT_MANIFEST_PATH
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("a") as handle:
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    # crash-consistent append: a kill mid-write can never tear a record
+    atomic_append_line(path, json.dumps(record, sort_keys=True))
     return path
 
 

@@ -58,6 +58,8 @@ class TestSummary:
             "executed",
             "retries",
             "fallback_serial",
+            "breaker_tripped",
+            "cache_corrupt",
             "wall_clock_secs",
             "mean_latency_secs",
             "max_latency_secs",
@@ -79,7 +81,7 @@ class TestPublish:
         metrics = FarmMetrics(workers=3)
         metrics.jobs = 5
         metrics.cache_hits = 2
-        metrics.retries = 1
+        metrics.record_retry(1, 0.05)
         metrics.record_execution(0.1)
         metrics.record_execution(0.3)
         registry = MetricsRegistry()
@@ -89,9 +91,20 @@ class TestPublish:
         assert snap["farm.jobs"] == 5
         assert snap["farm.jobs.cache_hits"] == 2
         assert snap["farm.jobs.executed"] == 2
-        assert snap["farm.retries"] == 1
+        # retries are labeled with the attempt number and backoff delay
+        assert snap["farm.retries{attempt=1,backoff_secs=0.050}"] == 1
         assert snap["farm.jobs.latency"]["count"] == 2
         assert snap["farm.jobs.latency"]["max"] == 0.3
+
+    def test_breaker_and_corruption_counters_published(self):
+        metrics = FarmMetrics()
+        metrics.breaker_tripped = True
+        metrics.cache_corrupt = 2
+        registry = MetricsRegistry()
+        metrics.publish(registry)
+        snap = registry.snapshot()
+        assert snap["farm.breaker_tripped"] == 1
+        assert snap["cache.corrupt"] == 2
 
     def test_publish_accumulates_across_runs(self):
         registry = MetricsRegistry()

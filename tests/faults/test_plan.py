@@ -1,0 +1,68 @@
+"""FaultPlan: schedules, serialization, validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultPlane,
+    FaultSpec,
+    default_plan,
+    load_plan,
+)
+
+
+class TestFaultSpec:
+    def test_occurrences_expand_the_schedule(self):
+        spec = FaultSpec(kind=FaultKind.ECC_SINGLE, count=3, start=2, every=5)
+        assert spec.occurrences() == (2, 7, 12)
+
+    def test_single_occurrence_needs_no_stride(self):
+        spec = FaultSpec(kind=FaultKind.ECC_DOUBLE, start=4)
+        assert spec.occurrences() == (4,)
+
+    def test_zero_stride_stacks_repeats_at_start(self):
+        spec = FaultSpec(kind=FaultKind.ECC_SINGLE, count=2, start=3, every=0)
+        assert spec.occurrences() == (3, 3)
+
+    def test_negative_schedule_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(kind=FaultKind.ECC_SINGLE, start=-1)
+        with pytest.raises(ConfigError):
+            FaultSpec(kind=FaultKind.ECC_SINGLE, count=0)
+
+
+class TestPlaneSplit:
+    def test_every_kind_has_exactly_one_plane(self):
+        for kind in FaultKind:
+            assert kind.plane in (FaultPlane.MACHINE, FaultPlane.INFRA)
+
+    def test_plan_splits_by_plane(self):
+        plan = default_plan()
+        machine = {spec.kind for spec in plan.machine_specs()}
+        infra = {spec.kind for spec in plan.infra_specs()}
+        assert not machine & infra
+        assert machine | infra == set(FaultKind)
+
+
+class TestSerialization:
+    def test_round_trip_is_identity(self):
+        plan = default_plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_load_plan_reads_dumps(self, tmp_path):
+        plan = default_plan(seed=1234)
+        path = tmp_path / "plan.json"
+        path.write_text(plan.dumps())
+        assert load_plan(path) == plan
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_dict(
+                {"seed": 0, "faults": [{"kind": "gamma_ray"}]}
+            )
+
+    def test_default_plan_covers_every_fault_kind(self):
+        kinds = {spec.kind for spec in default_plan().specs}
+        assert kinds == set(FaultKind)

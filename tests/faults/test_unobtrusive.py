@@ -1,0 +1,110 @@
+"""The fault subsystem must be invisible when disabled.
+
+The acceptance bar: with no fault session active (or a session whose
+plan schedules no machine faults), simulation results are bit-identical
+to a build without the subsystem.  These tests pin that — the baseline
+numbers here were produced before the faults package existed and must
+never drift while injection is off.
+"""
+
+import pytest
+
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import TapewormConfig
+from repro.errors import FaultInjectionError
+from repro.faults.plan import FaultPlan, default_plan
+from repro.faults.session import activate, active, deactivate, enabled
+from repro.harness.runner import RunOptions, run_trap_driven
+from repro.workloads.registry import get_workload
+
+
+def _run():
+    return run_trap_driven(
+        get_workload("mpeg_play"),
+        TapewormConfig(cache=CacheConfig(size_bytes=4096)),
+        RunOptions(total_refs=20_000, trial_seed=0),
+    )
+
+
+class TestBitIdentical:
+    def test_no_session_equals_empty_plan_session(self):
+        baseline = _run()
+        with enabled(FaultPlan()) as session:
+            under_faults = _run()
+        assert under_faults.stats.total_misses == baseline.stats.total_misses
+        assert under_faults.traps == baseline.traps
+        assert under_faults.ticks == baseline.ticks
+        # the session observed the run without perturbing it
+        assert session.last_run is not None
+        assert session.last_run.injector.ledger == []
+
+    def test_empty_plan_final_audit_is_clean(self):
+        with enabled(FaultPlan()) as session:
+            _run()
+        report = session.last_run.reports[-1]
+        assert report.final
+        assert report.clean
+
+    def test_runs_are_deterministic_under_auditing(self):
+        """Auditing at every chunk must not change results either."""
+        baseline = _run()
+        with enabled(FaultPlan(audit_every=1)):
+            audited = _run()
+        assert audited.stats.total_misses == baseline.stats.total_misses
+        assert audited.estimated_misses == baseline.estimated_misses
+
+
+class TestPinnedExperiments:
+    """Table 7/9 numbers with injection off, pinned to the pre-faults
+    baseline.  If either drifts, the subsystem stopped being free."""
+
+    def test_table7_smoke_values_pinned(self):
+        from repro.experiments.table7 import run_table7
+
+        result = run_table7("smoke", n_trials=3, workloads=("espresso",))
+        assert result.stats["espresso"].values == (872, 744, 896)
+
+    def test_table9_quick_values_pinned(self):
+        from repro.experiments.table9 import run_table9
+
+        result = run_table9("quick", n_trials=2, sizes_kb=(4,))
+        assert result.virtual[4].values == (5728.0, 5728.0)
+        assert result.physical[4].values == (5728.0, 5728.0)
+
+    def test_table7_unchanged_under_inactive_session_machinery(self):
+        """Even importing and cycling a session leaves the numbers."""
+        from repro.experiments.table7 import run_table7
+
+        with enabled(FaultPlan()):
+            pass  # activated and deactivated; injection never ran
+        result = run_table7("smoke", n_trials=3, workloads=("espresso",))
+        assert result.stats["espresso"].values == (872, 744, 896)
+
+
+class TestSessionSlot:
+    def test_activate_deactivate_round_trip(self):
+        assert active() is None
+        session = activate(default_plan())
+        try:
+            assert active() is session
+        finally:
+            assert deactivate() is session
+        assert active() is None
+
+    def test_double_activation_is_an_error(self):
+        activate(default_plan())
+        try:
+            with pytest.raises(FaultInjectionError):
+                activate(default_plan())
+        finally:
+            deactivate()
+
+    def test_deactivate_without_session_is_an_error(self):
+        with pytest.raises(FaultInjectionError):
+            deactivate()
+
+    def test_enabled_scope_always_deactivates(self):
+        with pytest.raises(RuntimeError):
+            with enabled(default_plan()):
+                raise RuntimeError("boom")
+        assert active() is None

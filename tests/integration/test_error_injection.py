@@ -4,59 +4,69 @@ The paper: "While Tapeworm has been inactive ... we have only logged one
 true single-bit ECC error during nearly a year of operation.  Even when
 Tapeworm is active, it correctly detects true memory errors with high
 probability."  Here errors are injected far more often than once a
-year, across frames with and without active traps, and every one must
-be detected and scrubbed without corrupting the miss counts.
+year, across frames with and without active traps.  The contract:
+correctable single-bit errors are detected and scrubbed without
+corrupting the miss counts; uncorrectable double-bit patterns raise a
+:class:`DoubleBitError` carrying the full structured diagnostic — the
+machine never limps on past one.
 """
 
 import numpy as np
+import pytest
 
 from repro._types import Component, PAGE_SIZE
 from repro.caches.config import CacheConfig
 from repro.core.tapeworm import Tapeworm, TapewormConfig
+from repro.errors import DoubleBitError
 from repro.kernel.kernel import Kernel
-from repro.machine.ecc import TrapClass
+from repro.machine.ecc import ECCStatus, TrapClass
 from repro.machine.machine import Machine, MachineConfig
 
 
-def test_errors_detected_mid_run_without_corrupting_counts():
+def _booted(cache_bytes=2048):
     machine = Machine(
         MachineConfig(memory_bytes=8 * 1024 * 1024, n_vpages=512)
     )
     kernel = Kernel(machine=machine, alloc_policy="sequential")
     tapeworm = Tapeworm(
-        kernel, TapewormConfig(cache=CacheConfig(size_bytes=2048))
+        kernel, TapewormConfig(cache=CacheConfig(size_bytes=cache_bytes))
     )
     tapeworm.install()
     task = kernel.spawn("victim", Component.USER)
     tapeworm.tw_attributes(task.tid, simulate=1, inherit=0)
+    return machine, kernel, tapeworm, task
 
+
+def test_single_bit_errors_scrubbed_without_corrupting_counts():
+    machine, kernel, tapeworm, task = _booted()
     stream = np.arange(0, 8192, 4, dtype=np.int64)
     kernel.run_chunk(task, stream)  # map + partially cache two pages
     baseline_misses = tapeworm.stats.total_misses
 
-    # Inject single- and double-bit faults across the task's frames,
-    # some on lines that are simulated-cache resident (no Tapeworm trap)
-    # and some on trapped lines.
+    # Inject single-bit faults across the task's frames — one per
+    # granule (two singles in one granule would form an uncorrectable
+    # pattern), some on lines that are simulated-cache resident (no
+    # Tapeworm trap) and some on trapped lines.
     table = machine.mmu.table(task.tid)
     rng = np.random.default_rng(5)
     injected = []
-    for index in range(12):
+    granules_hit = set()
+    while len(injected) < 12:
         vpn = int(rng.integers(0, 2))
         offset = int(rng.integers(0, PAGE_SIZE // 16)) * 16
         pa = table.frame_of(vpn) * PAGE_SIZE + offset
-        machine.ecc.inject_true_error(
-            pa, bit=int(rng.integers(0, 32)), double=index % 3 == 0
-        )
+        if pa // 16 in granules_hit:
+            continue
+        granules_hit.add(pa // 16)
+        machine.ecc.inject_true_error(pa, bit=int(rng.integers(0, 32)))
         injected.append((vpn * PAGE_SIZE + offset, pa))
 
     # touch every faulted location again: each must raise a trap that
-    # the handler classifies as a true error
+    # the handler classifies as a true error and scrubs
     vas = np.array(sorted({va for va, _ in injected}), dtype=np.int64)
     before_errors = tapeworm.true_errors_detected
     kernel.run_chunk(task, vas)
-    assert tapeworm.true_errors_detected == before_errors + len(set(
-        pa // 16 for _, pa in injected
-    ))
+    assert tapeworm.true_errors_detected == before_errors + len(granules_hit)
 
     # true errors were scrubbed, not counted as misses, and the
     # trap-complement invariant survived the episode
@@ -70,11 +80,49 @@ def test_errors_detected_mid_run_without_corrupting_counts():
             assert trapped != cached
 
 
+def test_double_bit_error_raises_with_structured_diagnostic():
+    machine, kernel, tapeworm, task = _booted()
+    stream = np.arange(0, 4096, 4, dtype=np.int64)
+    kernel.run_chunk(task, stream)
+
+    table = machine.mmu.table(task.tid)
+    pa = table.frame_of(0) * PAGE_SIZE + 0x40
+    machine.ecc.inject_true_error(pa, bit=3, double=True)
+
+    with pytest.raises(DoubleBitError) as excinfo:
+        kernel.run_chunk(task, np.array([0x40, 0x44], dtype=np.int64))
+    diagnostic = excinfo.value.diagnostic
+    assert diagnostic is not None
+    assert diagnostic.pa == pa
+    assert diagnostic.granule == pa // 16
+    assert diagnostic.trap_class is TrapClass.TRUE_DOUBLE
+    assert diagnostic.data_bits == (3, 4)
+    assert not diagnostic.recoverable
+    assert f"{pa:#x}" in str(excinfo.value)
+    # the detection was still counted before the machine gave up
+    assert tapeworm.true_errors_detected == 1
+
+
+def test_two_singles_in_one_granule_form_an_uncorrectable_pattern():
+    machine, kernel, tapeworm, task = _booted()
+    kernel.run_chunk(task, np.arange(0, 1024, 4, dtype=np.int64))
+    table = machine.mmu.table(task.tid)
+    pa = table.frame_of(0) * PAGE_SIZE + 0x20
+    machine.ecc.inject_true_error(pa, bit=7)
+    machine.ecc.inject_true_error(pa + 4, bit=19)
+    with pytest.raises(DoubleBitError):
+        kernel.run_chunk(task, np.array([0x20], dtype=np.int64))
+
+
 def test_error_on_untracked_frame_is_still_classified():
     machine = Machine(
         MachineConfig(memory_bytes=4 * 1024 * 1024, n_vpages=256)
     )
     machine.ecc.inject_true_error(0x20000, bit=7)
-    assert machine.ecc.classify(0x20000) is TrapClass.TRUE_SINGLE
+    diagnostic = machine.ecc.diagnose(0x20000)
+    assert diagnostic.trap_class is TrapClass.TRUE_SINGLE
+    assert diagnostic.status is ECCStatus.SINGLE_BIT
+    assert diagnostic.data_bits == (7,)
+    assert diagnostic.recoverable
     machine.ecc.scrub(0x20000)
     assert not machine.ecc.is_trapped(0x20000)

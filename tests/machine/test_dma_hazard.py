@@ -1,0 +1,77 @@
+"""The §4.3 DMA port hazard, reproduced and caught.
+
+On the DECstation 5000/240 port, Tapeworm's DMA shield was never
+written: an I/O transfer into a trapped page regenerates ECC check bits
+and silently erases the planted trap, after which the invariant "trap
+set exactly when the line is absent from the simulated cache" is broken
+and miss counts quietly drift.  This test builds exactly that hazard —
+a DMA engine with no post-transfer hook — and proves (a) the trap is
+gone while the simulator still believes it planted one, and (b) the
+trap-invariant auditor names the damaged granule.
+"""
+
+import numpy as np
+
+from repro._types import Component
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import Tapeworm, TapewormConfig
+from repro.faults.auditor import TrapInvariantAuditor
+from repro.kernel.kernel import Kernel
+from repro.machine.dma import DMAEngine
+from repro.machine.machine import Machine, MachineConfig
+
+
+def _booted():
+    machine = Machine(
+        MachineConfig(memory_bytes=8 * 1024 * 1024, n_vpages=512)
+    )
+    kernel = Kernel(machine=machine, alloc_policy="sequential")
+    tapeworm = Tapeworm(
+        kernel, TapewormConfig(cache=CacheConfig(size_bytes=2048))
+    )
+    tapeworm.install()
+    task = kernel.spawn("victim", Component.USER)
+    tapeworm.tw_attributes(task.tid, simulate=1, inherit=0)
+    kernel.run_chunk(task, np.arange(0, 8192, 4, dtype=np.int64))
+    return machine, kernel, tapeworm, task
+
+
+def test_unshielded_dma_write_clears_a_planted_trap():
+    machine, _, tapeworm, _ = _booted()
+    trapped = sorted(machine.ecc.tapeworm_granules())
+    assert trapped, "the warm-up chunk must leave planted traps behind"
+    pa = int(trapped[0]) * 16
+
+    # an engine with no post-transfer hook — the un-ported shield
+    engine = DMAEngine(machine)
+    assert machine.ecc.is_tapeworm_trapped(pa)
+    engine.write(pa, 16)
+    assert not machine.ecc.is_tapeworm_trapped(pa)
+
+
+def test_auditor_flags_the_dma_cleared_granule():
+    machine, _, tapeworm, _ = _booted()
+    trapped = sorted(machine.ecc.tapeworm_granules())
+    pa = int(trapped[len(trapped) // 2]) * 16
+    DMAEngine(machine).write(pa, 16)
+
+    report = TrapInvariantAuditor(tapeworm).audit(final=True)
+    assert not report.clean
+    flagged = [d for d in report.divergences if d.kind == "missing_trap"]
+    assert len(flagged) == 1
+    assert flagged[0].granule == pa // 16
+
+
+def test_shielded_transfer_leaves_the_invariant_intact():
+    """The ported shield (the tw_dma_transfer hook) is the fix: the
+    same transfer through the hook keeps the audit clean."""
+    machine, _, tapeworm, _ = _booted()
+    trapped = sorted(machine.ecc.tapeworm_granules())
+    pa = int(trapped[0]) * 16
+
+    engine = DMAEngine(machine)
+    engine.install_hook(tapeworm.tw_dma_transfer)
+    engine.write(pa, 16)
+
+    report = TrapInvariantAuditor(tapeworm).audit(final=True)
+    assert report.clean

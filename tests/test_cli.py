@@ -280,3 +280,65 @@ class TestTelemetryCommand:
         assert "dropped 1 manifest record(s)" in capsys.readouterr().out
         assert not (tmp_path / ".farm-cache" / "manifests.jsonl").exists()
         assert main(["telemetry", "clear"]) == 0  # idempotent
+
+
+class TestChaosCommands:
+    def test_chaos_plan_prints_the_default_plan(self, capsys):
+        assert main(["chaos", "plan"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        kinds = {entry["kind"] for entry in payload["faults"]}
+        assert "ecc_double" in kinds
+        assert "worker_kill" in kinds
+
+    def test_chaos_run_enforces_the_contract(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({
+            "seed": 7,
+            "audit_every": 1,
+            "faults": [
+                {"kind": "dma_trap_clear", "start": 1},
+                {"kind": "cache_garble", "start": 0},
+            ],
+        }))
+        report_path = tmp_path / "report.json"
+        code = main([
+            "chaos", "run", "--plan", str(plan_path),
+            "--refs", "12000", "--report-out", str(report_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "contract  : OK" in out
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is True
+        resolutions = {
+            o["kind"]: o["resolution"] for o in report["outcomes"]
+        }
+        assert resolutions["dma_trap_clear"] == "detected:auditor"
+        assert resolutions["cache_garble"] == "absorbed:quarantine"
+
+    def test_run_accepts_a_fault_plan(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({
+            "seed": 7,
+            "audit_every": 1,
+            "faults": [{"kind": "spurious_trap", "start": 1}],
+        }))
+        code = main([
+            "run", "--workload", "espresso", "--cache-size", "2K",
+            "--refs", "20000", "--simulate", "user",
+            "--fault-plan", str(plan_path), "--no-manifest",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults" in out
+        assert "unexpected_trap" in out
+
+    def test_bad_fault_plan_is_a_clean_error(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text('{"faults": [{"kind": "gamma_ray"}]}')
+        code = main([
+            "run", "--refs", "1000", "--fault-plan", str(plan_path),
+            "--no-manifest",
+        ])
+        assert code == 1
+        assert "unknown fault kind" in capsys.readouterr().err
