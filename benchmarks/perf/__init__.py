@@ -279,9 +279,11 @@ def run_all(budget: str = "tiny") -> dict:
     }
 
 
-def write_bench(payload: dict, path: str | Path | None = None) -> Path:
+def write_bench(
+    payload: dict, path: str | Path | None = None, suite: str = "BENCH_PR3"
+) -> Path:
     path = Path(path) if path is not None else DEFAULT_BENCH_PATH
-    problems = validate_bench(payload)
+    problems = validate_bench(payload, suite=suite)
     if problems:
         raise AssertionError(f"refusing to write invalid payload: {problems}")
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -289,8 +291,13 @@ def write_bench(payload: dict, path: str | Path | None = None) -> Path:
     return path
 
 
-def validate_bench(payload: dict) -> list[str]:
-    """Schema-check one BENCH_PR3 payload; empty list = valid."""
+def validate_bench(payload: dict, suite: str = "BENCH_PR3") -> list[str]:
+    """Schema-check one benchmark payload; empty list = valid.
+
+    ``suite`` names the envelope being checked — ``BENCH_PR3`` (the
+    simulation hot paths, the default) or ``BENCH_PR5`` (the stream
+    store; see :mod:`benchmarks.perf.streams`).
+    """
     problems = []
     if not isinstance(payload, dict):
         return ["payload is not an object"]
@@ -298,7 +305,7 @@ def validate_bench(payload: dict) -> list[str]:
         problems.append(
             f"schema {payload.get('schema')!r} != {BENCH_SCHEMA_VERSION}"
         )
-    if payload.get("suite") != "BENCH_PR3":
+    if payload.get("suite") != suite:
         problems.append(f"unexpected suite {payload.get('suite')!r}")
     if payload.get("budget") not in BENCH_REFS:
         problems.append(f"unknown budget {payload.get('budget')!r}")

@@ -50,10 +50,18 @@ from repro.harness import (
     run_trap_driven,
     run_trials,
     run_trials_farm,
+    run_warm_trials,
 )
 from repro.farm import Farm, FarmConfig, Job
 from repro.kernel import Kernel, SyscallInterface
 from repro.machine import Machine, MachineConfig
+from repro.streams import (
+    CompiledStream,
+    StreamSession,
+    StreamStore,
+    StreamTransport,
+    WarmupPlan,
+)
 from repro.telemetry import (
     EventTracer,
     MetricsRegistry,
@@ -104,6 +112,12 @@ __all__ = [
     "RunManifest",
     "Cache2000",
     "PixieTracer",
+    "CompiledStream",
+    "StreamSession",
+    "StreamStore",
+    "StreamTransport",
+    "WarmupPlan",
+    "run_warm_trials",
     "get_workload",
     "WORKLOAD_NAMES",
     "__version__",

@@ -45,6 +45,13 @@ def atomic_write_text(path: str | Path, text: str) -> Path:
     return path
 
 
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data`` (binary blobs)."""
+    path = Path(path)
+    _replace_with(path, data)
+    return path
+
+
 def atomic_append_line(path: str | Path, line: str) -> Path:
     """Atomically append one line to ``path``.
 

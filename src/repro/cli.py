@@ -15,6 +15,8 @@ Commands
     Apply the Table 12 port-feasibility reasoning to one processor.
 ``farm``
     Inspect or clear the execution farm's result cache.
+``streams``
+    Inspect, clear or pre-warm the compiled reference-stream store.
 ``telemetry``
     Inspect, validate or clear the run-manifest log.
 ``chaos``
@@ -30,6 +32,13 @@ and results are bit-identical to a build without it.
 JSON for Perfetto), ``--metrics-out`` (metrics-registry snapshot JSON)
 and ``--manifest-out``; unless ``--no-manifest`` is given, every
 invocation appends a run-manifest record next to the farm cache.
+
+``run``, ``trace`` and ``reproduce`` use the compiled reference-stream
+store (``.stream-cache/``) by default: each workload's streams are
+materialized once and memory-mapped on every later run, with results
+bit-identical to live generation.  ``--no-stream-cache`` disables the
+store (streams still compile in memory once per process and, with
+``--jobs``, travel to workers over shared memory).
 """
 
 from __future__ import annotations
@@ -106,6 +115,19 @@ def _components(names: str) -> frozenset[Component]:
         ) from None
 
 
+def _add_stream_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("stream store")
+    group.add_argument(
+        "--no-stream-cache", action="store_true",
+        help="do not persist compiled reference streams to disk "
+             "(results are identical; streams recompile per process)",
+    )
+    group.add_argument(
+        "--stream-dir", default=None, metavar="DIR",
+        help="stream store directory (default .stream-cache/)",
+    )
+
+
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("telemetry")
     group.add_argument(
@@ -163,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject the machine-plane faults of this plan into the run "
              "and audit the trap invariant at the plan's cadence",
     )
+    _add_stream_flags(run)
     _add_telemetry_flags(run)
 
     trace = sub.add_parser("trace", help="one Pixie+Cache2000 simulation")
@@ -172,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--associativity", type=int, default=1)
     trace.add_argument("--sampling", type=int, default=1)
     trace.add_argument("--refs", type=int, default=300_000)
+    _add_stream_flags(trace)
 
     reproduce = sub.add_parser("reproduce", help="regenerate a paper table/figure")
     reproduce.add_argument(
@@ -194,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject the plan's machine-plane faults into every trial and "
              "its worker faults into the farm (with --jobs)",
     )
+    _add_stream_flags(reproduce)
     _add_telemetry_flags(reproduce)
 
     farm = sub.add_parser("farm", help="execution-farm cache utilities")
@@ -205,6 +230,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     clear = farm_sub.add_parser("clear", help="drop every cached result")
     clear.add_argument("--cache-dir", default=None, metavar="DIR")
+
+    streams = sub.add_parser(
+        "streams", help="compiled reference-stream store utilities"
+    )
+    streams_sub = streams.add_subparsers(dest="streams_command", required=True)
+    s_stats = streams_sub.add_parser(
+        "stats", help="show stored blobs and byte totals"
+    )
+    s_stats.add_argument(
+        "--stream-dir", default=None, metavar="DIR",
+        help="stream store directory (default .stream-cache/)",
+    )
+    s_clear = streams_sub.add_parser(
+        "clear", help="drop every compiled stream blob"
+    )
+    s_clear.add_argument("--stream-dir", default=None, metavar="DIR")
+    s_warm = streams_sub.add_parser(
+        "warm", help="precompile workload streams into the store"
+    )
+    s_warm.add_argument(
+        "--workload", default="all",
+        choices=tuple(WORKLOAD_NAMES) + ("all",),
+        help="workload to compile (default: all registered workloads)",
+    )
+    s_warm.add_argument(
+        "--budget", choices=tuple(sorted(BUDGET_REFS)), default="quick",
+        help="reference budget the blobs are sized for",
+    )
+    s_warm.add_argument(
+        "--refs", type=int, default=None, metavar="N",
+        help="explicit reference budget (overrides --budget)",
+    )
+    s_warm.add_argument(
+        "--data", action="store_true",
+        help="also compile the data-interleaved (TLB) stream variants",
+    )
+    s_warm.add_argument("--stream-dir", default=None, metavar="DIR")
 
     tele = sub.add_parser(
         "telemetry", help="run-manifest and telemetry utilities"
@@ -337,6 +399,37 @@ def _finish_telemetry(
             telemetry.write_manifest(manifest, args.manifest_out)
 
 
+def _begin_streams(args: argparse.Namespace):
+    """Activate the process-wide stream session for a simulation command.
+
+    On by default: compiled streams are bit-identical to live generation
+    and strictly faster on reuse.  ``--no-stream-cache`` keeps the
+    session but disables the on-disk store, so nothing persists (and
+    composes cleanly with the farm's ``--no-cache``, which governs the
+    *result* cache — the two stores are independent).
+    """
+    from repro.streams import StreamSession, StreamStore
+    from repro.streams import activate as activate_streams
+    from repro.streams.store import DEFAULT_STORE_DIR
+
+    directory = args.stream_dir or DEFAULT_STORE_DIR
+    return activate_streams(
+        StreamSession(
+            store=StreamStore(directory, enabled=not args.no_stream_cache)
+        )
+    )
+
+
+def _finish_streams(session, telemetry_session) -> None:
+    if session is None:
+        return
+    from repro.streams import deactivate as deactivate_streams
+
+    if telemetry_session is not None:
+        session.publish_metrics(telemetry_session.metrics)
+    deactivate_streams()
+
+
 def _load_fault_plan(args: argparse.Namespace):
     """The plan named by ``--fault-plan``, or None when faults are off."""
     if getattr(args, "fault_plan", None) is None:
@@ -399,6 +492,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     fault_plan = _load_fault_plan(args)
     session = _begin_telemetry(args)
+    stream_session = _begin_streams(args)
     started = time.perf_counter()
     fault_session = None
     try:
@@ -410,12 +504,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except BaseException:
         if session is not None:
             telemetry.deactivate()
+        _finish_streams(stream_session, None)
         raise
     finally:
         if fault_session is not None:
             from repro.faults import deactivate as deactivate_faults
 
             deactivate_faults()
+    _finish_streams(stream_session, session)
     manifest = telemetry.RunManifest(
         kind="run",
         name=report.workload,
@@ -460,9 +556,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         line_bytes=args.line_bytes,
         associativity=args.associativity,
     )
-    report = run_trace_driven(
-        spec, config, args.refs, sampling=args.sampling
-    )
+    stream_session = _begin_streams(args)
+    try:
+        report = run_trace_driven(
+            spec, config, args.refs, sampling=args.sampling
+        )
+    finally:
+        _finish_streams(stream_session, None)
     print(f"workload      : {report.workload}")
     print(f"configuration : {report.configuration}")
     print(f"refs traced   : {report.refs_traced:,}")
@@ -486,7 +586,7 @@ def _reproduce_one(name: str, budget: str, farm=None) -> None:
     print(module.render(result))
 
 
-def _build_farm(args: argparse.Namespace, fault_plan=None):
+def _build_farm(args: argparse.Namespace, fault_plan=None, stream_session=None):
     if args.jobs is None:
         return None
     from repro.farm import Farm, FarmConfig
@@ -496,18 +596,23 @@ def _build_farm(args: argparse.Namespace, fault_plan=None):
         from repro.faults.infra import WorkerFaults
 
         worker_faults = WorkerFaults.from_plan(fault_plan)
+    stream_transport = None
+    if stream_session is not None:
+        stream_transport = stream_session.transport()
     return Farm(
         FarmConfig(
             max_workers=args.jobs,
             use_cache=not args.no_cache,
             worker_faults=worker_faults,
+            stream_transport=stream_transport,
         )
     )
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     fault_plan = _load_fault_plan(args)
-    farm = _build_farm(args, fault_plan)
+    stream_session = _begin_streams(args)
+    farm = _build_farm(args, fault_plan, stream_session)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     session = _begin_telemetry(args)
     fault_session = None
@@ -529,6 +634,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             }
             if farm is not None and farm.last_run is not None:
                 results["farm"] = farm.last_run.summary()
+            if stream_session is not None and session is not None:
+                stream_session.publish_metrics(session.metrics)
             manifests.append(
                 telemetry.RunManifest(
                     kind="experiment",
@@ -550,12 +657,14 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     except BaseException:
         if session is not None:
             telemetry.deactivate()
+        _finish_streams(stream_session, None)
         raise
     finally:
         if fault_session is not None:
             from repro.faults import deactivate as deactivate_faults
 
             deactivate_faults()
+    _finish_streams(stream_session, session)
     if farm is not None and farm.metrics.jobs:
         print(f"farm ({farm.config.max_workers} workers)")
         print(farm.metrics.render())
@@ -653,6 +762,51 @@ def _cmd_farm(args: argparse.Namespace) -> int:
     print(f"retries       : {stats['retries']}")
     print(f"corrupt       : {stats['cache_corrupt']}")
     print(f"wall clock    : {stats['wall_clock_secs']:.3f}s")
+    return 0
+
+
+def _cmd_streams(args: argparse.Namespace) -> int:
+    from repro.streams import StreamSession, StreamStore
+    from repro.streams.store import DEFAULT_STORE_DIR
+
+    store = StreamStore(args.stream_dir or DEFAULT_STORE_DIR)
+
+    if args.streams_command == "clear":
+        dropped = store.clear()
+        print(f"dropped {dropped} compiled stream(s) from {store.directory}/")
+        return 0
+
+    if args.streams_command == "warm":
+        refs = args.refs if args.refs is not None else BUDGET_REFS[args.budget]
+        names = WORKLOAD_NAMES if args.workload == "all" else [args.workload]
+        session = StreamSession(store=store)
+        compiled = 0
+        for name in names:
+            spec = get_workload(name)
+            compiled += session.precompile(spec, refs)
+            if args.data:
+                compiled += session.precompile(
+                    spec, refs, include_data_refs=True
+                )
+        stats = store.stats()
+        print(
+            f"warmed {len(names)} workload(s) at {refs:,} refs: "
+            f"{compiled} stream(s) compiled, "
+            f"{session.memo_hits + store.hits} reused"
+        )
+        print(
+            f"store now holds {stats['blobs']} blob(s), "
+            f"{stats['blob_bytes'] / 1e6:.1f} MB"
+        )
+        return 0
+
+    # ``stats``
+    stats = store.stats()
+    print(f"store dir     : {stats['directory']}/")
+    print(f"blobs         : {stats['blobs']}")
+    print(f"blob bytes    : {stats['blob_bytes']:,}")
+    print(f"compiled refs : {stats['compiled_refs']:,}")
+    print(f"quarantined   : {stats['quarantined']}")
     return 0
 
 
@@ -770,6 +924,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "profile": _cmd_profile,
         "assess-port": _cmd_assess_port,
         "farm": _cmd_farm,
+        "streams": _cmd_streams,
         "telemetry": _cmd_telemetry,
         "chaos": _cmd_chaos,
     }

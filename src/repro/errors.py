@@ -68,6 +68,12 @@ class TelemetryError(ReproError):
     session activation, mismatched histogram buckets, bad manifest)."""
 
 
+class StreamStoreError(ReproError):
+    """The compiled reference-stream store was misused (double session
+    activation, a clear that would escape the cache directory, a blob
+    that cannot be written)."""
+
+
 class UnsupportedStructure(ReproError):
     """The requested structure cannot be simulated by this driver.
 

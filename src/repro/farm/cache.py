@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping
 
 from repro.atomicio import atomic_append_line, atomic_write_text
+from repro.errors import FarmError
 
 RESULTS_FILE = "results.jsonl"
 STATS_FILE = "stats.json"
@@ -183,12 +184,36 @@ class ResultCache:
             latest[record["key"]] = record
         yield from latest.values()
 
+    def _contained(self, path: Path) -> bool:
+        """Whether ``path`` resolves to inside the cache directory."""
+        root = self.directory.resolve()
+        try:
+            path.resolve().relative_to(root)
+        except ValueError:
+            return False
+        return True
+
     def clear(self) -> int:
-        """Drop every stored result; returns how many were dropped."""
+        """Drop every stored result; returns how many were dropped.
+
+        Refuses (raising :class:`FarmError`) to unlink anything that
+        does not resolve to inside the cache directory — a symlink
+        planted at ``results.jsonl`` cannot steer the delete at an
+        unrelated file, and a mis-set ``--dir`` cannot silently eat one.
+        """
         count = len(self._load())
-        for path in (
+        victims = [
             self._results_path, self._stats_path, self._quarantine_path
-        ):
+        ]
+        for path in victims:
+            if path.exists() and (
+                path.is_symlink() or not self._contained(path)
+            ):
+                raise FarmError(
+                    f"refusing to clear {path}: it escapes the farm cache "
+                    f"directory {self.directory}"
+                )
+        for path in victims:
             if path.exists():
                 path.unlink()
         self._index = {}

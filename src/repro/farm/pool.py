@@ -25,7 +25,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.errors import ConfigError, FarmError
 from repro.farm.cache import ResultCache
@@ -34,6 +34,9 @@ from repro.farm.progress import FarmMetrics
 from repro.farm.registry import timed_execute
 from repro.faults.infra import WorkerFaults, faulted_execute
 from repro.telemetry.session import active as _telemetry
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle via keys
+    from repro.streams.transport import StreamTransport
 
 #: default location of the on-disk result store
 DEFAULT_CACHE_DIR = Path(".farm-cache")
@@ -69,6 +72,11 @@ class FarmConfig:
     breaker_threshold: int = 0
     #: worker-fault schedule injected by chaos runs (None = no faults)
     worker_faults: WorkerFaults | None = None
+    #: compiled-stream handle shipped to every pool worker (None = each
+    #: worker regenerates its streams); see :mod:`repro.streams.transport`.
+    #: Fault-injected submissions ignore it — chaos paths measure the
+    #: retry machinery, not stream delivery.
+    stream_transport: StreamTransport | None = None
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
@@ -233,9 +241,37 @@ class Farm:
                 dict(job.params),
                 job.seed,
             )
+        transport = self._current_transport()
+        if transport is not None:
+            from repro.streams.transport import transported_execute
+
+            return pool.submit(
+                transported_execute,
+                transport,
+                job.measure,
+                dict(job.params),
+                job.seed,
+            )
         return pool.submit(
             timed_execute, job.measure, dict(job.params), job.seed
         )
+
+    def _current_transport(self) -> StreamTransport | None:
+        """The transport workers should use for this batch.
+
+        Re-derived from the active stream session when there is one, so
+        streams compiled (or shared-memory segments published) *after*
+        the farm was configured — e.g. by a precompile step — still
+        reach the workers.  Falls back to the configured snapshot.
+        """
+        if self.config.stream_transport is None:
+            return None
+        from repro.streams.session import active as _stream_session
+
+        session = _stream_session()
+        if session is not None:
+            return session.transport()
+        return self.config.stream_transport
 
     def _trip_breaker(
         self,

@@ -12,6 +12,7 @@ from repro.harness.runner import (
     TraceRunReport,
     run_trace_driven,
     run_trap_driven,
+    run_warm_trials,
 )
 from repro.harness.experiment import TrialStats, run_trials, run_trials_farm
 from repro.harness.tables import format_table
@@ -25,6 +26,7 @@ __all__ = [
     "TraceRunReport",
     "run_trap_driven",
     "run_trace_driven",
+    "run_warm_trials",
     "TrialStats",
     "run_trials",
     "run_trials_farm",

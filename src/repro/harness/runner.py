@@ -14,7 +14,8 @@ tests rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -31,10 +32,13 @@ from repro.harness.slowdown import (
     tapeworm_slowdown,
 )
 from repro.kernel.kernel import COMPONENT_CPI, Kernel
-from repro.kernel.scheduler import Demand, Scheduler
+from repro.kernel.scheduler import Demand, Scheduler, SlicePlanner
 from repro.kernel.syscalls import SyscallInterface
 from repro.kernel.task import Task
 from repro.machine.cpu import ChunkResult
+from repro.streams.keys import fingerprint_payload
+from repro.streams.session import active as _streams
+from repro.streams.snapshots import WarmupPlan
 from repro.telemetry.session import active as _telemetry
 from repro.tracing.cache2000 import Cache2000
 from repro.tracing.pixie import PixieTracer
@@ -88,6 +92,12 @@ class _WorkloadExecution:
 
     ``chunk_tap``, when set, observes every executed chunk as
     ``(tid, component, vas)`` — the hook system-wide tracers use.
+
+    The run loop keeps its cursor in plain attributes (phase index,
+    current round of time slices, offset within the current slice)
+    rather than nested loops' local state, so a run can stop after a
+    warmup prefix, be deep-copied as a warm-state snapshot, and resume
+    in each fork — see :func:`run_trap_driven`'s ``warmup`` parameter.
     """
 
     chunk_tap = None
@@ -107,6 +117,31 @@ class _WorkloadExecution:
         }
         self._tasks["shell"] = self.shell
         self.totals = ChunkResult()
+        # -- run-loop cursor (advanced by run(), captured by snapshots)
+        self.scheduler = Scheduler(
+            quantum_refs=options.quantum_refs,
+            system_jitter=options.system_jitter,
+            trial_rng=np.random.default_rng(options.trial_seed + 0xC0DE),
+        )
+        self.executed_refs = 0
+        self.finished = False
+        self._phase_index = 0
+        self._planner: SlicePlanner | None = None
+        self._round: list = []
+        self._slice_index = 0
+        self._slice_offset = 0
+
+    def __deepcopy__(self, memo: dict) -> "_WorkloadExecution":
+        # the spec is immutable shared configuration — forks alias it,
+        # and compiled streams share their backing arrays through
+        # CompiledStream.__deepcopy__; everything else (kernel, machine,
+        # Tapeworm, cursors, RNGs) is copied for real
+        memo[id(self.spec)] = self.spec
+        clone = object.__new__(type(self))
+        memo[id(self)] = clone
+        for name, value in self.__dict__.items():
+            object.__setattr__(clone, name, copy.deepcopy(value, memo))
+        return clone
 
     # -- attribute setup
 
@@ -135,13 +170,22 @@ class _WorkloadExecution:
     def _stream_for(self, task_name: str):
         stream = self._streams.get(task_name)
         if stream is None:
-            task_spec = self.spec.task(task_name)
-            instr = task_spec.build_stream(self.spec.name)
-            if self.options.include_data_refs:
-                data = task_spec.build_data_stream(self.spec.name)
-                stream = MixedStream(instr, data) if data else instr
+            session = _streams()
+            if session is not None:
+                stream = session.stream_for(
+                    self.spec,
+                    task_name,
+                    self.options.total_refs,
+                    self.options.include_data_refs,
+                )
             else:
-                stream = instr
+                task_spec = self.spec.task(task_name)
+                instr = task_spec.build_stream(self.spec.name)
+                if self.options.include_data_refs:
+                    data = task_spec.build_data_stream(self.spec.name)
+                    stream = MixedStream(instr, data) if data else instr
+                else:
+                    stream = instr
             self._streams[task_name] = stream
         return stream
 
@@ -161,47 +205,98 @@ class _WorkloadExecution:
 
     # -- the run loop
 
-    def run(self) -> None:
-        options = self.options
-        scheduler = Scheduler(
-            quantum_refs=options.quantum_refs,
-            system_jitter=options.system_jitter,
-            trial_rng=np.random.default_rng(options.trial_seed + 0xC0DE),
+    def _demands_for(self, phase) -> list[Demand]:
+        # spec demands are Table 4 *time* fractions; divide by CPI to
+        # get reference weights so measured time fractions match
+        demands = []
+        for d in phase.demands:
+            component = (
+                Component.USER
+                if d.task_name == "shell"
+                else self.spec.task(d.task_name).component
+            )
+            demands.append(
+                Demand(
+                    d.task_name,
+                    component,
+                    d.weight / COMPONENT_CPI[component],
+                )
+            )
+        return demands
+
+    def reseed_for_measurement(self, trial_seed: int) -> None:
+        """Re-arm every per-trial variance source at a snapshot fork.
+
+        The warmup prefix ran under the shared plan seed; from here on
+        this fork must vary exactly as an independent trial would:
+        scheduler jitter, the system-jitter RNG, and the order the
+        remaining free frames will be allocated in.
+        """
+        self.scheduler.trial_rng = np.random.default_rng(trial_seed + 0xC0DE)
+        self.kernel.system_jitter_rng = np.random.default_rng(
+            trial_seed + 0x5EED
         )
-        for phase in self.spec.phases:
-            for task_name in phase.forks:
-                self._fork(task_name)
-            phase_refs = int(round(options.total_refs * phase.weight))
-            # spec demands are Table 4 *time* fractions; divide by CPI to
-            # get reference weights so measured time fractions match
-            demands = []
-            for d in phase.demands:
-                component = (
-                    Component.USER
-                    if d.task_name == "shell"
-                    else self.spec.task(d.task_name).component
+        self.kernel.vm.reshuffle_free_frames(trial_seed)
+
+    def run(self, stop_after_refs: int | None = None) -> None:
+        """Execute the workload's phases; resumable.
+
+        With ``stop_after_refs`` the loop returns at the first chunk
+        boundary at or past that many executed references, leaving the
+        cursor intact — a later ``run()`` call continues exactly where
+        this one stopped.  Chunks are never split at the stop point, so
+        a stop-and-resume run issues the identical chunk sequence a
+        straight-through run does (chunk boundaries can matter to
+        interrupt delivery, so this is load-bearing for bit-identity).
+        """
+        options = self.options
+        while not self.finished:
+            if (
+                stop_after_refs is not None
+                and self.executed_refs >= stop_after_refs
+            ):
+                return
+            if self._planner is None:
+                if self._phase_index >= len(self.spec.phases):
+                    self.finished = True
+                    return
+                phase = self.spec.phases[self._phase_index]
+                for task_name in phase.forks:
+                    self._fork(task_name)
+                phase_refs = int(round(options.total_refs * phase.weight))
+                self._planner = self.scheduler.planner(
+                    self._demands_for(phase), phase_refs
                 )
-                demands.append(
-                    Demand(
-                        d.task_name,
-                        component,
-                        d.weight / COMPONENT_CPI[component],
-                    )
-                )
-            for time_slice in scheduler.interleave(demands, phase_refs):
-                task = self._tasks[time_slice.task_name]
-                stream = self._stream_for(time_slice.task_name)
-                remaining = time_slice.n_refs
-                while remaining > 0:
-                    n = min(options.chunk_refs, remaining)
-                    vas = stream.next_chunk(n)
-                    result = self.kernel.run_chunk(task, vas)
-                    self.totals.merge(result)
-                    if self.chunk_tap is not None:
-                        self.chunk_tap(task.tid, task.component, vas)
-                    remaining -= n
-            for task_name in phase.exits:
-                self._exit(task_name)
+                self._round = []
+                self._slice_index = 0
+                self._slice_offset = 0
+            if self._slice_index >= len(self._round):
+                if self._planner.exhausted():
+                    for task_name in self.spec.phases[self._phase_index].exits:
+                        self._exit(task_name)
+                    self._phase_index += 1
+                    self._planner = None
+                    continue
+                self._round = self._planner.next_round()
+                self._slice_index = 0
+                self._slice_offset = 0
+                continue
+            time_slice = self._round[self._slice_index]
+            task = self._tasks[time_slice.task_name]
+            stream = self._stream_for(time_slice.task_name)
+            n = min(
+                options.chunk_refs, time_slice.n_refs - self._slice_offset
+            )
+            vas = stream.next_chunk(n)
+            result = self.kernel.run_chunk(task, vas)
+            self.totals.merge(result)
+            if self.chunk_tap is not None:
+                self.chunk_tap(task.tid, task.component, vas)
+            self._slice_offset += n
+            self.executed_refs += n
+            if self._slice_offset >= time_slice.n_refs:
+                self._slice_index += 1
+                self._slice_offset = 0
 
 
 def run_uninstrumented(
@@ -258,31 +353,26 @@ def run_system_trace_driven(
     return report
 
 
-def run_trap_driven(
-    spec: WorkloadSpec,
-    tw_config: TapewormConfig,
-    options: RunOptions | None = None,
-) -> TrapRunReport:
-    """One complete trap-driven simulation of a workload."""
-    options = options or RunOptions()
+def _boot_execution(
+    spec: WorkloadSpec, tw_config: TapewormConfig, options: RunOptions
+) -> _WorkloadExecution:
+    """Boot a kernel, install Tapeworm, materialize the workload."""
     kernel = _boot_kernel(options)
     tapeworm = Tapeworm(kernel, tw_config)
     tapeworm.install()
-    execution = _WorkloadExecution(spec, kernel, options)
-    fault_session = _faults()
-    fault_run = None
-    if fault_session is not None:
-        fault_run = fault_session.begin_run(tapeworm, options.trial_seed)
-        execution.chunk_tap = fault_run.observe_chunk
-    try:
-        execution.apply_attributes()
-        execution.run()
-    finally:
-        # the final audit still runs when a DoubleBitError aborts the
-        # workload: an injected fault must never exit unexamined
-        if fault_run is not None:
-            fault_run.finish()
+    return _WorkloadExecution(spec, kernel, options)
 
+
+def _finish_trap_report(
+    spec: WorkloadSpec,
+    execution: _WorkloadExecution,
+    tw_config: TapewormConfig,
+    trial_seed: int,
+    fault_run=None,
+) -> TrapRunReport:
+    """Assemble the report (and publish telemetry) for a finished run."""
+    kernel = execution.kernel
+    tapeworm = kernel.tapeworm
     cpu = kernel.machine.cpu
     stats = tapeworm.snapshot_stats()
     for component in Component:
@@ -291,7 +381,7 @@ def run_trap_driven(
     report = TrapRunReport(
         workload=spec.name,
         configuration=_describe(tw_config),
-        trial_seed=options.trial_seed,
+        trial_seed=trial_seed,
         stats=stats,
         estimated_misses=tapeworm.estimated_total_misses(),
         base_cycles=sum(cpu.cycles_by_component.values()),
@@ -302,10 +392,10 @@ def run_trap_driven(
         ticks=kernel.machine.clock.ticks_delivered,
         sampling=tw_config.sampling,
         refs=dict(cpu.refs_by_component),
-        scale_factor=spec.scale_factor(options.total_refs),
+        scale_factor=spec.scale_factor(execution.options.total_refs),
     )
     report.slowdown = tapeworm_slowdown(
-        report.overhead_cycles, spec, options.total_refs
+        report.overhead_cycles, spec, execution.options.total_refs
     )
     session = _telemetry()
     if session is not None:
@@ -313,7 +403,150 @@ def run_trap_driven(
         tapeworm.publish_metrics(session.metrics)
         if fault_run is not None:
             fault_run.publish(session.metrics)
+        stream_session = _streams()
+        if stream_session is not None:
+            stream_session.publish_metrics(session.metrics)
     return report
+
+
+def run_trap_driven(
+    spec: WorkloadSpec,
+    tw_config: TapewormConfig,
+    options: RunOptions | None = None,
+    warmup: WarmupPlan | None = None,
+) -> TrapRunReport:
+    """One complete trap-driven simulation of a workload.
+
+    With a ``warmup`` plan, the first ``warmup_refs`` references execute
+    under the plan's shared seed and — when a stream session is active
+    and no fault session is — the warmed state is snapshotted once per
+    configuration, so subsequent trials fork the snapshot instead of
+    re-simulating the prefix.  Forked or replayed, the results are
+    bit-identical (``tests/streams/test_snapshots.py``).
+    """
+    options = options or RunOptions()
+    if warmup is not None:
+        return _run_trap_driven_warm(spec, tw_config, options, warmup)
+    execution = _boot_execution(spec, tw_config, options)
+    fault_session = _faults()
+    fault_run = None
+    if fault_session is not None:
+        fault_run = fault_session.begin_run(
+            execution.kernel.tapeworm, options.trial_seed
+        )
+        execution.chunk_tap = fault_run.observe_chunk
+    try:
+        execution.apply_attributes()
+        execution.run()
+    finally:
+        # the final audit still runs when a DoubleBitError aborts the
+        # workload: an injected fault must never exit unexamined
+        if fault_run is not None:
+            fault_run.finish()
+    return _finish_trap_report(
+        spec, execution, tw_config, options.trial_seed, fault_run=fault_run
+    )
+
+
+def _warm_snapshot_key(
+    spec: WorkloadSpec,
+    tw_config: TapewormConfig,
+    warm_options: RunOptions,
+    warmup: WarmupPlan,
+) -> str:
+    """Identity of one warmed state: everything that shaped the prefix.
+
+    ``warm_options`` carries the plan seed in ``trial_seed``, so the
+    measurement trial's own seed is deliberately absent — that is what
+    makes the snapshot shareable across trials.  The Tapeworm config
+    (including its sampling seed) is folded in whole: a sampled
+    configuration's trap pattern is fixed at install time, so trials
+    sharing a snapshot share it by construction.
+    """
+    return fingerprint_payload(
+        {
+            "kind": "warm-snapshot",
+            "workload": spec.name,
+            "tapeworm": tw_config,
+            "options": warm_options,
+            "warmup": warmup,
+        }
+    )
+
+
+def _run_trap_driven_warm(
+    spec: WorkloadSpec,
+    tw_config: TapewormConfig,
+    options: RunOptions,
+    warmup: WarmupPlan,
+) -> TrapRunReport:
+    if warmup.warmup_refs >= options.total_refs:
+        raise ConfigError(
+            f"warmup_refs ({warmup.warmup_refs}) must be smaller than "
+            f"total_refs ({options.total_refs})"
+        )
+    warm_options = replace(options, trial_seed=warmup.warmup_seed)
+    stream_session = _streams()
+    fault_session = _faults()
+    if stream_session is not None and fault_session is None:
+        key = _warm_snapshot_key(spec, tw_config, warm_options, warmup)
+        execution = stream_session.snapshots.fork(key)
+        if execution is None:
+            warmed = _boot_execution(spec, tw_config, warm_options)
+            warmed.apply_attributes()
+            warmed.run(stop_after_refs=warmup.warmup_refs)
+            stream_session.snapshots.put(key, warmed)
+            execution = stream_session.snapshots.fork(key)
+        execution.reseed_for_measurement(options.trial_seed)
+        execution.run()
+        return _finish_trap_report(
+            spec, execution, tw_config, options.trial_seed
+        )
+    # Bypass: no stream session, or fault injection is active — injected
+    # faults mutate warmed state, so sharing a snapshot would leak one
+    # trial's damage into the others.  Replay the prefix fresh instead;
+    # semantics (warmup under the plan seed, reseed at the fork point)
+    # are identical, only the amortization is lost.
+    if stream_session is not None:
+        stream_session.snapshots.bypassed += 1
+    execution = _boot_execution(spec, tw_config, warm_options)
+    fault_run = None
+    if fault_session is not None:
+        fault_run = fault_session.begin_run(
+            execution.kernel.tapeworm, options.trial_seed
+        )
+        execution.chunk_tap = fault_run.observe_chunk
+    try:
+        execution.apply_attributes()
+        execution.run(stop_after_refs=warmup.warmup_refs)
+        execution.reseed_for_measurement(options.trial_seed)
+        execution.run()
+    finally:
+        if fault_run is not None:
+            fault_run.finish()
+    return _finish_trap_report(
+        spec, execution, tw_config, options.trial_seed, fault_run=fault_run
+    )
+
+
+def run_warm_trials(
+    spec: WorkloadSpec,
+    tw_config: TapewormConfig,
+    options: RunOptions,
+    warmup: WarmupPlan,
+    n_trials: int,
+    base_seed: int = 0,
+) -> list[TrapRunReport]:
+    """N measurement trials sharing one warmed prefix."""
+    return [
+        run_trap_driven(
+            spec,
+            tw_config,
+            replace(options, trial_seed=base_seed + trial),
+            warmup=warmup,
+        )
+        for trial in range(n_trials)
+    ]
 
 
 def _describe(config: TapewormConfig) -> str:
@@ -390,6 +623,9 @@ def run_trace_driven(
     session = _telemetry()
     if session is not None:
         simulator.publish_metrics(session.metrics)
+        stream_session = _streams()
+        if stream_session is not None:
+            stream_session.publish_metrics(session.metrics)
 
     report = TraceRunReport(
         workload=spec.name,

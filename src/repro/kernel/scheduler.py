@@ -63,6 +63,12 @@ class Scheduler:
         self.system_jitter = system_jitter
         self.trial_rng = trial_rng or np.random.default_rng(0)
 
+    def planner(
+        self, demands: list[Demand], total_refs: int
+    ) -> "SlicePlanner":
+        """A stepwise planner for one phase (see :class:`SlicePlanner`)."""
+        return SlicePlanner(self, demands, total_refs)
+
     def interleave(
         self, demands: list[Demand], total_refs: int
     ) -> Iterator[TimeSlice]:
@@ -78,6 +84,29 @@ class Scheduler:
         system interleaving varies.  (With no user demand, the phase is
         driven by total progress instead.)
         """
+        planner = SlicePlanner(self, demands, total_refs)
+        while not planner.exhausted():
+            yield from planner.next_round()
+
+
+class SlicePlanner:
+    """One phase's schedule, materialized round by round.
+
+    Equivalent to :meth:`Scheduler.interleave` — the generator is now a
+    thin wrapper over this — but holds its cursor in plain attributes
+    instead of a suspended generator frame, so an in-progress schedule
+    can be deep-copied.  Warm-state snapshots rely on that: a generator
+    cannot be copied, a planner can.
+
+    Rounds are produced one at a time (never materialized wholesale), so
+    re-seeding the scheduler's ``trial_rng`` between rounds — what the
+    harness does at a snapshot fork point — affects every subsequent
+    round's jitter exactly as it would have mid-``interleave``.
+    """
+
+    def __init__(
+        self, scheduler: Scheduler, demands: list[Demand], total_refs: int
+    ) -> None:
         if total_refs < 0:
             raise ConfigError(f"total_refs must be non-negative: {total_refs}")
         weights = sum(d.weight for d in demands)
@@ -86,39 +115,51 @@ class Scheduler:
         user_weight = sum(
             d.weight for d in demands if d.component is Component.USER
         )
-        drive_by_user = user_weight > 0
-        target = (
+        self.scheduler = scheduler
+        self.demands = list(demands)
+        self.weights = weights
+        self.drive_by_user = user_weight > 0
+        self.target = (
             int(round(total_refs * user_weight / weights))
-            if drive_by_user
+            if self.drive_by_user
             else total_refs
         )
-        if target <= 0:
-            return
+        self.progress = 0
+        self.remainders = [0.0] * len(demands)
 
-        progress = 0
-        remainders = [0.0] * len(demands)
-        while progress < target:
-            for index, demand in enumerate(demands):
-                is_user = demand.component is Component.USER
-                counts = is_user if drive_by_user else True
-                if progress >= target and counts:
-                    break
-                exact = self.quantum_refs * demand.weight / weights
-                exact += remainders[index]
-                grant = int(exact)
-                if demand.component.is_system and self.system_jitter:
-                    # jitter shifts *when* system references run, not how
-                    # many: the remainder repays the perturbation, so
-                    # cumulative system totals stay on target
-                    scale = 1.0 + self.system_jitter * (
-                        2.0 * self.trial_rng.random() - 1.0
-                    )
-                    grant = int(grant * scale)
-                remainders[index] = exact - grant
-                if counts:
-                    grant = min(grant, target - progress)
-                if grant <= 0:
-                    continue
-                if counts:
-                    progress += grant
-                yield TimeSlice(demand.task_name, demand.component, grant)
+    def exhausted(self) -> bool:
+        return self.progress >= self.target
+
+    def next_round(self) -> list[TimeSlice]:
+        """One weighted round-robin pass over the demands."""
+        if self.exhausted():
+            return []
+        scheduler = self.scheduler
+        slices: list[TimeSlice] = []
+        for index, demand in enumerate(self.demands):
+            is_user = demand.component is Component.USER
+            counts = is_user if self.drive_by_user else True
+            if self.progress >= self.target and counts:
+                break
+            exact = scheduler.quantum_refs * demand.weight / self.weights
+            exact += self.remainders[index]
+            grant = int(exact)
+            if demand.component.is_system and scheduler.system_jitter:
+                # jitter shifts *when* system references run, not how
+                # many: the remainder repays the perturbation, so
+                # cumulative system totals stay on target
+                scale = 1.0 + scheduler.system_jitter * (
+                    2.0 * scheduler.trial_rng.random() - 1.0
+                )
+                grant = int(grant * scale)
+            self.remainders[index] = exact - grant
+            if counts:
+                grant = min(grant, self.target - self.progress)
+            if grant <= 0:
+                continue
+            if counts:
+                self.progress += grant
+            slices.append(
+                TimeSlice(demand.task_name, demand.component, grant)
+            )
+        return slices

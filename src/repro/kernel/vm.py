@@ -144,6 +144,26 @@ class VMSystem:
         self.faults = 0
         self.evictions = 0
 
+    def reshuffle_free_frames(self, trial_seed: int) -> None:
+        """Re-draw the free pool's policy order under a new trial seed.
+
+        Used at a warm-state snapshot fork: the warmup prefix ran under a
+        shared plan seed, so every trial forked from it would otherwise
+        allocate the *same* frames — erasing the paper's dominant
+        physically-indexed variance source.  Re-shuffling the remaining
+        free frames with the measurement trial's seed restores per-trial
+        allocation variation from the fork point on.  Sequential policy
+        is order-insensitive and left untouched.
+        """
+        self.trial_seed = trial_seed
+        if self.alloc_policy != "random" or not self._free:
+            return
+        frames = np.array(sorted(self._free), dtype=np.int64)
+        rng = np.random.default_rng(trial_seed)
+        rng.shuffle(frames)
+        self._free = frames.tolist()
+        self._free.reverse()
+
     # -- task lifecycle
 
     def attach_task(self, tid: int, layout: AddressSpaceLayout) -> PageTable:

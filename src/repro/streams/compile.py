@@ -1,0 +1,133 @@
+"""Compiling live generator streams into flat address arrays.
+
+The generators in :mod:`repro.workloads.locality` have the *prefix
+property*: their output sequence is independent of how it is chunked —
+``BlockLoopStream`` draws a new template exactly when its pending queue
+runs dry, and ``MixedStream`` interleaves on a fixed period with a
+leftover buffer — so draining the first N references once and replaying
+them by slicing is bit-identical to generating them chunk by chunk.
+``tests/streams/test_bit_equality.py`` pins that property for every
+registered workload.
+
+:class:`CompiledStream` is the replay wrapper: a cursor over a backing
+array (typically a read-only memory map from the store).  If a run asks
+for more references than were compiled — possible only if the caller's
+budget estimate was wrong, since the store compiles ``total_refs +
+STREAM_MARGIN`` — it falls back to a live generator fast-forwarded to
+the cursor, which is unconditionally correct, just slower.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.workloads.base import TaskSpec
+from repro.workloads.locality import BlockLoopStream, MixedStream
+
+#: chunk size used when draining a generator into a compiled array —
+#: large enough to amortize per-call overhead, small enough to keep the
+#: working buffer cache-friendly
+COMPILE_CHUNK_REFS = 65_536
+
+
+def build_live_stream(
+    spec_name: str, task: TaskSpec, include_data_refs: bool
+) -> BlockLoopStream | MixedStream:
+    """The generator the trap-driven harness would build natively."""
+    stream = task.build_stream(spec_name)
+    if include_data_refs:
+        data = task.build_data_stream(spec_name)
+        if data is not None:
+            return MixedStream(stream, data)
+    return stream
+
+
+def compile_stream(
+    stream: BlockLoopStream | MixedStream, refs: int
+) -> np.ndarray:
+    """Drain ``refs`` references from ``stream`` into one int64 array."""
+    if refs <= 0:
+        raise ConfigError(f"refs must be positive, got {refs}")
+    pieces = []
+    remaining = refs
+    while remaining > 0:
+        n = min(COMPILE_CHUNK_REFS, remaining)
+        pieces.append(np.asarray(stream.next_chunk(n), dtype=np.int64))
+        remaining -= n
+    compiled = np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
+    return np.ascontiguousarray(compiled, dtype=np.int64)
+
+
+class CompiledStream:
+    """Replay cursor over a precompiled address array.
+
+    Duck-types the one method the harness and tracer use
+    (``next_chunk``).  Slices of a memory-mapped backing array are
+    views — no copy, no page touched until the simulator reads it.
+
+    Deep copies (taken when a warm-state snapshot captures an
+    execution) share the backing array and copy only the cursor: the
+    array is immutable replay data, identical across forks by
+    construction.
+    """
+
+    def __init__(
+        self,
+        backing: np.ndarray,
+        fallback_factory: Callable[[], BlockLoopStream | MixedStream]
+        | None = None,
+    ) -> None:
+        if backing.ndim != 1:
+            raise ConfigError("compiled streams must be 1-D")
+        self.backing = backing
+        self.cursor = 0
+        self._fallback_factory = fallback_factory
+        self._fallback: BlockLoopStream | MixedStream | None = None
+
+    def next_chunk(self, n_refs: int) -> np.ndarray:
+        if n_refs < 0:
+            raise ConfigError(f"n_refs must be non-negative, got {n_refs}")
+        if self._fallback is not None:
+            return self._fallback.next_chunk(n_refs)
+        end = self.cursor + n_refs
+        if end <= len(self.backing):
+            chunk = self.backing[self.cursor:end]
+            self.cursor = end
+            return chunk
+        # Overflow: the run outlasted the compiled prefix.  Rebuild the
+        # live generator, fast-forward it past everything already
+        # replayed, and delegate from here on — bit-identical to having
+        # generated live all along (the prefix property again).
+        if self._fallback_factory is None:
+            raise ConfigError(
+                f"compiled stream exhausted at ref {self.cursor} "
+                f"(+{n_refs} requested, {len(self.backing)} compiled) "
+                "and no fallback generator is available"
+            )
+        fallback = self._fallback_factory()
+        skip = self.cursor
+        while skip > 0:
+            step = min(COMPILE_CHUNK_REFS, skip)
+            fallback.next_chunk(step)
+            skip -= step
+        self._fallback = fallback
+        return self._fallback.next_chunk(n_refs)
+
+    def __deepcopy__(self, memo: dict) -> "CompiledStream":
+        if self._fallback is not None:
+            # Once live, the stream carries generator state; fall back
+            # to a true deep copy of everything.
+            import copy
+
+            clone = CompiledStream(self.backing, self._fallback_factory)
+            clone.cursor = self.cursor
+            clone._fallback = copy.deepcopy(self._fallback, memo)
+            memo[id(self)] = clone
+            return clone
+        clone = CompiledStream(self.backing, self._fallback_factory)
+        clone.cursor = self.cursor
+        memo[id(self)] = clone
+        return clone

@@ -1,0 +1,81 @@
+"""Warm-state snapshots: run the warmup prefix once, fork the rest.
+
+Tapeworm experiments that discard a warmup window re-simulate the same
+prefix for every trial of a config.  A :class:`WarmupPlan` declares the
+prefix explicitly (its length and the seed the prefix runs under); the
+harness executes it once per ``(config, stream)``, deep-copies the
+entire warmed execution — kernel, caches, TLB, Tapeworm state, stream
+cursors — into a :class:`SnapshotStore`, and each measurement trial
+forks from the copy instead of replaying the prefix.
+
+Correctness contract (pinned by ``tests/streams/test_snapshots.py``):
+forking a snapshot and finishing the run is bit-identical to replaying
+the warmup prefix from scratch with the same seeds.  The per-trial
+variance sources (scheduler jitter, system-tick jitter, frame-allocation
+order) are re-seeded at the fork point, so trials still differ from each
+other exactly as the paper's variance structure requires.
+
+When a fault-injection session is active the harness bypasses snapshot
+reuse entirely — injected faults mutate warmed state mid-run, so a
+shared snapshot would leak one trial's damage into another.  The bypass
+is counted (``streams.snapshot_bypass``) so it is visible, not silent.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WarmupPlan:
+    """A declared warmup prefix: length in references, and the seed the
+    prefix executes under (shared by every trial that forks from it)."""
+
+    warmup_refs: int
+    warmup_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.warmup_refs <= 0:
+            raise ConfigError(
+                f"warmup_refs must be positive, got {self.warmup_refs}"
+            )
+
+
+class SnapshotStore:
+    """In-process store of warmed execution states, keyed by config.
+
+    Snapshots hold live simulator objects (not serialized state), so the
+    store is per-process; farm workers each warm their own copy, which
+    still amortizes across the trials a worker runs.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: dict[str, Any] = {}
+        self.creates = 0
+        self.forks = 0
+        self.bypassed = 0
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._snapshots
+
+    def put(self, key: str, state: Any) -> None:
+        self._snapshots[key] = state
+        self.creates += 1
+
+    def fork(self, key: str) -> Any | None:
+        """An independent deep copy of the snapshot, or None."""
+        state = self._snapshots.get(key)
+        if state is None:
+            return None
+        self.forks += 1
+        return copy.deepcopy(state)
+
+    def clear(self) -> None:
+        self._snapshots.clear()

@@ -1,0 +1,179 @@
+"""Zero-copy stream delivery to farm workers.
+
+Without this module, a farm job that needs a compiled stream either
+re-generates it in the worker (CPU time per job) or receives the array
+pickled through the job payload (memory copies per job).  With it, the
+master sends workers a tiny picklable :class:`StreamTransport` — the
+store directory plus, for streams that exist only in memory (store
+disabled), the names of ``multiprocessing.shared_memory`` segments —
+and each worker maps the blobs locally.  Pages of a store blob are
+shared by the OS page cache across every worker; pages of a shared
+memory segment are literally the same physical memory.
+
+Attach failures are never fatal: a worker that cannot reach a segment
+(or a store directory that vanished) simply compiles the stream
+locally, which is bit-identical — the transport is purely an
+optimization layer.
+"""
+
+from __future__ import annotations
+
+import inspect
+import logging
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.streams.keys import STREAM_CODE_VERSION
+from repro.streams.store import DEFAULT_STORE_DIR
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class ShmSegment:
+    """One in-memory stream published as a shared memory segment."""
+
+    key: str
+    shm_name: str
+    refs: int
+
+
+@dataclass(frozen=True)
+class StreamTransport:
+    """Everything a worker needs to map the master's compiled streams."""
+
+    store_dir: str = DEFAULT_STORE_DIR
+    store_enabled: bool = True
+    salt: str = STREAM_CODE_VERSION
+    shm_segments: tuple[ShmSegment, ...] = field(default_factory=tuple)
+
+
+def _attach_segment(name: str):
+    """Attach to a named segment without registering it for cleanup.
+
+    Python < 3.13 registers *attaching* processes with the resource
+    tracker, which then unlinks the segment when the first worker exits
+    — yanking it out from under its siblings.  3.13 added
+    ``track=False`` for exactly this; on older interpreters we attach
+    normally and rely on workers outliving the batch.
+    """
+    from multiprocessing import shared_memory
+
+    if "track" in inspect.signature(
+        shared_memory.SharedMemory.__init__
+    ).parameters:
+        return shared_memory.SharedMemory(name=name, track=False)
+    return shared_memory.SharedMemory(name=name)
+
+
+class ShmArena:
+    """Master-side owner of shared memory segments for in-memory streams.
+
+    Created only when the store is disabled (otherwise blobs travel via
+    the filesystem).  The arena owns the segments' lifetime: ``close``
+    unlinks everything, so a batch leaves no segments behind.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[Any] = []
+        self.published: list[ShmSegment] = []
+
+    def publish(self, key: str, array: np.ndarray) -> ShmSegment | None:
+        from multiprocessing import shared_memory
+
+        data = np.ascontiguousarray(array, dtype=np.int64)
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=data.nbytes)
+        except OSError as error:
+            logger.warning(
+                "could not publish stream %s via shared memory (%s); "
+                "workers will compile locally", key[:12], error,
+            )
+            return None
+        view = np.ndarray(data.shape, dtype=np.int64, buffer=shm.buf)
+        view[:] = data
+        self._segments.append(shm)
+        segment = ShmSegment(key=key, shm_name=shm.name, refs=data.shape[0])
+        self.published.append(segment)
+        return segment
+
+    def close(self) -> None:
+        for shm in self._segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:
+                pass
+        self._segments.clear()
+        self.published.clear()
+
+
+def attach_segments(
+    segments: tuple[ShmSegment, ...],
+) -> tuple[dict[str, np.ndarray], list[Any]]:
+    """Worker-side attach: ``(key -> array views, live shm handles)``.
+
+    The handles must stay referenced as long as the arrays are in use;
+    the caller closes them when the session ends.  Segments that fail to
+    attach are skipped — the session falls back to local compilation.
+    """
+    attachments: dict[str, np.ndarray] = {}
+    handles: list[Any] = []
+    for segment in segments:
+        try:
+            shm = _attach_segment(segment.shm_name)
+        except (OSError, ValueError) as error:
+            logger.warning(
+                "could not attach stream segment %s (%s); compiling locally",
+                segment.shm_name, error,
+            )
+            continue
+        array = np.ndarray(
+            (segment.refs,), dtype=np.int64, buffer=shm.buf
+        )
+        array.setflags(write=False)
+        attachments[segment.key] = array
+        handles.append(shm)
+    return attachments, handles
+
+
+def transported_execute(
+    transport: StreamTransport, measure: str, params: dict, seed: int
+):
+    """Worker entry point: run a job inside a transported stream session.
+
+    Activates a :class:`~repro.streams.session.StreamSession` backed by
+    the master's store directory (and any shared memory segments), runs
+    the measure exactly as :func:`repro.farm.registry.timed_execute`
+    would, then tears the session down.  Results are bit-identical to
+    the untransported path — only where the addresses come from differs.
+    """
+    from repro.farm.registry import timed_execute
+    from repro.streams import session as stream_session
+    from repro.streams.store import StreamStore
+
+    attachments, handles = attach_segments(transport.shm_segments)
+    session = stream_session.StreamSession(
+        store=StreamStore(
+            transport.store_dir, enabled=transport.store_enabled
+        ),
+        attachments=attachments,
+        salt=transport.salt,
+    )
+    if stream_session.active() is not None:
+        # a forked worker inherited the master's session; the parent
+        # owns its resources, so drop the reference rather than
+        # deactivating it
+        stream_session.drop_inherited()
+    stream_session.activate(session)
+    try:
+        return timed_execute(measure, params, seed)
+    finally:
+        stream_session.deactivate()
+        for shm in handles:
+            try:
+                shm.close()
+            except OSError:
+                pass

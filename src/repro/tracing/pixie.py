@@ -20,6 +20,7 @@ import numpy as np
 
 from repro._types import Component
 from repro.errors import TraceError
+from repro.streams.session import active as _streams
 from repro.tracing.trace import TraceChunk
 from repro.workloads.base import WorkloadSpec
 
@@ -43,9 +44,23 @@ class PixieTracer:
         self.spec = spec
         self.task_spec = task_spec
         self.chunk_refs = chunk_refs
-        self._stream = task_spec.build_stream(spec.name)
+        self._stream = None
         self.generation_cycles = 0
         self.refs_traced = 0
+
+    def _ensure_stream(self, total_refs: int):
+        """Build the stream on first use: a compiled replay when a
+        stream session is active (sized to this trace request), the
+        plain generator otherwise — bit-identical either way."""
+        if self._stream is None:
+            session = _streams()
+            if session is not None:
+                self._stream = session.stream_for(
+                    self.spec, self.spec.primary_task, total_refs, False
+                )
+            else:
+                self._stream = self.task_spec.build_stream(self.spec.name)
+        return self._stream
 
     def trace_chunks(self, total_refs: int) -> Iterator[TraceChunk]:
         """Yield the first ``total_refs`` references of the task.
@@ -55,10 +70,11 @@ class PixieTracer:
         the paper's validation that Tapeworm's user-component miss counts
         are "nearly identical" to Pixie+Cache2000's.
         """
+        stream = self._ensure_stream(total_refs)
         remaining = total_refs
         while remaining > 0:
             n = min(self.chunk_refs, remaining)
-            addresses = self._stream.next_chunk(n)
+            addresses = stream.next_chunk(n)
             self.generation_cycles += n * PIXIE_GENERATION_CYCLES_PER_REF
             self.refs_traced += n
             remaining -= n

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro._types import PAGE_SIZE, Component
 from repro.errors import ConfigError
@@ -92,14 +93,12 @@ class TaskSpec:
     parent: str | None = "shell"
 
     def procedures(self) -> tuple[Procedure, ...]:
-        return lay_out_procedures(TEXT_BASE_VA, [list(s) for s in self.shapes])
+        return _procedures_for(TEXT_BASE_VA, self.shapes)
 
     def data_procedures(self) -> tuple[Procedure, ...]:
         if not self.data_shapes:
             return ()
-        return lay_out_procedures(
-            DATA_BASE_VA, [list(s) for s in self.data_shapes]
-        )
+        return _procedures_for(DATA_BASE_VA, self.data_shapes)
 
     def text_pages(self) -> int:
         end = max(p.end_va for p in self.procedures())
@@ -146,6 +145,21 @@ class TaskSpec:
         return BlockLoopStream(
             data, seed=self.stream_seed(workload_name) ^ 0xDA7A
         )
+
+
+@lru_cache(maxsize=1024)
+def _procedures_for(
+    base_va: int, shapes: tuple[tuple[int, float, int, int], ...]
+) -> tuple[Procedure, ...]:
+    """Memoized procedure-table construction.
+
+    ``TaskSpec`` is frozen and its ``shapes`` rows are tuples, so the
+    layout of a given spec is pure in ``(base_va, shapes)``; repeated
+    ``build_stream``/``build_data_stream`` calls within one process reuse
+    the same :class:`Procedure` tuple (and, through the procedure
+    template cache, the same visit templates).
+    """
+    return lay_out_procedures(base_va, [list(s) for s in shapes])
 
 
 @dataclass(frozen=True)

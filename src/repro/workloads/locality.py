@@ -22,6 +22,7 @@ the property behind the paper's zero-variance virtually-indexed runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -72,20 +73,34 @@ class Procedure:
         return self.base_va + self.size_bytes
 
     def template(self) -> np.ndarray:
-        """The exact address sequence of one visit."""
-        blocks = []
-        for block_start in range(self.base_va, self.end_va, self.block_bytes):
-            block = np.arange(
-                block_start,
-                block_start + self.block_bytes,
-                self.stride,
-                dtype=np.int64,
-            )
-            blocks.append(np.tile(block, self.block_repeats))
-        one_pass = np.concatenate(blocks)
-        if self.passes == 1:
-            return one_pass
-        return np.tile(one_pass, self.passes)
+        """The exact address sequence of one visit.
+
+        Memoized per (frozen) procedure and returned read-only: every
+        stream built over the same procedure shares one template array,
+        so repeated ``build_stream`` calls skip the layout work.
+        """
+        return _template_for(self)
+
+
+@lru_cache(maxsize=4096)
+def _template_for(procedure: Procedure) -> np.ndarray:
+    blocks = []
+    for block_start in range(
+        procedure.base_va, procedure.end_va, procedure.block_bytes
+    ):
+        block = np.arange(
+            block_start,
+            block_start + procedure.block_bytes,
+            procedure.stride,
+            dtype=np.int64,
+        )
+        blocks.append(np.tile(block, procedure.block_repeats))
+    one_pass = np.concatenate(blocks)
+    template = (
+        one_pass if procedure.passes == 1 else np.tile(one_pass, procedure.passes)
+    )
+    template.setflags(write=False)
+    return template
 
 
 class BlockLoopStream:

@@ -1,0 +1,22 @@
+"""Shared fixtures for the stream-store suite."""
+
+import pytest
+
+from repro.streams import StreamSession, StreamStore
+from repro.streams.session import active, deactivate
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    """Fail loudly if a test leaks the process-wide stream session."""
+    assert active() is None, "a stream session leaked into this test"
+    yield
+    if active() is not None:  # pragma: no cover - defensive cleanup
+        deactivate()
+        pytest.fail("test leaked an active stream session")
+
+
+@pytest.fixture
+def session(tmp_path):
+    """A fresh session backed by a store in the test's tmp directory."""
+    return StreamSession(store=StreamStore(tmp_path / "streams"))

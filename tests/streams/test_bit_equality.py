@@ -1,0 +1,162 @@
+"""Compiled replay is bit-identical to live generation — everywhere.
+
+The whole store rests on the *prefix property*: a stream's output is
+independent of how it is chunked, so a precompiled prefix sliced back
+out equals the generator called live.  These tests pin that at three
+levels: the raw generators (every registered workload, every task,
+irregular chunking), full trap-driven runs (session on vs off, cache
+and TLB structures), and the Pixie tracer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.caches.config import CacheConfig, TLBConfig
+from repro.core.tapeworm import TapewormConfig
+from repro.harness.runner import RunOptions, run_trap_driven
+from repro.streams import (
+    StreamSession,
+    StreamStore,
+    build_live_stream,
+    compile_stream,
+)
+from repro.streams.session import enabled
+from repro.tracing.pixie import PixieTracer
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+_REFS = 30_000
+
+
+def _report_signature(report):
+    """Every result-bearing field of a TrapRunReport, hashable."""
+    return (
+        report.workload,
+        report.configuration,
+        report.trial_seed,
+        dict(report.stats.misses),
+        report.stats.total_misses,
+        report.estimated_misses,
+        report.base_cycles,
+        report.overhead_cycles,
+        report.slowdown,
+        report.traps,
+        report.masked_traps,
+        report.page_faults,
+        report.ticks,
+        dict(report.refs),
+    )
+
+
+class TestGeneratorPrefixProperty:
+    @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+    def test_compiled_prefix_matches_irregular_chunking(self, workload):
+        """For every task of every workload: compile N refs in one pass,
+        then regenerate them live with awkward chunk sizes."""
+        spec = get_workload(workload)
+        sizes = [1, 4095, 7, 4096, 8192, 1, 13000]
+        for task_name in spec.tasks:
+            task = spec.task(task_name)
+            compiled = compile_stream(
+                build_live_stream(spec.name, task, False), _REFS
+            )
+            live = build_live_stream(spec.name, task, False)
+            cursor = 0
+            for size in sizes:
+                n = min(size, _REFS - cursor)
+                if n <= 0:
+                    break
+                chunk = np.asarray(live.next_chunk(n))
+                assert np.array_equal(
+                    chunk, compiled[cursor : cursor + n]
+                ), f"{workload}/{task_name} diverged at ref {cursor}"
+                cursor += n
+
+    def test_data_interleave_has_the_prefix_property_too(self):
+        spec = get_workload("xlisp")
+        for task_name in spec.tasks:
+            task = spec.task(task_name)
+            if not task.data_shapes:
+                continue
+            compiled = compile_stream(
+                build_live_stream(spec.name, task, True), _REFS
+            )
+            live = build_live_stream(spec.name, task, True)
+            regenerated = np.concatenate(
+                [np.asarray(live.next_chunk(n)) for n in (7, 4096, 25897)]
+            )
+            assert np.array_equal(compiled, regenerated)
+
+
+class TestTrapDrivenRuns:
+    @pytest.mark.parametrize("workload", ("espresso", "sdet"))
+    def test_cache_run_identical_with_session_on(self, workload, tmp_path):
+        spec = get_workload(workload)
+        config = TapewormConfig(cache=CacheConfig(size_bytes=4096))
+        options = RunOptions(total_refs=_REFS, trial_seed=3)
+        baseline = run_trap_driven(spec, config, options)
+        store = StreamStore(tmp_path / "s")
+        with enabled(StreamSession(store=store)) as session:
+            cold = run_trap_driven(spec, config, options)
+            assert session.compiles > 0
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))):
+            warm = run_trap_driven(spec, config, options)
+        assert _report_signature(cold) == _report_signature(baseline)
+        assert _report_signature(warm) == _report_signature(baseline)
+
+    def test_tlb_run_with_data_refs_identical(self, tmp_path):
+        spec = get_workload("xlisp")
+        config = TapewormConfig(
+            structure="tlb", tlb=TLBConfig(n_entries=32)
+        )
+        options = RunOptions(
+            total_refs=_REFS, trial_seed=1, include_data_refs=True
+        )
+        baseline = run_trap_driven(spec, config, options)
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))):
+            replayed = run_trap_driven(spec, config, options)
+        assert _report_signature(replayed) == _report_signature(baseline)
+
+    def test_disabled_store_still_replays_identically(self, tmp_path):
+        """--no-stream-cache: in-memory compile only, same results."""
+        spec = get_workload("espresso")
+        config = TapewormConfig(cache=CacheConfig(size_bytes=4096))
+        options = RunOptions(total_refs=_REFS, trial_seed=5)
+        baseline = run_trap_driven(spec, config, options)
+        store = StreamStore(tmp_path / "s", enabled=False)
+        with enabled(StreamSession(store=store)):
+            replayed = run_trap_driven(spec, config, options)
+        assert _report_signature(replayed) == _report_signature(baseline)
+        assert list((tmp_path / "s").glob("*.npy")) == []
+
+    def test_margin_overflow_falls_back_bit_identically(self):
+        """A cursor that outruns its compiled prefix switches to a live
+        generator fast-forwarded to the same point — slower, never
+        wrong."""
+        from repro.streams import CompiledStream
+
+        spec = get_workload("espresso")
+        task = spec.task(spec.primary_task)
+        compiled = compile_stream(
+            build_live_stream(spec.name, task, False), 10_000
+        )
+        stream = CompiledStream(
+            compiled,
+            lambda: build_live_stream(spec.name, task, False),
+        )
+        replayed = np.concatenate(
+            [np.asarray(stream.next_chunk(n)) for n in (6000, 5000, 4000)]
+        )
+        live = build_live_stream(spec.name, task, False)
+        assert np.array_equal(replayed, np.asarray(live.next_chunk(15_000)))
+
+
+class TestPixieTracer:
+    def test_traced_chunks_identical_with_session_on(self, tmp_path):
+        spec = get_workload("mpeg_play")
+        baseline = PixieTracer(spec).full_trace(_REFS)
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))):
+            cold = PixieTracer(spec).full_trace(_REFS)
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))):
+            warm = PixieTracer(spec).full_trace(_REFS)
+        assert np.array_equal(cold, baseline)
+        assert np.array_equal(warm, baseline)

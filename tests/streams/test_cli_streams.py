@@ -1,0 +1,132 @@
+"""The ``repro streams`` CLI surface and the run-command flags."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.streams.session import active
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cwd(tmp_path, monkeypatch):
+    """Commands write stores and manifests relative to the cwd; keep
+    test runs out of the repository checkout."""
+    monkeypatch.chdir(tmp_path)
+
+
+class TestWarmStatsClear:
+    def test_warm_then_stats_then_clear(self, capsys):
+        assert (
+            main(
+                [
+                    "streams", "warm", "--workload", "espresso",
+                    "--refs", "20000", "--stream-dir", "store",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "warmed 1 workload(s)" in out
+        assert "stream(s) compiled" in out
+
+        assert main(["streams", "stats", "--stream-dir", "store"]) == 0
+        stats_out = capsys.readouterr().out
+        assert "blobs" in stats_out
+        assert "store" in stats_out
+
+        assert main(["streams", "clear", "--stream-dir", "store"]) == 0
+        clear_out = capsys.readouterr().out
+        assert "dropped" in clear_out
+
+        assert main(["streams", "stats", "--stream-dir", "store"]) == 0
+        blobs_line = next(
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("blobs")
+        )
+        assert blobs_line.endswith(": 0")
+
+    def test_warm_is_idempotent(self, capsys):
+        args = [
+            "streams", "warm", "--workload", "espresso",
+            "--refs", "20000", "--stream-dir", "store",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0  # second warm maps, compiles nothing
+        assert "0 stream(s) compiled" in capsys.readouterr().out
+
+
+class TestRunFlags:
+    _RUN = [
+        "run", "--workload", "espresso", "--cache-size", "4K",
+        "--refs", "20000",
+    ]
+
+    def test_run_populates_the_store_by_default(self, tmp_path, capsys):
+        code = main(self._RUN + ["--stream-dir", "store"])
+        assert code == 0
+        assert list((tmp_path / "store").glob("*.npy"))
+        assert active() is None  # session torn down after the command
+
+    def test_no_stream_cache_leaves_no_store_behind(self, tmp_path, capsys):
+        code = main(
+            self._RUN + ["--no-stream-cache", "--stream-dir", "store"]
+        )
+        assert code == 0
+        assert not list((tmp_path / "store").glob("*.npy"))
+
+    def test_flagged_and_unflagged_runs_agree(self, capsys):
+        assert main(self._RUN + ["--stream-dir", "store"]) == 0
+        cached = capsys.readouterr().out
+        assert main(self._RUN + ["--no-stream-cache"]) == 0
+        uncached = capsys.readouterr().out
+        assert cached == uncached
+
+    def test_second_run_hits_the_store_and_reports_it(self, capsys):
+        """streams.* metrics land in the --metrics-out snapshot; the
+        second run must show store hits and identical output."""
+        args = self._RUN + ["--stream-dir", "store", "--metrics-out", "-"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+
+        def split(out):
+            brace = out.index("{")
+            return out[:brace], json.loads(out[brace:])
+
+        first_text, first_metrics = split(first)
+        second_text, second_metrics = split(second)
+        assert first_text == second_text  # byte-identical simulation
+        hits = [
+            value
+            for name, value in second_metrics.items()
+            if name.startswith("streams.hits") and "store" in name
+        ]
+        assert hits and sum(hits) > 0, second_metrics
+
+    def test_stream_and_result_caches_compose(self, capsys):
+        """--no-cache (farm results) and --no-stream-cache (stream
+        blobs) are independent: reproduce accepts any combination and
+        every combination renders the same table."""
+        base = [
+            "reproduce", "table7", "--budget", "tiny", "--jobs", "2",
+            "--no-manifest",
+        ]
+
+        def table_of(out):
+            lines = []
+            for line in out.splitlines():
+                if line.startswith("farm ("):
+                    break  # the farm summary carries wall-clock noise
+                lines.append(line)
+            return "\n".join(lines)
+
+        tables = []
+        for extra in ([], ["--no-cache"], ["--no-stream-cache"],
+                      ["--no-cache", "--no-stream-cache"]):
+            assert main(base + extra) == 0, extra
+            tables.append(table_of(capsys.readouterr().out))
+        assert tables.count(tables[0]) == len(tables)

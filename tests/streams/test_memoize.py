@@ -1,0 +1,78 @@
+"""Procedure-table and visit-template memoization (the PR's satellite).
+
+Stream generation builds the same procedure tables and visit templates
+for every trial of a sweep; both are pure functions of frozen inputs, so
+they are ``lru_cache``'d.  These tests pin that the memo returns the
+*same* objects (the speedup), that it cannot change what streams
+generate (the correctness), and that the cached arrays are immutable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads import WORKLOAD_NAMES, get_workload
+from repro.workloads.base import _procedures_for
+from repro.workloads.locality import _template_for
+
+
+class TestProcedureMemo:
+    def test_repeated_calls_share_one_tuple(self):
+        spec = get_workload("espresso")
+        task = spec.task(spec.primary_task)
+        assert task.procedures() is task.procedures()
+
+    def test_spec_rebuild_shares_the_memo(self):
+        a = get_workload("espresso")
+        b = get_workload("espresso")
+        task = a.primary_task
+        assert a.task(task).procedures() is b.task(task).procedures()
+
+    def test_distinct_shapes_share_nothing_same_shapes_share_all(self):
+        """Tasks with identical shape rows (sdet's cloned scripts) share
+        one table; distinct shapes get distinct tables."""
+        spec = get_workload("sdet")
+        tables = {
+            id(spec.task(t).procedures()) for t in spec.tasks
+        }
+        shapes = {spec.task(t).shapes for t in spec.tasks}
+        assert len(tables) == len(shapes)
+        assert len(shapes) < len(spec.tasks)  # the memo actually shares
+
+    def test_memoized_layout_matches_a_fresh_one(self):
+        """The cached table equals what an uncached construction builds
+        — cleared cache vs warm cache, field by field."""
+        spec = get_workload("xlisp")
+        task = spec.task(spec.primary_task)
+        warm = task.procedures()
+        _procedures_for.cache_clear()
+        fresh = task.procedures()
+        assert warm is not fresh  # really recomputed
+        assert warm == fresh
+
+
+class TestTemplateMemo:
+    def test_templates_are_shared_and_read_only(self):
+        spec = get_workload("espresso")
+        procedure = spec.task(spec.primary_task).procedures()[0]
+        first = _template_for(procedure)
+        second = _template_for(procedure)
+        assert first is second
+        assert not first.flags.writeable
+        with pytest.raises(ValueError):
+            first[0] = 0
+
+
+class TestStreamsUnchanged:
+    @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+    def test_memoized_streams_equal_cold_cache_streams(self, workload):
+        """Clearing every memo between two builds yields bit-identical
+        streams — memoization is invisible to the generated addresses."""
+        spec = get_workload(workload)
+        task = spec.task(spec.primary_task)
+        warm = np.asarray(
+            task.build_stream(spec.name).next_chunk(20_000)
+        ).copy()
+        _procedures_for.cache_clear()
+        _template_for.cache_clear()
+        cold = np.asarray(task.build_stream(spec.name).next_chunk(20_000))
+        assert np.array_equal(warm, cold)

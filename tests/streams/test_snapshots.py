@@ -1,0 +1,136 @@
+"""Warm-state snapshots: forked trials equal fully replayed trials."""
+
+import pytest
+
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import TapewormConfig
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
+from repro.faults.session import enabled as faults_enabled
+from repro.harness.runner import (
+    RunOptions,
+    run_trap_driven,
+    run_warm_trials,
+)
+from repro.streams import StreamSession, StreamStore, WarmupPlan
+from repro.streams.session import enabled
+
+_REFS = 24_000
+_WARM = WarmupPlan(warmup_refs=16_000, warmup_seed=0)
+
+
+def _config():
+    return TapewormConfig(cache=CacheConfig(size_bytes=4096))
+
+
+def _options(seed):
+    return RunOptions(total_refs=_REFS, trial_seed=seed)
+
+
+def _signature(report):
+    return (
+        dict(report.stats.misses),
+        report.traps,
+        report.page_faults,
+        report.ticks,
+        dict(report.refs),
+        report.slowdown,
+    )
+
+
+class TestForkEqualsReplay:
+    @pytest.mark.parametrize("seed", (5, 9))
+    def test_forked_trial_matches_full_replay(self, tmp_path, seed):
+        from repro.workloads import get_workload
+
+        spec = get_workload("espresso")
+        # full replay: warmup prefix re-simulated, no session
+        replayed = run_trap_driven(spec, _config(), _options(seed), warmup=_WARM)
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))) as session:
+            forked = run_trap_driven(
+                spec, _config(), _options(seed), warmup=_WARM
+            )
+            assert session.snapshots.creates == 1
+            assert session.snapshots.forks == 1
+        assert _signature(forked) == _signature(replayed)
+
+    def test_one_snapshot_serves_many_trials(self, tmp_path):
+        from repro.workloads import get_workload
+
+        spec = get_workload("espresso")
+        cold = run_warm_trials(
+            spec, _config(), _options(0), _WARM, n_trials=3, base_seed=40
+        )
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))) as session:
+            warm = run_warm_trials(
+                spec, _config(), _options(0), _WARM, n_trials=3, base_seed=40
+            )
+            assert session.snapshots.creates == 1
+            assert session.snapshots.forks == 3
+        assert [_signature(r) for r in warm] == [_signature(r) for r in cold]
+
+    def test_trials_still_vary_across_seeds(self, tmp_path):
+        """Sharing a warmed prefix must not collapse the trial-to-trial
+        variance the paper's Table 7 measures."""
+        from repro.workloads import get_workload
+
+        spec = get_workload("espresso")
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))):
+            reports = run_warm_trials(
+                spec, _config(), _options(0), _WARM, n_trials=4, base_seed=7
+            )
+        misses = [r.stats.total_misses for r in reports]
+        assert len(set(misses)) > 1, "forked trials are identical"
+
+    def test_fork_does_not_mutate_the_snapshot(self, tmp_path):
+        """Back-to-back identical trials agree — the second fork sees
+        pristine warmed state, not the first trial's leftovers."""
+        from repro.workloads import get_workload
+
+        spec = get_workload("espresso")
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))):
+            first = run_trap_driven(spec, _config(), _options(3), warmup=_WARM)
+            second = run_trap_driven(spec, _config(), _options(3), warmup=_WARM)
+        assert _signature(first) == _signature(second)
+
+
+class TestBypass:
+    def test_fault_sessions_bypass_snapshot_sharing(self, tmp_path):
+        """Injected faults mutate warmed state; a shared snapshot would
+        leak one trial's damage into the next, so the runner replays the
+        prefix fresh and counts the bypass."""
+        from repro.workloads import get_workload
+
+        spec = get_workload("espresso")
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))) as session:
+            with faults_enabled(FaultPlan()):
+                run_trap_driven(spec, _config(), _options(1), warmup=_WARM)
+                run_trap_driven(spec, _config(), _options(2), warmup=_WARM)
+            assert session.snapshots.creates == 0
+            assert session.snapshots.forks == 0
+            assert session.snapshots.bypassed == 2
+
+    def test_no_session_means_no_snapshots(self):
+        from repro.workloads import get_workload
+
+        spec = get_workload("espresso")
+        report = run_trap_driven(spec, _config(), _options(1), warmup=_WARM)
+        assert report.stats.total_misses > 0
+
+
+class TestValidation:
+    def test_warmup_must_fit_inside_the_run(self):
+        from repro.workloads import get_workload
+
+        spec = get_workload("espresso")
+        with pytest.raises(ConfigError, match="warmup_refs"):
+            run_trap_driven(
+                spec,
+                _config(),
+                RunOptions(total_refs=1000, trial_seed=0),
+                warmup=WarmupPlan(warmup_refs=1000),
+            )
+
+    def test_warmup_refs_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            WarmupPlan(warmup_refs=0)

@@ -1,0 +1,52 @@
+"""The acceptance pin: paper artifacts are byte-identical, store on/off.
+
+Table 7 (multi-trial variance, the snapshot/farm fan-out path) and
+Figure 2 (a cache-size sweep crossing the trap- and trace-driven
+drivers) are rendered three ways — no session, cold store, warm store —
+and compared as strings.  Any divergence anywhere in the stream,
+snapshot, or memoization machinery shows up here as a diff.
+"""
+
+import pytest
+
+from repro.experiments.figure2 import render as render_figure2
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.table7 import render as render_table7
+from repro.experiments.table7 import run_table7
+from repro.streams import StreamSession, StreamStore
+from repro.streams.session import enabled
+
+_WORKLOADS = ("espresso", "xlisp")
+
+
+class TestTable7:
+    def test_rendered_table_identical_store_on_and_off(self, tmp_path):
+        baseline = render_table7(
+            run_table7("tiny", n_trials=3, workloads=_WORKLOADS)
+        )
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))):
+            cold = render_table7(
+                run_table7("tiny", n_trials=3, workloads=_WORKLOADS)
+            )
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))) as session:
+            warm = render_table7(
+                run_table7("tiny", n_trials=3, workloads=_WORKLOADS)
+            )
+            assert session.store.hits > 0  # really replayed from disk
+            assert session.compiles == 0
+        assert cold == baseline
+        assert warm == baseline
+
+
+class TestFigure2:
+    def test_rendered_figure_identical_store_on_and_off(self, tmp_path):
+        baseline = render_figure2(
+            run_figure2("tiny", sizes_kb=(4, 16, 64))
+        )
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))):
+            cold = render_figure2(run_figure2("tiny", sizes_kb=(4, 16, 64)))
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))) as session:
+            warm = render_figure2(run_figure2("tiny", sizes_kb=(4, 16, 64)))
+            assert session.store.hits > 0
+        assert cold == baseline
+        assert warm == baseline

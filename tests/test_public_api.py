@@ -27,6 +27,7 @@ def test_version():
         "repro.tracing",
         "repro.harness",
         "repro.farm",
+        "repro.streams",
         "repro.analysis",
         "repro.experiments",
         "repro.cli",
