@@ -1,0 +1,338 @@
+"""Interval-sampling benchmarks: ``python -m benchmarks.perf.sampling``.
+
+The error-vs-speedup frontier for ``repro.sampling``: how many simulated
+references interval sampling saves at each per-phase sample budget, and
+what estimation error that budget buys.  Five records:
+
+* **sampling-profile-and-plan** — the planning overhead: one profiling
+  pass over the reference stream plus clustering and plan construction.
+  This is the fixed cost a sampled sweep pays before saving anything;
+* **sampling-ground-truth** — the exhaustive sweep: every interval of
+  every truth trial measured through the same warm-fork machinery.  Its
+  mean is the target the frontier points are scored against (and its
+  wall clock is what "just simulate everything" costs);
+* **sampling-frontier-per-phase-N** for N in 2, 3, 4 — one sampled
+  16-trial experiment per sample budget, each against a fresh stream
+  store so every point pays its own warm cost.  Each record reports the
+  refs-simulated reduction (``speedup``), the point-estimate error
+  against ground truth, and the reported CI half-width.
+
+Results are emitted as ``BENCH_PR6.json`` — the same schema-versioned
+envelope as ``BENCH_PR3``/``BENCH_PR5`` (``suite`` differs).  Run with::
+
+    PYTHONPATH=src python -m benchmarks.perf.sampling --budget quick \\
+        --check-speedup 5
+
+``--check-speedup X`` exits nonzero unless the per-phase-2 point's
+refs-simulated reduction is at least ``X``; CI gates on 5x at the quick
+budget.  (The reduction grows with interval count, so tiny budgets with
+their handful of intervals sit well below the quick-budget number.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import statistics
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from benchmarks.perf import (
+    BENCH_REFS,
+    BENCH_SCHEMA_VERSION,
+    _record,
+    _timed,
+    speedup_of,
+    write_bench,
+)
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import TapewormConfig
+from repro.harness.runner import RunOptions
+from repro.sampling import build_plan, profile_workload, run_sampled_trials
+from repro.sampling.runner import measure_interval
+from repro.streams import StreamSession, StreamStore
+from repro.streams.session import enabled as streams_enabled
+from repro.workloads import get_workload
+
+#: default output location (next to BENCH_PR3/PR5)
+DEFAULT_BENCH_PATH = Path(__file__).parent.parent / "results" / "BENCH_PR6.json"
+
+_SEED = 100
+_WORKLOAD = "espresso"
+#: trials per frontier point — a Table 7-sized seed ladder
+_N_TRIALS = 16
+#: truth trials: the exhaustive sweep simulates everything, so fewer
+#: trials buy the same per-interval coverage at a quarter the cost
+_N_TRUTH_TRIALS = 4
+#: target interval count (floored at one scheduler chunk per interval)
+_N_INTERVALS = 64
+#: the sample budgets swept; the gate rides on the cheapest point
+FRONTIER_PER_PHASE = (2, 3, 4)
+_MAX_PHASES = 4
+
+
+def _config() -> TapewormConfig:
+    return TapewormConfig(
+        cache=CacheConfig(size_bytes=16 * 1024),
+        sampling=8,
+        sampling_seed=_SEED,
+    )
+
+
+def _options(total_refs: int) -> RunOptions:
+    return RunOptions(total_refs=total_refs, trial_seed=_SEED)
+
+
+def _interval_refs(total_refs: int, chunk_refs: int) -> int:
+    return max(chunk_refs, total_refs // _N_INTERVALS)
+
+
+# ---------------------------------------------------------------------------
+# 1. what planning costs
+# ---------------------------------------------------------------------------
+
+def bench_profile_and_plan(budget: str) -> tuple[dict, Any]:
+    """One profiling pass plus clustering and plan construction."""
+    total_refs = BENCH_REFS[budget]
+    spec = get_workload(_WORKLOAD)
+    options = _options(total_refs)
+    interval_refs = _interval_refs(total_refs, options.chunk_refs)
+
+    profile, profile_secs = _timed(
+        lambda: profile_workload(spec, total_refs, interval_refs)
+    )
+    plan, plan_secs = _timed(lambda: build_plan(profile, seed=_SEED))
+    record = _record(
+        name="sampling-profile-and-plan",
+        configuration=(
+            f"{_WORKLOAD}, {total_refs} refs, "
+            f"{profile.n_intervals} intervals of {interval_refs}"
+        ),
+        config={"workload": _WORKLOAD, "refs": total_refs,
+                "interval_refs": interval_refs},
+        wall=profile_secs + plan_secs,
+        metrics={
+            "profile_refs_per_sec": round(
+                total_refs / max(profile_secs, 1e-9)
+            ),
+        },
+        results={
+            "refs": total_refs,
+            "interval_refs": interval_refs,
+            "n_intervals": profile.n_intervals,
+            "n_phases": plan.n_phases,
+            "n_samples": len(plan.samples),
+            "profile_secs": round(profile_secs, 6),
+            "plan_secs": round(plan_secs, 6),
+        },
+    )
+    return record, profile
+
+
+# ---------------------------------------------------------------------------
+# 2. exhaustive ground truth: every interval, warm-forked
+# ---------------------------------------------------------------------------
+
+def bench_ground_truth(budget: str, profile, store_dir: Path) -> tuple[dict, float]:
+    """The exhaustive sweep the frontier points are scored against."""
+    total_refs = BENCH_REFS[budget]
+    spec = get_workload(_WORKLOAD)
+    config = _config()
+    options = _options(total_refs)
+    plan = build_plan(profile, seed=_SEED)
+
+    def _sweep() -> list[float]:
+        with streams_enabled(StreamSession(store=StreamStore(store_dir))):
+            return [
+                sum(
+                    measure_interval(
+                        spec, config, options, plan, interval,
+                        trial_seed=_SEED + trial, warm_seed=_SEED,
+                    )["misses"]
+                    for interval in range(plan.n_intervals)
+                )
+                for trial in range(_N_TRUTH_TRIALS)
+            ]
+
+    per_trial, wall = _timed(_sweep)
+    truth = statistics.mean(per_trial)
+    record = _record(
+        name="sampling-ground-truth",
+        configuration=(
+            f"{_WORKLOAD}, {config.cache.describe()}, "
+            f"{_N_TRUTH_TRIALS} exhaustive trials x {plan.n_intervals} intervals"
+        ),
+        config=config,
+        wall=wall,
+        metrics={
+            "refs_per_sec": round(
+                _N_TRUTH_TRIALS * total_refs / max(wall, 1e-9)
+            ),
+        },
+        results={
+            "trials": _N_TRUTH_TRIALS,
+            "refs_per_trial": total_refs,
+            "misses_mean": round(truth, 2),
+            "misses_per_trial": [round(m, 2) for m in per_trial],
+        },
+    )
+    return record, truth
+
+
+# ---------------------------------------------------------------------------
+# 3. the frontier: one sampled experiment per per-phase budget
+# ---------------------------------------------------------------------------
+
+def bench_frontier_point(
+    budget: str, profile, per_phase: int, truth: float, store_dir: Path
+) -> dict:
+    """One sampled 16-trial experiment against a fresh stream store.
+
+    A fresh store means the point's warm cost is inside its own
+    ``refs_reduction`` — this is what a standalone sampled sweep sees,
+    not the marginal cost after someone else warmed the snapshots.
+    """
+    total_refs = BENCH_REFS[budget]
+    spec = get_workload(_WORKLOAD)
+    config = _config()
+    options = _options(total_refs)
+    plan = build_plan(
+        profile, max_phases=_MAX_PHASES, per_phase=per_phase, seed=_SEED
+    )
+
+    def _run():
+        with streams_enabled(StreamSession(store=StreamStore(store_dir))):
+            return run_sampled_trials(
+                spec, config, options, plan,
+                n_trials=_N_TRIALS, base_seed=_SEED, warm_seed=_SEED,
+            )
+
+    result, wall = _timed(_run)
+    estimate = result.estimates["misses"]
+    error_pct = (
+        100.0 * abs(estimate.value - truth) / truth if truth else 0.0
+    )
+    return _record(
+        name=f"sampling-frontier-per-phase-{per_phase}",
+        configuration=(
+            f"{_WORKLOAD}, {config.cache.describe()}, {_N_TRIALS} trials, "
+            f"{len(plan.samples)}/{plan.n_intervals} intervals sampled"
+        ),
+        config=config,
+        wall=wall,
+        metrics={
+            "sampled_refs_per_sec": round(
+                result.total_refs_run / max(wall, 1e-9)
+            ),
+        },
+        results={
+            "per_phase": per_phase,
+            "trials": _N_TRIALS,
+            "n_samples": len(plan.samples),
+            "n_intervals": plan.n_intervals,
+            "refs_simulated": result.refs_simulated,
+            "warm_refs": result.warm_refs,
+            "exact_refs": result.exact_refs,
+            "misses_estimate": round(estimate.value, 2),
+            "ci_low": round(estimate.ci_low, 2),
+            "ci_high": round(estimate.ci_high, 2),
+            "ci_half_width_pct": round(estimate.ci_half_width_pct, 2),
+            "error_pct": round(error_pct, 2),
+            "ci_brackets_truth": bool(estimate.brackets(truth)),
+            # the headline: exact refs over refs actually run (warm included)
+            "speedup": round(result.refs_reduction, 2),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# the envelope
+# ---------------------------------------------------------------------------
+
+def run_all(budget: str = "tiny") -> dict:
+    """Run every sampling benchmark; returns the BENCH_PR6 payload."""
+    if budget not in BENCH_REFS:
+        raise ValueError(
+            f"unknown budget {budget!r}; choose from {sorted(BENCH_REFS)}"
+        )
+    tmp = Path(tempfile.mkdtemp(prefix="bench-sampling-"))
+    try:
+        plan_record, profile = bench_profile_and_plan(budget)
+        truth_record, truth = bench_ground_truth(budget, profile, tmp / "truth")
+        records: list[dict[str, Any]] = [plan_record, truth_record]
+        for per_phase in FRONTIER_PER_PHASE:
+            records.append(
+                bench_frontier_point(
+                    budget, profile, per_phase, truth,
+                    tmp / f"frontier-{per_phase}",
+                )
+            )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "suite": "BENCH_PR6",
+        "budget": budget,
+        "records": records,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.perf.sampling",
+        description="interval-sampling frontier benchmarks -> BENCH_PR6.json",
+    )
+    parser.add_argument(
+        "--budget", choices=tuple(sorted(BENCH_REFS)), default="tiny"
+    )
+    parser.add_argument(
+        "--out", default=str(DEFAULT_BENCH_PATH), help="output JSON path"
+    )
+    parser.add_argument(
+        "--check-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "exit nonzero unless the per-phase-2 refs-simulated "
+            "reduction is at least X"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_all(args.budget)
+    path = write_bench(payload, args.out, suite="BENCH_PR6")
+
+    print(f"budget={args.budget} -> {path}")
+    for record in payload["records"]:
+        results = record["results"]
+        speedup = results.get("speedup")
+        extra = f"  speedup={speedup:g}x" if speedup is not None else ""
+        if "error_pct" in results:
+            extra += (
+                f"  err={results['error_pct']:g}%"
+                f"  ci=+/-{results['ci_half_width_pct']:g}%"
+            )
+        wall = record["wall_clock_secs"]
+        print(f"  {record['name']:<30} wall={wall:8.3f}s{extra}")
+
+    if args.check_speedup is not None:
+        achieved = speedup_of(payload, "sampling-frontier-per-phase-2")
+        if achieved < args.check_speedup:
+            print(
+                f"FAIL: per-phase-2 refs reduction {achieved:g}x < "
+                f"required {args.check_speedup:g}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"per-phase-2 refs reduction {achieved:g}x >= "
+            f"{args.check_speedup:g}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,10 +3,26 @@
 Paper shape: with page allocation removed (virtual indexing), unsampled
 runs have exactly zero variance while 1/8-sampled runs scatter around
 the unsampled value.
+
+Also validates the interval-sampling path at the same budget: the
+sampled estimate's 95% CI must bracket the exhaustive full-stream value
+at default sampling parameters.
 """
 
+import statistics
+
 from benchmarks.conftest import run_once
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import TapewormConfig
+from repro.experiments import budget_refs
+from repro.experiments.table7 import default_interval_refs
 from repro.experiments.table8 import render, run_table8
+from repro.harness.runner import RunOptions
+from repro.sampling import build_plan, profile_workload, run_sampled_trials
+from repro.sampling.runner import measure_interval
+from repro.streams import StreamSession, StreamStore
+from repro.streams.session import enabled as streams_enabled
+from repro.workloads.registry import get_workload
 
 
 def test_table8(benchmark, budget, save_result, farm):
@@ -21,3 +37,49 @@ def test_table8(benchmark, budget, save_result, farm):
         truth = result.unsampled[size_kb].mean
         if truth > 200:
             assert abs(result.sampled[size_kb].mean - truth) / truth < 0.5
+
+
+def test_interval_sampled_ci_brackets_exact(benchmark, budget, tmp_path):
+    """Interval sampling at defaults: the reported CI contains the
+    exhaustive (every interval simulated) full-stream mean."""
+    seed = 100
+    n_trials = 3
+    total_refs = budget_refs(budget)
+    spec = get_workload("espresso")
+    tw_config = TapewormConfig(
+        cache=CacheConfig(size_bytes=16 * 1024), sampling=8,
+        sampling_seed=seed,
+    )
+    options = RunOptions(total_refs=total_refs, trial_seed=seed)
+    interval_refs = default_interval_refs(total_refs, options.chunk_refs)
+
+    def _run():
+        with streams_enabled(
+            StreamSession(store=StreamStore(tmp_path / "streams"))
+        ):
+            profile = profile_workload(spec, total_refs, interval_refs)
+            plan = build_plan(profile, seed=seed)  # default phase knobs
+            result = run_sampled_trials(
+                spec, tw_config, options, plan,
+                n_trials=n_trials, base_seed=seed, warm_seed=seed,
+            )
+            truth = statistics.mean(
+                sum(
+                    measure_interval(
+                        spec, tw_config, options, plan, interval,
+                        trial_seed=seed + trial, warm_seed=seed,
+                    )["misses"]
+                    for interval in range(plan.n_intervals)
+                )
+                for trial in range(n_trials)
+            )
+            return result, truth
+
+    result, truth = run_once(benchmark, _run)
+    estimate = result.estimates["misses"]
+    assert estimate.brackets(truth), (
+        f"exact {truth:.1f} outside "
+        f"[{estimate.ci_low:.1f}, {estimate.ci_high:.1f}]"
+    )
+    assert not estimate.exact
+    assert result.refs_simulated < result.exact_refs

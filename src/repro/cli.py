@@ -17,6 +17,10 @@ Commands
     Inspect or clear the execution farm's result cache.
 ``streams``
     Inspect, clear or pre-warm the compiled reference-stream store.
+``sample``
+    Interval-sampling utilities: profile a stream into per-interval
+    features, build a phase-clustered sampling plan, or summarize the
+    sampled-run estimates recorded in the manifest log.
 ``telemetry``
     Inspect, validate or clear the run-manifest log.
 ``chaos``
@@ -82,6 +86,9 @@ _STATIC_EXPERIMENTS = {"figure1", "table11", "table12"}
 
 #: experiments whose runners accept a ``farm`` for parallel/cached trials
 _FARM_EXPERIMENTS = {"table7", "table8", "table9", "table10"}
+
+#: experiments with an interval-sampled variant (``--sample-mode sampled``)
+_SAMPLED_EXPERIMENTS = {"table7"}
 
 
 def _parse_size(text: str) -> int:
@@ -218,6 +225,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject the plan's machine-plane faults into every trial and "
              "its worker faults into the farm (with --jobs)",
     )
+    sampling_group = reproduce.add_argument_group("interval sampling")
+    sampling_group.add_argument(
+        "--sample-mode", choices=("exact", "sampled"), default="exact",
+        help="'sampled' runs supporting experiments (table7) through "
+             "repro.sampling: only representative intervals are simulated "
+             "and every result is an estimate with a 95%% CI "
+             "(incompatible with --fault-plan)",
+    )
+    sampling_group.add_argument(
+        "--interval-refs", type=int, default=None, metavar="N",
+        help="references per sampling interval "
+             "(default: budget/32, floored at one scheduler chunk)",
+    )
+    sampling_group.add_argument(
+        "--max-phases", type=int, default=4, metavar="K",
+        help="phase-count ceiling for the BIC model selection",
+    )
     _add_stream_flags(reproduce)
     _add_telemetry_flags(reproduce)
 
@@ -241,6 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
     s_stats.add_argument(
         "--stream-dir", default=None, metavar="DIR",
         help="stream store directory (default .stream-cache/)",
+    )
+    s_stats.add_argument(
+        "--json", action="store_true",
+        help="emit the counters as a JSON object (machine-readable)",
     )
     s_clear = streams_sub.add_parser(
         "clear", help="drop every compiled stream blob"
@@ -326,6 +354,58 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_sub.add_parser(
         "plan", help="print the default fault plan as editable JSON"
     )
+
+    sample = sub.add_parser(
+        "sample", help="interval-sampling utilities (profile, plan, stats)"
+    )
+    sample_sub = sample.add_subparsers(dest="sample_command", required=True)
+
+    def _add_sample_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", choices=WORKLOAD_NAMES, default="mpeg_play")
+        p.add_argument(
+            "--budget", choices=tuple(sorted(BUDGET_REFS)), default="quick"
+        )
+        p.add_argument(
+            "--refs", type=int, default=None, metavar="N",
+            help="explicit reference budget (overrides --budget)",
+        )
+        p.add_argument(
+            "--interval-refs", type=int, default=None, metavar="N",
+            help="references per interval (default: budget/32, floored at "
+                 "one scheduler chunk)",
+        )
+        p.add_argument("--json", action="store_true", help="emit JSON")
+        _add_stream_flags(p)
+
+    sm_profile = sample_sub.add_parser(
+        "profile", help="per-interval feature vectors of one workload"
+    )
+    _add_sample_common(sm_profile)
+    sm_plan = sample_sub.add_parser(
+        "plan", help="cluster a profile into phases and select intervals"
+    )
+    _add_sample_common(sm_plan)
+    sm_plan.add_argument(
+        "--max-phases", type=int, default=4, metavar="K",
+        help="phase-count ceiling for the BIC model selection",
+    )
+    sm_plan.add_argument(
+        "--per-phase", type=int, default=3, metavar="M",
+        help="sampled intervals per phase (centroid + M-1 random)",
+    )
+    sm_plan.add_argument("--seed", type=int, default=0)
+    sm_plan.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the plan as JSON ('-' for stdout)",
+    )
+    sm_stats = sample_sub.add_parser(
+        "stats", help="summarize sampled-run estimates in the manifest log"
+    )
+    sm_stats.add_argument(
+        "--manifest-path", default=None, metavar="PATH",
+        help=f"manifest log (default {telemetry.DEFAULT_MANIFEST_PATH})",
+    )
+    sm_stats.add_argument("--json", action="store_true", help="emit JSON")
 
     sub.add_parser("workloads", help="list workload models")
 
@@ -572,10 +652,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _reproduce_one(name: str, budget: str, farm=None) -> None:
+def _reproduce_one(
+    name: str, budget: str, farm=None, sample: Mapping[str, Any] | None = None
+) -> dict[str, dict] | None:
+    """Run and print one experiment; returns its ``estimates`` block
+    (manifest schema v2) for sampled runs, None for exact ones."""
     import importlib
 
     module = importlib.import_module(f"repro.experiments.{EXPERIMENTS[name]}")
+    if sample is not None and name in _SAMPLED_EXPERIMENTS:
+        result = module.run_table7_sampled(
+            budget,
+            farm=farm,
+            interval_refs=sample.get("interval_refs"),
+            max_phases=sample.get("max_phases", 4),
+        )
+        print(module.render_sampled(result))
+        return {
+            f"{workload}.{metric}": estimate.to_manifest()
+            for workload, sampled in sorted(result.results.items())
+            for metric, estimate in sorted(sampled.estimates.items())
+        }
     runner = getattr(module, f"run_{EXPERIMENTS[name]}")
     if name in _STATIC_EXPERIMENTS:
         result = runner()
@@ -584,6 +681,7 @@ def _reproduce_one(name: str, budget: str, farm=None) -> None:
     else:
         result = runner(budget)
     print(module.render(result))
+    return None
 
 
 def _build_farm(args: argparse.Namespace, fault_plan=None, stream_session=None):
@@ -611,6 +709,20 @@ def _build_farm(args: argparse.Namespace, fault_plan=None, stream_session=None):
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     fault_plan = _load_fault_plan(args)
+    sample = None
+    if args.sample_mode == "sampled":
+        if fault_plan is not None:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                "--sample-mode sampled is incompatible with --fault-plan: "
+                "fault experiments must simulate every reference "
+                "(injected faults mutate shared warm state)"
+            )
+        sample = {
+            "interval_refs": args.interval_refs,
+            "max_phases": args.max_phases,
+        }
     stream_session = _begin_streams(args)
     farm = _build_farm(args, fault_plan, stream_session)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -624,7 +736,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     try:
         for name in names:
             started = time.perf_counter()
-            _reproduce_one(name, args.budget, farm)
+            estimates = _reproduce_one(name, args.budget, farm, sample)
             if args.experiment == "all":
                 print()
             results: dict[str, Any] = {
@@ -632,6 +744,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
                 "budget": args.budget,
                 "budget_refs": BUDGET_REFS.get(args.budget, 0),
             }
+            if estimates is not None:
+                results["sample_mode"] = "sampled"
             if farm is not None and farm.last_run is not None:
                 results["farm"] = farm.last_run.summary()
             if stream_session is not None and session is not None:
@@ -640,7 +754,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
                 telemetry.RunManifest(
                     kind="experiment",
                     name=name,
-                    configuration=f"budget={args.budget}",
+                    configuration=f"budget={args.budget}"
+                    + (", interval-sampled" if estimates is not None else ""),
                     config_hash=telemetry.config_hash(
                         {"experiment": name, "budget": args.budget}
                     ),
@@ -652,6 +767,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
                         else {}
                     ),
                     results=results,
+                    estimates=estimates,
                 )
             )
     except BaseException:
@@ -802,11 +918,154 @@ def _cmd_streams(args: argparse.Namespace) -> int:
 
     # ``stats``
     stats = store.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
     print(f"store dir     : {stats['directory']}/")
     print(f"blobs         : {stats['blobs']}")
     print(f"blob bytes    : {stats['blob_bytes']:,}")
     print(f"compiled refs : {stats['compiled_refs']:,}")
     print(f"quarantined   : {stats['quarantined']}")
+    return 0
+
+
+def _sample_geometry(args: argparse.Namespace) -> tuple[int, int]:
+    """Resolve (total_refs, interval_refs) from a sample subcommand."""
+    from repro.experiments.table7 import default_interval_refs
+
+    total_refs = args.refs if args.refs is not None else BUDGET_REFS[args.budget]
+    interval_refs = (
+        args.interval_refs
+        if args.interval_refs is not None
+        else default_interval_refs(total_refs)
+    )
+    return total_refs, interval_refs
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    if args.sample_command == "stats":
+        return _cmd_sample_stats(args)
+
+    from repro.sampling import FEATURE_NAMES, build_plan, profile_workload
+
+    total_refs, interval_refs = _sample_geometry(args)
+    spec = get_workload(args.workload)
+    stream_session = _begin_streams(args)
+    try:
+        profile = profile_workload(spec, total_refs, interval_refs)
+        if args.sample_command == "profile":
+            if args.json:
+                print(json.dumps(
+                    {
+                        "workload": profile.workload,
+                        "task": profile.task,
+                        "total_refs": profile.total_refs,
+                        "interval_refs": profile.interval_refs,
+                        "n_intervals": profile.n_intervals,
+                        "features": profile.rows(),
+                    },
+                    indent=2, sort_keys=True,
+                ))
+                return 0
+            rows = [
+                [i] + [f"{row[name]:.4f}" for name in FEATURE_NAMES]
+                for i, row in enumerate(profile.rows())
+            ]
+            print(format_table(
+                ["Interval", *FEATURE_NAMES],
+                rows,
+                title=(
+                    f"{spec.name}: {profile.n_intervals} intervals of "
+                    f"{profile.interval_refs:,} refs"
+                ),
+            ))
+            return 0
+
+        # ``plan``
+        plan = build_plan(
+            profile,
+            max_phases=args.max_phases,
+            per_phase=args.per_phase,
+            seed=args.seed,
+        )
+        if args.out:
+            _write_or_print(args.out, plan.dumps())
+        if args.json:
+            if args.out != "-":
+                print(plan.dumps())
+            return 0
+        sizes = plan.phase_sizes()
+        rows = [
+            [
+                s.interval,
+                s.phase,
+                s.role,
+                sizes[s.phase],
+                f"{plan.start_of(s.interval):,}",
+            ]
+            for s in plan.samples
+        ]
+        print(format_table(
+            ["Interval", "Phase", "Role", "Phase size", "Start ref"],
+            rows,
+            title=(
+                f"{spec.name}: {plan.n_phases} phase(s), "
+                f"{len(plan.samples)}/{plan.n_intervals} intervals selected "
+                f"({plan.selection_fraction:.0%} of the stream)"
+            ),
+        ))
+        return 0
+    finally:
+        _finish_streams(stream_session, None)
+
+
+def _cmd_sample_stats(args: argparse.Namespace) -> int:
+    """Summarize every sampled-run estimate recorded in the manifest log."""
+    path = args.manifest_path or telemetry.DEFAULT_MANIFEST_PATH
+    records = telemetry.read_manifests(path)
+    sampled = [r for r in records if isinstance(r.get("estimates"), dict)]
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "name": r.get("name"),
+                    "configuration": r.get("configuration"),
+                    "created_unix": r.get("created_unix"),
+                    "estimates": r["estimates"],
+                }
+                for r in sampled
+            ],
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    if not sampled:
+        print(f"no sampled-run estimates in {path}")
+        return 0
+    rows = []
+    for record in sampled:
+        created = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(record.get("created_unix", 0))
+        )
+        for metric, entry in sorted(record["estimates"].items()):
+            value = entry.get("value", 0.0)
+            half = (entry.get("ci_high", 0.0) - entry.get("ci_low", 0.0)) / 2
+            half_pct = 100.0 * half / abs(value) if value else 0.0
+            rows.append(
+                [
+                    created,
+                    record.get("name", "?"),
+                    metric,
+                    f"{value:,.1f}",
+                    f"±{half_pct:.1f}%",
+                    entry.get("method", "?"),
+                    "yes" if entry.get("exact") else "no",
+                ]
+            )
+    print(format_table(
+        ["When", "Run", "Metric", "Value", "95% CI", "Method", "Exact"],
+        rows,
+        title=f"Sampled-run estimates ({path}, {len(sampled)} record(s))",
+    ))
     return 0
 
 
@@ -925,6 +1184,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "assess-port": _cmd_assess_port,
         "farm": _cmd_farm,
         "streams": _cmd_streams,
+        "sample": _cmd_sample,
         "telemetry": _cmd_telemetry,
         "chaos": _cmd_chaos,
     }

@@ -1,0 +1,65 @@
+"""repro.sampling — interval sampling with statistical warmup.
+
+Simulating every reference of every trial is the dominant cost of a
+table sweep.  This subsystem cuts it the SimPoint way, on top of the
+PR 5 stream store: profile the compiled stream into cheap per-interval
+feature vectors, cluster intervals into phases, simulate only one or
+two representatives per phase (fast-forwarding between them through
+warm-state snapshots), and reassemble stratified estimates with
+analytic and bootstrap confidence intervals.  Every sampled number is
+stamped ``estimated`` with its CI in the run manifest — sampled and
+exact results can never be confused downstream.
+"""
+
+from repro.sampling.cluster import PhaseClustering, cluster_intervals
+from repro.sampling.estimator import (
+    Estimate,
+    bootstrap_estimate,
+    estimate_run,
+    exact_estimate,
+    stratified_estimate,
+)
+from repro.sampling.plan import (
+    DEFAULT_MAX_PHASES,
+    DEFAULT_PER_PHASE,
+    PhaseSample,
+    SamplingPlan,
+    build_plan,
+)
+from repro.sampling.profile import (
+    FEATURE_NAMES,
+    IntervalProfile,
+    profile_addresses,
+    profile_workload,
+)
+from repro.sampling.runner import (
+    SampledRunResult,
+    interval_measure,
+    interval_trial_seed,
+    measure_interval,
+    run_sampled_trials,
+)
+
+__all__ = [
+    "DEFAULT_MAX_PHASES",
+    "DEFAULT_PER_PHASE",
+    "Estimate",
+    "FEATURE_NAMES",
+    "IntervalProfile",
+    "PhaseClustering",
+    "PhaseSample",
+    "SampledRunResult",
+    "SamplingPlan",
+    "bootstrap_estimate",
+    "build_plan",
+    "cluster_intervals",
+    "estimate_run",
+    "exact_estimate",
+    "interval_measure",
+    "interval_trial_seed",
+    "measure_interval",
+    "profile_addresses",
+    "profile_workload",
+    "run_sampled_trials",
+    "stratified_estimate",
+]

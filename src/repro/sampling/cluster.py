@@ -1,0 +1,182 @@
+"""Phase clustering: seeded k-means over interval features, BIC-picked k.
+
+SimPoint's recipe, in pure numpy: standardize the feature matrix,
+run k-means (k-means++ init from a seeded generator, Lloyd iterations to
+convergence) for every k up to ``max_phases``, score each clustering
+with the spherical-Gaussian BIC, and keep the smallest k whose BIC
+reaches a fixed fraction of the best score.  Small k is a feature, not a
+compromise: every extra phase costs at least one more simulated interval
+per trial, so the selector deliberately prefers the coarsest clustering
+that still explains the stream.
+
+Everything is deterministic given ``seed`` — same features, same seed,
+same phases — which is what lets sampled trials be content-addressed
+farm jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: accept the smallest k whose BIC is at least this fraction of the best
+#: (SimPoint uses 0.9)
+BIC_THRESHOLD = 0.9
+
+#: Lloyd iteration cap; convergence is typically much earlier
+MAX_ITERATIONS = 64
+
+
+@dataclass(frozen=True)
+class PhaseClustering:
+    """One accepted clustering: per-interval labels and its geometry."""
+
+    k: int
+    labels: np.ndarray        #: (n_intervals,) int64 phase ids, 0..k-1
+    centroids: np.ndarray     #: (k, n_features) in standardized space
+    inertia: float            #: sum of squared distances to centroids
+    bic: float
+
+    @property
+    def phase_sizes(self) -> np.ndarray:
+        """Interval count per phase (the stratum weights)."""
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def standardize(features: np.ndarray) -> np.ndarray:
+    mean = features.mean(axis=0)
+    std = features.std(axis=0)
+    std[std < 1e-12] = 1.0  # constant features carry no distance
+    return (features - mean) / std
+
+
+def _kmeans_pp_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D^2 weighting."""
+    n = len(points)
+    centroids = np.empty((k, points.shape[1]), dtype=np.float64)
+    centroids[0] = points[rng.integers(n)]
+    closest_sq = ((points - centroids[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0.0:
+            # all remaining points coincide with a centroid already
+            centroids[i:] = centroids[0]
+            break
+        probabilities = closest_sq / total
+        centroids[i] = points[rng.choice(n, p=probabilities)]
+        closest_sq = np.minimum(
+            closest_sq, ((points - centroids[i]) ** 2).sum(axis=1)
+        )
+    return centroids
+
+
+def _assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    return distances.argmin(axis=1)
+
+
+def kmeans(
+    points: np.ndarray, k: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Seeded k-means; returns ``(centroids, labels, inertia)``."""
+    if k <= 0:
+        raise ConfigError(f"k must be positive, got {k}")
+    if k > len(points):
+        raise ConfigError(f"cannot fit {k} clusters to {len(points)} points")
+    rng = np.random.default_rng(seed)
+    centroids = _kmeans_pp_init(points, k, rng)
+    labels = _assign(points, centroids)
+    for _ in range(MAX_ITERATIONS):
+        for i in range(k):
+            members = points[labels == i]
+            if len(members):
+                centroids[i] = members.mean(axis=0)
+            else:
+                # re-seat an empty cluster on the farthest point
+                farthest = (
+                    ((points - centroids[labels]) ** 2).sum(axis=1).argmax()
+                )
+                centroids[i] = points[farthest]
+        new_labels = _assign(points, centroids)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+    inertia = float(((points - centroids[labels]) ** 2).sum())
+    return centroids, labels, inertia
+
+
+def bic_score(points: np.ndarray, labels: np.ndarray, k: int, inertia: float) -> float:
+    """Spherical-Gaussian BIC of one clustering (higher is better)."""
+    n, d = points.shape
+    if n <= k:
+        return -np.inf
+    variance = max(inertia / (d * (n - k)), 1e-12)
+    sizes = np.bincount(labels, minlength=k).astype(np.float64)
+    sizes = sizes[sizes > 0]
+    log_likelihood = float(
+        (sizes * np.log(sizes / n)).sum()
+        - 0.5 * n * d * np.log(2.0 * np.pi * variance)
+        - 0.5 * d * (n - k)
+    )
+    n_parameters = k * (d + 1)
+    return log_likelihood - 0.5 * n_parameters * np.log(n)
+
+
+def cluster_intervals(
+    features: np.ndarray, max_phases: int, seed: int = 0
+) -> PhaseClustering:
+    """Cluster interval features into phases, selecting k by BIC.
+
+    Fits k = 1..min(max_phases, n_intervals), scores each with the BIC,
+    and returns the smallest k whose score reaches
+    ``BIC_THRESHOLD`` x the best — SimPoint's "good enough, and small"
+    rule.  One interval degenerates to a single phase.
+    """
+    if max_phases <= 0:
+        raise ConfigError(f"max_phases must be positive, got {max_phases}")
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2 or not len(features):
+        raise ConfigError("features must be a non-empty 2-D matrix")
+    points = standardize(features)
+    candidates: list[PhaseClustering] = []
+    for k in range(1, min(max_phases, len(points)) + 1):
+        centroids, labels, inertia = kmeans(points, k, seed=seed + k)
+        candidates.append(
+            PhaseClustering(
+                k=k,
+                labels=labels,
+                centroids=centroids,
+                inertia=inertia,
+                bic=bic_score(points, labels, k, inertia),
+            )
+        )
+    scores = np.array([c.bic for c in candidates])
+    best = scores.max()
+    if not np.isfinite(best):
+        return candidates[0]
+    # BIC is negative in practice; "within threshold of best" must work
+    # on either sign, so compare distances from the best score instead
+    span = best - scores.min()
+    acceptable = (
+        scores >= best - (1.0 - BIC_THRESHOLD) * span
+        if span > 0
+        else scores >= best
+    )
+    chosen = int(np.argmax(acceptable))  # smallest acceptable k
+    return candidates[chosen]
+
+
+def nearest_to_centroid(
+    points: np.ndarray, labels: np.ndarray, centroid: np.ndarray, phase: int
+) -> int:
+    """Index (into ``points``) of the phase member nearest its centroid."""
+    members = np.nonzero(labels == phase)[0]
+    if not len(members):
+        raise ConfigError(f"phase {phase} has no members")
+    distances = ((points[members] - centroid) ** 2).sum(axis=1)
+    return int(members[distances.argmin()])

@@ -1,0 +1,216 @@
+"""Sampling plans: which intervals to simulate, and with what weights.
+
+A :class:`SamplingPlan` is the frozen output of profile + cluster +
+select: the interval geometry, the per-interval phase labels, and the
+selected sample intervals.  Selection is stratified by phase:
+
+* the interval nearest each phase centroid (SimPoint's representative)
+  anchors the stratum, and
+* ``per_phase - 1`` further intervals are drawn uniformly (seeded) from
+  the remaining phase members, which is what gives the estimator an
+  honest within-phase variance to build confidence intervals from.
+
+Plans serialize to JSON (``repro sample plan --json``) so a plan can be
+inspected, versioned, or handed to the farm; everything downstream —
+warm boundaries, job keys, estimates — derives from the plan alone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sampling.cluster import (
+    cluster_intervals,
+    nearest_to_centroid,
+    standardize,
+)
+from repro.sampling.profile import IntervalProfile
+
+#: default samples per phase — three, so every stratum that can afford
+#: it estimates its between-interval variance from more than one pair
+#: (validated against exhaustive ground truth in
+#: ``tests/property/test_sampling_estimates.py``; two is noticeably
+#: flakier on heterogeneous phases)
+DEFAULT_PER_PHASE = 3
+
+#: default phase-count ceiling handed to the BIC selector
+DEFAULT_MAX_PHASES = 6
+
+
+@dataclass(frozen=True)
+class PhaseSample:
+    """One selected interval: its index, phase, and selection role."""
+
+    interval: int
+    phase: int
+    role: str  #: "centroid" (nearest the phase centroid) or "random"
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """The complete recipe for one workload's sampled trials."""
+
+    workload: str
+    task: str
+    total_refs: int
+    interval_refs: int
+    n_intervals: int
+    n_phases: int
+    #: phase id of every interval, len == n_intervals
+    labels: tuple[int, ...]
+    samples: tuple[PhaseSample, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != self.n_intervals:
+            raise ConfigError(
+                f"{len(self.labels)} labels for {self.n_intervals} intervals"
+            )
+        if not self.samples:
+            raise ConfigError("a sampling plan needs at least one sample")
+        seen = {s.interval for s in self.samples}
+        if len(seen) != len(self.samples):
+            raise ConfigError("plan selects the same interval twice")
+        for sample in self.samples:
+            if not 0 <= sample.interval < self.n_intervals:
+                raise ConfigError(
+                    f"sample interval {sample.interval} outside "
+                    f"[0, {self.n_intervals})"
+                )
+
+    # -- geometry helpers
+
+    def phase_sizes(self) -> dict[int, int]:
+        """Interval count per phase (stratum sizes N_p)."""
+        sizes: dict[int, int] = {}
+        for label in self.labels:
+            sizes[label] = sizes.get(label, 0) + 1
+        return sizes
+
+    def samples_by_phase(self) -> dict[int, list[PhaseSample]]:
+        by_phase: dict[int, list[PhaseSample]] = {}
+        for sample in self.samples:
+            by_phase.setdefault(sample.phase, []).append(sample)
+        return by_phase
+
+    def start_of(self, interval: int) -> int:
+        return interval * self.interval_refs
+
+    def boundaries(self) -> tuple[int, ...]:
+        """Warm-snapshot offsets needed, ascending."""
+        return tuple(
+            sorted(self.start_of(s.interval) for s in self.samples)
+        )
+
+    @property
+    def selected_refs(self) -> int:
+        """References simulated per trial under this plan."""
+        return len(self.samples) * self.interval_refs
+
+    @property
+    def selection_fraction(self) -> float:
+        return len(self.samples) / self.n_intervals
+
+    # -- serialization (the ``repro sample plan --json`` surface)
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "task": self.task,
+            "total_refs": self.total_refs,
+            "interval_refs": self.interval_refs,
+            "n_intervals": self.n_intervals,
+            "n_phases": self.n_phases,
+            "labels": list(self.labels),
+            "samples": [
+                {"interval": s.interval, "phase": s.phase, "role": s.role}
+                for s in self.samples
+            ],
+            "seed": self.seed,
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SamplingPlan":
+        try:
+            return cls(
+                workload=payload["workload"],
+                task=payload["task"],
+                total_refs=int(payload["total_refs"]),
+                interval_refs=int(payload["interval_refs"]),
+                n_intervals=int(payload["n_intervals"]),
+                n_phases=int(payload["n_phases"]),
+                labels=tuple(int(v) for v in payload["labels"]),
+                samples=tuple(
+                    PhaseSample(
+                        interval=int(s["interval"]),
+                        phase=int(s["phase"]),
+                        role=str(s["role"]),
+                    )
+                    for s in payload["samples"]
+                ),
+                seed=int(payload.get("seed", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed sampling plan: {exc}") from exc
+
+
+def build_plan(
+    profile: IntervalProfile,
+    max_phases: int = DEFAULT_MAX_PHASES,
+    per_phase: int = DEFAULT_PER_PHASE,
+    seed: int = 0,
+) -> SamplingPlan:
+    """Cluster a profile into phases and select sample intervals.
+
+    ``per_phase`` caps samples per phase; phases smaller than that
+    contribute every member (and are then measured exactly, with zero
+    sampling variance).
+    """
+    if per_phase <= 0:
+        raise ConfigError(f"per_phase must be positive, got {per_phase}")
+    clustering = cluster_intervals(profile.features, max_phases, seed=seed)
+    points = standardize(profile.features)
+    rng = np.random.default_rng(seed)
+    samples: list[PhaseSample] = []
+    for phase in range(clustering.k):
+        members = np.nonzero(clustering.labels == phase)[0]
+        if not len(members):
+            continue
+        anchor = nearest_to_centroid(
+            points, clustering.labels, clustering.centroids[phase], phase
+        )
+        chosen = [anchor]
+        remaining = members[members != anchor]
+        extra = min(per_phase - 1, len(remaining))
+        if extra > 0:
+            chosen.extend(
+                int(i)
+                for i in rng.choice(remaining, size=extra, replace=False)
+            )
+        samples.extend(
+            PhaseSample(
+                interval=int(interval),
+                phase=phase,
+                role="centroid" if interval == anchor else "random",
+            )
+            for interval in sorted(chosen)
+        )
+    samples.sort(key=lambda s: s.interval)
+    return SamplingPlan(
+        workload=profile.workload,
+        task=profile.task,
+        total_refs=profile.total_refs,
+        interval_refs=profile.interval_refs,
+        n_intervals=profile.n_intervals,
+        n_phases=clustering.k,
+        labels=tuple(int(label) for label in clustering.labels),
+        samples=tuple(samples),
+        seed=seed,
+    )

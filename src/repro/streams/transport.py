@@ -139,21 +139,30 @@ def attach_segments(
     return attachments, handles
 
 
-def transported_execute(
-    transport: StreamTransport, measure: str, params: dict, seed: int
-):
-    """Worker entry point: run a job inside a transported stream session.
+#: this worker's cached session: ``(transport, session, shm_handles)``.
+#: Sessions hold in-memory state worth keeping across the jobs one
+#: worker executes — the stream memo and, critically, warm-state
+#: snapshots, which the interval-sampling runner builds incrementally
+#: (a fresh session per job would replay every warm prefix from zero).
+_worker_cache: tuple[StreamTransport, Any, list] | None = None
 
-    Activates a :class:`~repro.streams.session.StreamSession` backed by
-    the master's store directory (and any shared memory segments), runs
-    the measure exactly as :func:`repro.farm.registry.timed_execute`
-    would, then tears the session down.  Results are bit-identical to
-    the untransported path — only where the addresses come from differs.
-    """
-    from repro.farm.registry import timed_execute
+
+def _worker_session(transport: StreamTransport):
+    """The cached per-process session for ``transport``, built on first
+    use and rebuilt (old segment handles closed) when a new batch ships
+    a different transport."""
+    global _worker_cache
     from repro.streams import session as stream_session
     from repro.streams.store import StreamStore
 
+    if _worker_cache is not None and _worker_cache[0] == transport:
+        return _worker_cache[1]
+    if _worker_cache is not None:
+        for shm in _worker_cache[2]:
+            try:
+                shm.close()
+            except OSError:
+                pass
     attachments, handles = attach_segments(transport.shm_segments)
     session = stream_session.StreamSession(
         store=StreamStore(
@@ -162,6 +171,28 @@ def transported_execute(
         attachments=attachments,
         salt=transport.salt,
     )
+    _worker_cache = (transport, session, handles)
+    return session
+
+
+def transported_execute(
+    transport: StreamTransport, measure: str, params: dict, seed: int
+):
+    """Worker entry point: run a job inside a transported stream session.
+
+    Activates a :class:`~repro.streams.session.StreamSession` backed by
+    the master's store directory (and any shared memory segments), runs
+    the measure exactly as :func:`repro.farm.registry.timed_execute`
+    would, then deactivates it.  The session object itself is cached per
+    worker process and reactivated for the next job with the same
+    transport, so in-memory state — the stream memo, warm boundary
+    snapshots — amortizes across a batch.  Results are bit-identical to
+    the untransported path — only where the addresses come from differs.
+    """
+    from repro.farm.registry import timed_execute
+    from repro.streams import session as stream_session
+
+    session = _worker_session(transport)
     if stream_session.active() is not None:
         # a forked worker inherited the master's session; the parent
         # owns its resources, so drop the reference rather than
@@ -172,8 +203,3 @@ def transported_execute(
         return timed_execute(measure, params, seed)
     finally:
         stream_session.deactivate()
-        for shm in handles:
-            try:
-                shm.close()
-            except OSError:
-                pass

@@ -27,7 +27,10 @@ from repro.atomicio import atomic_append_line
 from repro.errors import TelemetryError
 
 #: bump when the record layout changes incompatibly
-MANIFEST_SCHEMA_VERSION = 1
+#: v2: optional ``estimates`` block — sampled results carry their value,
+#: 95% CI, method and an ``exact`` flag, so estimated numbers can never
+#: be mistaken for measured ones downstream
+MANIFEST_SCHEMA_VERSION = 2
 
 #: default location — deliberately next to the farm's result cache
 DEFAULT_MANIFEST_PATH = Path(".farm-cache") / "manifests.jsonl"
@@ -47,6 +50,22 @@ _SCHEMA: dict[str, type | tuple[type, ...]] = {
     "wall_clock_secs": (int, float),
     "metrics": dict,
     "results": dict,
+}
+
+#: optional fields (schema v2+) and their JSON types; absent is valid
+#: (every v1 record stays valid under v2)
+_OPTIONAL_SCHEMA: dict[str, type | tuple[type, ...]] = {
+    "estimates": dict,
+}
+
+#: required shape of one ``estimates`` entry: metric name ->
+#: ``{value, ci_low, ci_high, method, exact}``
+_ESTIMATE_SCHEMA: dict[str, type | tuple[type, ...]] = {
+    "value": (int, float),
+    "ci_low": (int, float),
+    "ci_high": (int, float),
+    "method": str,
+    "exact": bool,
 }
 
 _git_version_cache: str | None = None
@@ -98,12 +117,15 @@ class RunManifest:
     wall_clock_secs: float = 0.0
     metrics: Mapping[str, Any] = field(default_factory=dict)
     results: Mapping[str, Any] = field(default_factory=dict)
+    #: sampled-run estimates: metric name -> {value, ci_low, ci_high,
+    #: method, exact}; None for runs that measured everything directly
+    estimates: Mapping[str, Mapping[str, Any]] | None = None
 
     def record(self) -> dict[str, Any]:
         """The JSONL record, stamped with schema and provenance."""
         from repro.farm.jobs import CODE_VERSION
 
-        return {
+        record = {
             "schema": MANIFEST_SCHEMA_VERSION,
             "kind": self.kind,
             "name": self.name,
@@ -117,6 +139,11 @@ class RunManifest:
             "metrics": dict(self.metrics),
             "results": dict(self.results),
         }
+        if self.estimates is not None:
+            record["estimates"] = {
+                name: dict(entry) for name, entry in self.estimates.items()
+            }
+        return record
 
 
 def write_manifest(
@@ -168,9 +195,47 @@ def validate_record(record: Mapping[str, Any]) -> list[str]:
                 f"field {name!r} should be {expected}, "
                 f"got {type(record[name]).__name__}"
             )
+    for name, expected in _OPTIONAL_SCHEMA.items():
+        if name not in record:
+            continue
+        if isinstance(record[name], bool) or not isinstance(
+            record[name], expected
+        ):
+            problems.append(
+                f"field {name!r} should be {expected}, "
+                f"got {type(record[name]).__name__}"
+            )
+    if isinstance(record.get("estimates"), dict):
+        problems.extend(_validate_estimates(record["estimates"]))
     if not problems and record["schema"] > MANIFEST_SCHEMA_VERSION:
         problems.append(
             f"schema {record['schema']} is newer than supported "
             f"{MANIFEST_SCHEMA_VERSION}"
         )
+    return problems
+
+
+def _validate_estimates(estimates: Mapping[str, Any]) -> list[str]:
+    """Shape-check every ``estimates`` entry against the v2 contract."""
+    problems = []
+    for metric, entry in estimates.items():
+        if not isinstance(entry, dict):
+            problems.append(f"estimate {metric!r} should be a dict")
+            continue
+        for name, expected in _ESTIMATE_SCHEMA.items():
+            if name not in entry:
+                problems.append(f"estimate {metric!r} missing {name!r}")
+            elif expected is not bool and (
+                isinstance(entry[name], bool)
+                or not isinstance(entry[name], expected)
+            ):
+                problems.append(
+                    f"estimate {metric!r} field {name!r} should be "
+                    f"{expected}, got {type(entry[name]).__name__}"
+                )
+            elif expected is bool and not isinstance(entry[name], bool):
+                problems.append(
+                    f"estimate {metric!r} field {name!r} should be bool, "
+                    f"got {type(entry[name]).__name__}"
+                )
     return problems

@@ -1,0 +1,123 @@
+"""Phase clustering: k-means determinism and BIC model selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sampling.cluster import (
+    cluster_intervals,
+    kmeans,
+    nearest_to_centroid,
+    standardize,
+)
+
+
+def _blobs(k, per, spread=0.05, seed=7):
+    """k well-separated Gaussian blobs in 2-D."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[float(i * 10), float(i * -10)] for i in range(k)])
+    points = np.concatenate(
+        [c + spread * rng.standard_normal((per, 2)) for c in centers]
+    )
+    return points
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self):
+        z = standardize(_blobs(3, 8))
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(z.std(axis=0), 1.0)
+
+    def test_constant_feature_is_harmless(self):
+        features = np.column_stack([np.arange(6.0), np.full(6, 3.0)])
+        z = standardize(features)
+        assert np.all(np.isfinite(z))
+        assert np.allclose(z[:, 1], 0.0)
+
+
+class TestKmeans:
+    def test_recovers_separated_blobs(self):
+        points = _blobs(3, 10)
+        _, labels, inertia = kmeans(points, 3, seed=1)
+        # each blob maps to exactly one cluster
+        for blob in range(3):
+            assert len(set(labels[blob * 10 : (blob + 1) * 10])) == 1
+        assert inertia < 1.0
+
+    def test_deterministic_given_seed(self):
+        points = _blobs(2, 12)
+        a = kmeans(points, 2, seed=5)
+        b = kmeans(points, 2, seed=5)
+        assert np.array_equal(a[1], b[1])
+        assert np.allclose(a[0], b[0])
+        assert a[2] == b[2]
+
+    def test_k_one_is_the_mean(self):
+        points = _blobs(2, 6)
+        centroids, labels, _ = kmeans(points, 1, seed=0)
+        assert np.allclose(centroids[0], points.mean(axis=0))
+        assert set(labels.tolist()) == {0}
+
+    def test_identical_points_dont_crash(self):
+        points = np.ones((8, 3))
+        _, labels, inertia = kmeans(points, 2, seed=0)
+        assert inertia == 0.0
+        assert len(labels) == 8
+
+    def test_bad_k_rejected(self):
+        points = _blobs(2, 4)
+        with pytest.raises(ConfigError):
+            kmeans(points, 0)
+        with pytest.raises(ConfigError):
+            kmeans(points, 9)
+
+
+class TestClusterIntervals:
+    def test_finds_the_planted_phase_count(self):
+        clustering = cluster_intervals(_blobs(3, 10), max_phases=6, seed=0)
+        assert clustering.k == 3
+        assert clustering.phase_sizes.tolist() == [10, 10, 10]
+
+    def test_homogeneous_stream_is_one_phase(self):
+        rng = np.random.default_rng(3)
+        points = rng.standard_normal((20, 4)) * 0.01
+        clustering = cluster_intervals(points, max_phases=5, seed=0)
+        assert clustering.k == 1
+
+    def test_respects_max_phases_cap(self):
+        clustering = cluster_intervals(_blobs(4, 8), max_phases=2, seed=0)
+        assert clustering.k <= 2
+
+    def test_single_interval_degenerates(self):
+        clustering = cluster_intervals(np.array([[1.0, 2.0]]), max_phases=4)
+        assert clustering.k == 1
+        assert clustering.labels.tolist() == [0]
+
+    def test_deterministic(self):
+        points = _blobs(2, 16)
+        a = cluster_intervals(points, max_phases=4, seed=9)
+        b = cluster_intervals(points, max_phases=4, seed=9)
+        assert a.k == b.k
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            cluster_intervals(_blobs(2, 4), max_phases=0)
+        with pytest.raises(ConfigError):
+            cluster_intervals(np.empty((0, 3)), max_phases=2)
+        with pytest.raises(ConfigError):
+            cluster_intervals(np.arange(4.0), max_phases=2)
+
+
+class TestNearestToCentroid:
+    def test_picks_the_closest_member(self):
+        points = np.array([[0.0], [1.0], [10.0], [11.0]])
+        labels = np.array([0, 0, 1, 1])
+        assert nearest_to_centroid(points, labels, np.array([0.4]), 0) == 0
+        assert nearest_to_centroid(points, labels, np.array([10.9]), 1) == 3
+
+    def test_empty_phase_rejected(self):
+        points = np.array([[0.0], [1.0]])
+        labels = np.array([0, 0])
+        with pytest.raises(ConfigError):
+            nearest_to_centroid(points, labels, np.array([0.0]), 1)

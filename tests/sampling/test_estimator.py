@@ -1,0 +1,185 @@
+"""Stratified + bootstrap estimators: math checked against hand results."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sampling.estimator import (
+    Estimate,
+    bootstrap_estimate,
+    estimate_run,
+    exact_estimate,
+    stratified_estimate,
+    t_critical,
+)
+
+
+class TestTCritical:
+    def test_table_values(self):
+        assert t_critical(1) == pytest.approx(12.706)
+        assert t_critical(10) == pytest.approx(2.228)
+        assert t_critical(30) == pytest.approx(2.042)
+
+    def test_large_df_uses_normal_limit(self):
+        assert t_critical(31) == pytest.approx(1.960)
+        assert t_critical(10_000) == pytest.approx(1.960)
+
+    def test_zero_df_is_infinite(self):
+        assert t_critical(0) == np.inf
+
+
+class TestEstimate:
+    def test_brackets(self):
+        e = Estimate("m", 10.0, 8.0, 12.0, "stratified-t")
+        assert e.brackets(10.0) and e.brackets(8.0) and e.brackets(12.0)
+        assert not e.brackets(7.9)
+
+    def test_inverted_ci_rejected(self):
+        with pytest.raises(ConfigError):
+            Estimate("m", 10.0, 12.0, 8.0, "stratified-t")
+
+    def test_half_width_pct(self):
+        e = Estimate("m", 100.0, 90.0, 110.0, "stratified-t")
+        assert e.ci_half_width_pct == pytest.approx(10.0)
+
+    def test_scaled_flips_negative_factor(self):
+        e = Estimate("cycles", 100.0, 90.0, 110.0, "stratified-t")
+        s = e.scaled(-2.0, "neg")
+        assert s.metric == "neg"
+        assert (s.ci_low, s.ci_high) == (-220.0, -180.0)
+
+    def test_exact_estimate_is_degenerate(self):
+        e = exact_estimate("misses", 42.0)
+        assert e.exact and e.value == e.ci_low == e.ci_high == 42.0
+        assert e.to_manifest() == {
+            "value": 42.0, "ci_low": 42.0, "ci_high": 42.0,
+            "method": "exact", "exact": True,
+        }
+
+
+class TestStratified:
+    def test_single_stratum_matches_textbook_t_interval(self):
+        rates = [0.1, 0.2, 0.3, 0.4]
+        e = stratified_estimate("m", {0: rates}, {0: 1.0}, scale=100.0)
+        mean, n = np.mean(rates), len(rates)
+        sem = np.std(rates, ddof=1) / np.sqrt(n)
+        assert e.value == pytest.approx(100.0 * mean)
+        assert e.ci_high - e.value == pytest.approx(
+            t_critical(n - 1) * 100.0 * sem
+        )
+        assert e.method == "stratified-t" and not e.exact
+        assert e.n_samples == 4
+
+    def test_weights_combine_strata(self):
+        e = stratified_estimate(
+            "m",
+            {0: [0.1, 0.1], 1: [0.5, 0.5]},
+            {0: 0.75, 1: 0.25},
+            scale=1000.0,
+        )
+        assert e.value == pytest.approx(1000.0 * (0.75 * 0.1 + 0.25 * 0.5))
+        # zero within-stratum variance -> zero-width interval
+        assert e.ci_low == pytest.approx(e.value)
+        assert e.ci_high == pytest.approx(e.value)
+
+    def test_singleton_stratum_borrows_pooled_variance(self):
+        wide = stratified_estimate(
+            "m", {0: [0.1, 0.3], 1: [0.2]}, {0: 0.5, 1: 0.5}, scale=100.0
+        )
+        assert wide.ci_high > wide.ci_low  # the singleton is not free
+
+    def test_missing_weight_and_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            stratified_estimate("m", {0: [0.1]}, {}, scale=1.0)
+        with pytest.raises(ConfigError):
+            stratified_estimate("m", {}, {0: 1.0}, scale=1.0)
+        with pytest.raises(ConfigError):
+            stratified_estimate("m", {0: []}, {0: 1.0}, scale=1.0)
+
+
+class TestBootstrap:
+    def test_point_estimate_inside_its_interval(self):
+        rng = np.random.default_rng(0)
+        rates = rng.uniform(0.0, 1.0, size=8).tolist()
+        e = bootstrap_estimate("m", {0: rates}, {0: 1.0}, scale=50.0, seed=3)
+        assert e.brackets(e.value)
+        assert e.method == "bootstrap"
+
+    def test_deterministic_given_seed(self):
+        obs = {0: [0.1, 0.4, 0.2], 1: [0.9, 0.8]}
+        w = {0: 0.6, 1: 0.4}
+        a = bootstrap_estimate("m", obs, w, scale=10.0, seed=7)
+        b = bootstrap_estimate("m", obs, w, scale=10.0, seed=7)
+        assert (a.ci_low, a.ci_high) == (b.ci_low, b.ci_high)
+
+    def test_agrees_with_stratified_point_value(self):
+        obs = {0: [0.1, 0.4, 0.2], 1: [0.9, 0.8]}
+        w = {0: 0.6, 1: 0.4}
+        boot = bootstrap_estimate("m", obs, w, scale=10.0)
+        strat = stratified_estimate("m", obs, w, scale=10.0)
+        assert boot.value == pytest.approx(strat.value)
+
+    def test_bad_n_boot_rejected(self):
+        with pytest.raises(ConfigError):
+            bootstrap_estimate("m", {0: [0.1]}, {0: 1.0}, 1.0, n_boot=0)
+
+
+class TestEstimateRun:
+    def _measurements(self):
+        return [
+            {"interval": 0, "phase": 0, "refs": 100, "misses": 10,
+             "traps": 2, "overhead_cycles": 500},
+            {"interval": 1, "phase": 0, "refs": 110, "misses": 11,
+             "traps": 2, "overhead_cycles": 550},
+            {"interval": 4, "phase": 1, "refs": 100, "misses": 50,
+             "traps": 9, "overhead_cycles": 2000},
+            {"interval": 5, "phase": 1, "refs": 90, "misses": 45,
+             "traps": 8, "overhead_cycles": 1800},
+        ]
+
+    def test_produces_analytic_and_bootstrap_pairs(self):
+        estimates = estimate_run(
+            self._measurements(), {0: 0.5, 1: 0.5}, total_refs=10_000
+        )
+        for metric in ("misses", "traps", "overhead_cycles"):
+            assert metric in estimates
+            assert f"{metric}.bootstrap" in estimates
+        # phase 0 misses at 0.1/ref, phase 1 at 0.5/ref, equal weights
+        assert estimates["misses"].value == pytest.approx(
+            10_000 * (0.5 * 0.1 + 0.5 * 0.5)
+        )
+
+    def test_rates_not_counts(self):
+        # doubling refs and counts together changes nothing
+        doubled = [
+            {**m, "refs": m["refs"] * 2, "misses": m["misses"] * 2,
+             "traps": m["traps"] * 2,
+             "overhead_cycles": m["overhead_cycles"] * 2}
+            for m in self._measurements()
+        ]
+        a = estimate_run(self._measurements(), {0: 0.5, 1: 0.5}, 10_000)
+        b = estimate_run(doubled, {0: 0.5, 1: 0.5}, 10_000)
+        assert a["misses"].value == pytest.approx(b["misses"].value)
+
+    def test_repeating_trials_does_not_shrink_the_ci(self):
+        # the same two intervals simulated across many trials: the CI is
+        # governed by between-interval spread, so more trials of the
+        # same intervals must not narrow it toward zero
+        few = estimate_run(self._measurements(), {0: 0.5, 1: 0.5}, 10_000)
+        many = estimate_run(
+            self._measurements() * 8, {0: 0.5, 1: 0.5}, 10_000
+        )
+        few_width = few["misses"].ci_high - few["misses"].ci_low
+        many_width = many["misses"].ci_high - many["misses"].ci_low
+        assert many_width == pytest.approx(few_width)
+
+    def test_empty_and_zero_ref_measurements_rejected(self):
+        with pytest.raises(ConfigError):
+            estimate_run([], {0: 1.0}, 100)
+        with pytest.raises(ConfigError):
+            estimate_run(
+                [{"interval": 0, "phase": 0, "refs": 0, "misses": 0,
+                  "traps": 0, "overhead_cycles": 0}],
+                {0: 1.0},
+                100,
+            )

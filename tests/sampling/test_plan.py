@@ -1,0 +1,115 @@
+"""Sampling plans: selection invariants and JSON round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sampling.plan import PhaseSample, SamplingPlan, build_plan
+from repro.sampling.profile import profile_addresses
+
+
+def _profile(n_lines=256, interval_refs=32):
+    """A stream with a streaming phase and a hot-loop phase."""
+    lines = list(range(n_lines // 2)) + [9999] * (n_lines // 2)
+    addresses = np.asarray(lines, dtype=np.int64) * 16
+    return profile_addresses(
+        addresses, interval_refs=interval_refs, workload="synthetic"
+    )
+
+
+def _plan(**overrides):
+    base = dict(
+        workload="w", task="t", total_refs=64, interval_refs=16,
+        n_intervals=4, n_phases=2, labels=(0, 0, 1, 1),
+        samples=(
+            PhaseSample(interval=0, phase=0, role="centroid"),
+            PhaseSample(interval=3, phase=1, role="centroid"),
+        ),
+    )
+    base.update(overrides)
+    return SamplingPlan(**base)
+
+
+class TestPlanInvariants:
+    def test_label_count_must_match(self):
+        with pytest.raises(ConfigError):
+            _plan(labels=(0, 1))
+
+    def test_needs_at_least_one_sample(self):
+        with pytest.raises(ConfigError):
+            _plan(samples=())
+
+    def test_duplicate_intervals_rejected(self):
+        dup = PhaseSample(interval=1, phase=0, role="random")
+        with pytest.raises(ConfigError):
+            _plan(samples=(dup, dup))
+
+    def test_out_of_range_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            _plan(samples=(PhaseSample(interval=4, phase=0, role="random"),))
+
+    def test_geometry_helpers(self):
+        plan = _plan()
+        assert plan.phase_sizes() == {0: 2, 1: 2}
+        assert plan.start_of(3) == 48
+        assert plan.boundaries() == (0, 48)
+        assert plan.selected_refs == 32
+        assert plan.selection_fraction == pytest.approx(0.5)
+        by_phase = plan.samples_by_phase()
+        assert set(by_phase) == {0, 1}
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        plan = _plan()
+        assert SamplingPlan.from_dict(plan.to_dict()) == plan
+
+    def test_dumps_is_json(self):
+        import json
+
+        payload = json.loads(_plan().dumps())
+        assert payload["workload"] == "w"
+        assert payload["samples"][0]["role"] == "centroid"
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ConfigError):
+            SamplingPlan.from_dict({"workload": "w"})
+        payload = _plan().to_dict()
+        payload["samples"] = "nope"
+        with pytest.raises(ConfigError):
+            SamplingPlan.from_dict(payload)
+
+
+class TestBuildPlan:
+    def test_every_phase_gets_a_centroid_anchor(self):
+        plan = build_plan(_profile(), per_phase=2, seed=0)
+        by_phase = plan.samples_by_phase()
+        assert set(by_phase) == set(range(plan.n_phases))
+        for phase_samples in by_phase.values():
+            roles = [s.role for s in phase_samples]
+            assert roles.count("centroid") == 1
+
+    def test_per_phase_caps_selection(self):
+        plan = build_plan(_profile(), per_phase=2, seed=0)
+        for phase_samples in plan.samples_by_phase().values():
+            assert len(phase_samples) <= 2
+
+    def test_small_phase_contributes_every_member(self):
+        plan = build_plan(_profile(), per_phase=100, seed=0)
+        sizes = plan.phase_sizes()
+        for phase, phase_samples in plan.samples_by_phase().items():
+            assert len(phase_samples) == sizes[phase]
+
+    def test_samples_sorted_and_labeled_consistently(self):
+        plan = build_plan(_profile(), seed=0)
+        intervals = [s.interval for s in plan.samples]
+        assert intervals == sorted(intervals)
+        for sample in plan.samples:
+            assert plan.labels[sample.interval] == sample.phase
+
+    def test_deterministic_given_seed(self):
+        assert build_plan(_profile(), seed=4) == build_plan(_profile(), seed=4)
+
+    def test_bad_per_phase_rejected(self):
+        with pytest.raises(ConfigError):
+            build_plan(_profile(), per_phase=0)

@@ -1,0 +1,118 @@
+"""Interval profiler: feature semantics on hand-built address streams."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sampling.profile import (
+    FEATURE_NAMES,
+    REUSE_BUCKET_EDGES,
+    IntervalProfile,
+    _previous_occurrence,
+    profile_addresses,
+)
+
+_LINE = 16  # line_bytes used throughout
+
+
+def _addresses(lines):
+    """Line numbers -> byte addresses (one ref per line touch)."""
+    return np.asarray(lines, dtype=np.int64) * _LINE
+
+
+class TestPreviousOccurrence:
+    def test_first_touches_are_minus_one(self):
+        prev = _previous_occurrence(np.array([7, 8, 9], dtype=np.int64))
+        assert prev.tolist() == [-1, -1, -1]
+
+    def test_repeats_point_at_the_previous_position(self):
+        prev = _previous_occurrence(np.array([5, 6, 5, 5], dtype=np.int64))
+        assert prev.tolist() == [-1, -1, 0, 2]
+
+    def test_empty_and_single(self):
+        assert _previous_occurrence(np.array([], dtype=np.int64)).tolist() == []
+        assert _previous_occurrence(np.array([3], dtype=np.int64)).tolist() == [-1]
+
+
+class TestGeometry:
+    def test_even_split(self):
+        profile = profile_addresses(_addresses(range(8)), interval_refs=4)
+        assert profile.n_intervals == 2
+        assert profile.total_refs == 8
+        assert profile.features.shape == (2, len(FEATURE_NAMES))
+
+    def test_tail_merges_into_last_interval(self):
+        # 10 refs at 4/interval: intervals are [0,4), [4,10)
+        profile = profile_addresses(_addresses(range(10)), interval_refs=4)
+        assert profile.n_intervals == 2
+
+    def test_short_stream_is_one_interval(self):
+        profile = profile_addresses(_addresses(range(3)), interval_refs=100)
+        assert profile.n_intervals == 1
+
+    def test_rejects_empty_and_bad_args(self):
+        with pytest.raises(ConfigError):
+            profile_addresses(np.array([], dtype=np.int64), interval_refs=4)
+        with pytest.raises(ConfigError):
+            profile_addresses(_addresses([1]), interval_refs=0)
+        with pytest.raises(ConfigError):
+            profile_addresses(_addresses([1]), interval_refs=4, line_bytes=24)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            IntervalProfile(
+                workload="w", task="t", interval_refs=4, n_intervals=3,
+                total_refs=12, features=np.zeros((2, len(FEATURE_NAMES))),
+            )
+
+
+class TestFeatures:
+    def test_all_new_lines(self):
+        profile = profile_addresses(_addresses(range(8)), interval_refs=8)
+        row = profile.rows()[0]
+        assert row["new_line_rate"] == 1.0
+        assert row["unique_line_rate"] == 1.0
+        assert row["reuse_far"] == 0.0
+
+    def test_single_hot_line(self):
+        profile = profile_addresses(_addresses([3] * 8), interval_refs=8)
+        row = profile.rows()[0]
+        assert row["new_line_rate"] == pytest.approx(1 / 8)
+        assert row["unique_line_rate"] == pytest.approx(1 / 8)
+        # 7 reuses, each at distance 1 -> first bucket
+        assert row[f"reuse_le_{REUSE_BUCKET_EDGES[0]}"] == pytest.approx(7 / 8)
+        assert row["mean_log2_stride"] == 0.0
+
+    def test_new_line_counts_only_first_ever_touch(self):
+        # second interval re-touches the first interval's lines: nothing
+        # is new, but every line is a first touch *within* its interval
+        profile = profile_addresses(
+            _addresses([0, 1, 2, 3, 0, 1, 2, 3]), interval_refs=4
+        )
+        first, second = profile.rows()
+        assert first["new_line_rate"] == 1.0
+        assert second["new_line_rate"] == 0.0
+        assert second["unique_line_rate"] == 1.0
+
+    def test_reuse_distance_buckets(self):
+        # line 0 touched at positions 0 and 9: distance 9 -> second bucket
+        lines = [0] + list(range(1, 9)) + [0]
+        profile = profile_addresses(_addresses(lines), interval_refs=10)
+        row = profile.rows()[0]
+        edge = REUSE_BUCKET_EDGES[1]
+        assert row[f"reuse_le_{edge}"] == pytest.approx(1 / 10)
+
+    def test_distinct_phases_get_distinct_features(self):
+        # a streaming phase then a hot-loop phase
+        streaming = list(range(64))
+        hot = [100] * 64
+        profile = profile_addresses(
+            _addresses(streaming + hot), interval_refs=64
+        )
+        a, b = profile.features
+        assert not np.allclose(a, b)
+
+    def test_rows_match_feature_names(self):
+        profile = profile_addresses(_addresses(range(8)), interval_refs=4)
+        for row in profile.rows():
+            assert tuple(row) == FEATURE_NAMES

@@ -1,0 +1,133 @@
+"""Boundary snapshots: forking at any interval offset equals replaying.
+
+The interval-sampling runner keys warm snapshots by reference offset —
+one family per (workload, config, warm options, interval geometry).
+The contract: measuring an interval by forking the boundary snapshot is
+bit-identical to measuring it by replaying the whole warmup prefix
+fresh, for *any* interval boundary (not just ones the plan selected),
+and the incremental warming pass amortizes — later boundaries resume
+from earlier ones instead of re-simulating from zero.
+"""
+
+import pytest
+
+from repro.caches.config import CacheConfig
+from repro.core.tapeworm import TapewormConfig
+from repro.harness.runner import RunOptions
+from repro.sampling import build_plan, profile_workload
+from repro.sampling.runner import measure_interval
+from repro.streams import StreamSession, StreamStore
+from repro.streams.session import enabled
+from repro.workloads.registry import get_workload
+
+TOTAL_REFS = 81_920  # 10 intervals of 8192
+INTERVAL_REFS = 8_192
+SEED = 100
+
+
+def _config():
+    return TapewormConfig(
+        cache=CacheConfig(size_bytes=16 * 1024), sampling=8, sampling_seed=SEED
+    )
+
+
+def _setup():
+    spec = get_workload("espresso")
+    options = RunOptions(total_refs=TOTAL_REFS, trial_seed=SEED)
+    profile = profile_workload(spec, TOTAL_REFS, INTERVAL_REFS)
+    plan = build_plan(profile, max_phases=3, per_phase=2, seed=SEED)
+    return spec, options, plan
+
+
+def _strip_warm(measurement):
+    """Everything but warm accounting, which is topology-dependent
+    (a fork warms nothing; a fresh replay warms the whole prefix)."""
+    return {k: v for k, v in measurement.items() if k != "warm_refs"}
+
+
+class TestForkEqualsReplay:
+    @pytest.mark.parametrize("trial_seed", (SEED, SEED + 3))
+    def test_arbitrary_boundary_fork_matches_prefix_replay(
+        self, tmp_path, trial_seed
+    ):
+        spec, options, plan = _setup()
+        # pick an interval the plan did NOT select: its boundary has no
+        # special status, which is exactly the point
+        unplanned = next(
+            i
+            for i in range(1, plan.n_intervals)
+            if i not in {s.interval for s in plan.samples}
+        )
+        replayed = measure_interval(
+            spec, _config(), options, plan, unplanned,
+            trial_seed=trial_seed, warm_seed=SEED,
+        )
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))):
+            forked = measure_interval(
+                spec, _config(), options, plan, unplanned,
+                trial_seed=trial_seed, warm_seed=SEED,
+            )
+        assert _strip_warm(forked) == _strip_warm(replayed)
+        assert replayed["warm_refs"] >= plan.start_of(unplanned)
+
+    def test_every_planned_boundary_forks_identically(self, tmp_path):
+        spec, options, plan = _setup()
+        cold = [
+            measure_interval(
+                spec, _config(), options, plan, s.interval,
+                trial_seed=SEED, warm_seed=SEED,
+            )
+            for s in plan.samples
+        ]
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))):
+            warm = [
+                measure_interval(
+                    spec, _config(), options, plan, s.interval,
+                    trial_seed=SEED, warm_seed=SEED,
+                )
+                for s in plan.samples
+            ]
+        assert [_strip_warm(m) for m in warm] == [
+            _strip_warm(m) for m in cold
+        ]
+
+    def test_incremental_warming_amortizes(self, tmp_path):
+        """The second pass over the same boundaries warms nothing: every
+        boundary snapshot already exists and is forked, not rebuilt."""
+        spec, options, plan = _setup()
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))) as session:
+            first = [
+                measure_interval(
+                    spec, _config(), options, plan, s.interval,
+                    trial_seed=SEED, warm_seed=SEED,
+                )
+                for s in plan.samples
+            ]
+            forks_before = session.snapshots.forks
+            second = [
+                measure_interval(
+                    spec, _config(), options, plan, s.interval,
+                    trial_seed=SEED + 1, warm_seed=SEED,
+                )
+                for s in plan.samples
+            ]
+            later_boundaries = sum(
+                1 for s in plan.samples if s.interval > 0
+            )
+            assert session.snapshots.forks - forks_before >= later_boundaries
+        assert sum(m["warm_refs"] for m in second) == 0
+        assert sum(m["warm_refs"] for m in first) > 0
+
+    def test_forking_does_not_mutate_the_snapshot(self, tmp_path):
+        spec, options, plan = _setup()
+        interval = plan.samples[-1].interval
+        with enabled(StreamSession(store=StreamStore(tmp_path / "s"))):
+            first = measure_interval(
+                spec, _config(), options, plan, interval,
+                trial_seed=SEED, warm_seed=SEED,
+            )
+            second = measure_interval(
+                spec, _config(), options, plan, interval,
+                trial_seed=SEED, warm_seed=SEED,
+            )
+        assert _strip_warm(first) == _strip_warm(second)

@@ -124,3 +124,82 @@ class TestValidateRecord:
         record = _manifest().record()
         record["schema"] = MANIFEST_SCHEMA_VERSION + 1
         assert any("newer" in p for p in validate_record(record))
+
+
+def _estimate(**overrides) -> dict:
+    entry = dict(
+        value=1234.5, ci_low=1100.0, ci_high=1369.0,
+        method="stratified-t", exact=False,
+    )
+    entry.update(overrides)
+    return entry
+
+
+class TestSchemaV2Estimates:
+    """The v2 ``estimates`` block: optional, but strictly shaped."""
+
+    def test_schema_version_is_two(self):
+        assert MANIFEST_SCHEMA_VERSION == 2
+
+    def test_v1_record_without_estimates_still_valid(self):
+        record = _manifest().record()
+        assert "estimates" not in record  # absent unless provided
+        assert validate_record(record) == []
+
+    def test_estimates_block_round_trips(self, tmp_path):
+        manifest = _manifest(
+            estimates={"espresso.misses": _estimate()}
+        )
+        record = manifest.record()
+        assert validate_record(record) == []
+        path = tmp_path / "manifests.jsonl"
+        write_manifest(manifest, path)
+        stored = read_manifests(path)[0]
+        assert stored["estimates"]["espresso.misses"]["ci_low"] == 1100.0
+        assert stored["estimates"]["espresso.misses"]["exact"] is False
+
+    def test_exact_entries_allowed(self):
+        record = _manifest(
+            estimates={"misses": _estimate(ci_low=1234.5, ci_high=1234.5,
+                                           method="exact", exact=True)}
+        ).record()
+        assert validate_record(record) == []
+
+    def test_non_dict_estimates_rejected(self):
+        record = _manifest().record()
+        record["estimates"] = "not-a-dict"
+        assert any("estimates" in p for p in validate_record(record))
+
+    def test_non_dict_entry_rejected(self):
+        record = _manifest(estimates={"misses": _estimate()}).record()
+        record["estimates"]["misses"] = [1, 2, 3]
+        assert any("misses" in p for p in validate_record(record))
+
+    def test_missing_entry_field_rejected(self):
+        entry = _estimate()
+        del entry["ci_high"]
+        record = _manifest(estimates={"misses": entry}).record()
+        assert any("ci_high" in p for p in validate_record(record))
+
+    def test_entry_field_types_checked(self):
+        record = _manifest(
+            estimates={"misses": _estimate(value="big")}
+        ).record()
+        assert any("value" in p for p in validate_record(record))
+
+    def test_exact_must_be_bool_not_int(self):
+        record = _manifest(
+            estimates={"misses": _estimate(exact=1)}
+        ).record()
+        assert any("exact" in p for p in validate_record(record))
+
+    def test_numeric_field_rejects_bool(self):
+        record = _manifest(
+            estimates={"misses": _estimate(ci_low=True)}
+        ).record()
+        assert any("ci_low" in p for p in validate_record(record))
+
+    def test_invalid_estimates_refused_at_write(self, tmp_path):
+        manifest = _manifest(estimates={"misses": {"value": 1.0}})
+        with pytest.raises(TelemetryError):
+            write_manifest(manifest, tmp_path / "manifests.jsonl")
