@@ -40,6 +40,7 @@ import numpy as np
 from repro.caches.config import CacheConfig
 from repro.caches.replacement import FIFOPolicy, LRUPolicy, ReplacementPolicy
 from repro.errors import ConfigError
+from repro.telemetry.profile import phase
 
 #: space id range mixed into packed keys (tids must stay below this)
 MAX_SPACES = 4096
@@ -191,18 +192,20 @@ class GroupedSetKernel:
         sets = lines % self.n_sets
         keys = lines * MAX_SPACES + space
         if self.associativity == 1:
-            return dm_grouped_pass(self._state, sets, keys)
-        order = np.argsort(sets, kind="stable")
-        sets_sorted = sets[order]
-        keys_sorted = keys[order]
-        keep = collapse_consecutive(sets_sorted, keys_sorted)
-        return grouped_stack_pass(
-            self._sets,
-            self.associativity,
-            self._lru,
-            sets_sorted[keep].tolist(),
-            keys_sorted[keep].tolist(),
-        )
+            with phase("kernels.dm_pass"):
+                return dm_grouped_pass(self._state, sets, keys)
+        with phase("kernels.grouped_set"):
+            order = np.argsort(sets, kind="stable")
+            sets_sorted = sets[order]
+            keys_sorted = keys[order]
+            keep = collapse_consecutive(sets_sorted, keys_sorted)
+            return grouped_stack_pass(
+                self._sets,
+                self.associativity,
+                self._lru,
+                sets_sorted[keep].tolist(),
+                keys_sorted[keep].tolist(),
+            )
 
     # ------------------------------------------------------------------
     # state inspection (cross-path equality checks)

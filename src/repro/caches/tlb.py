@@ -20,6 +20,7 @@ from repro.caches.kernels import (
     supports_policy,
 )
 from repro.caches.replacement import LRUPolicy, ReplacementPolicy
+from repro.telemetry.profile import phase
 
 Key = tuple[int, int]  # (tid, superpage number)
 
@@ -82,19 +83,20 @@ class SimulatedTLB:
                 hit, _ = self.access(tid, int(vpn))
                 misses += not hit
             return misses
-        superpages = vpns // self.config.pages_per_entry
-        sets = superpages % self.config.n_sets
-        order = np.argsort(sets, kind="stable")
-        sets_sorted = sets[order]
-        superpages_sorted = superpages[order]
-        keep = collapse_consecutive(sets_sorted, superpages_sorted)
-        misses = grouped_stack_pass(
-            self._sets,
-            self.config.effective_associativity,
-            isinstance(self.policy, LRUPolicy),
-            sets_sorted[keep].tolist(),
-            [(tid, sp) for sp in superpages_sorted[keep].tolist()],
-        )
+        with phase("kernels.tlb_chunk"):
+            superpages = vpns // self.config.pages_per_entry
+            sets = superpages % self.config.n_sets
+            order = np.argsort(sets, kind="stable")
+            sets_sorted = sets[order]
+            superpages_sorted = superpages[order]
+            keep = collapse_consecutive(sets_sorted, superpages_sorted)
+            misses = grouped_stack_pass(
+                self._sets,
+                self.config.effective_associativity,
+                isinstance(self.policy, LRUPolicy),
+                sets_sorted[keep].tolist(),
+                [(tid, sp) for sp in superpages_sorted[keep].tolist()],
+            )
         self.searches += n
         self.insertions += misses
         return misses

@@ -6,7 +6,8 @@ Commands
 ``run``
     One trap-driven simulation with explicit parameters.
 ``trace``
-    One Pixie+Cache2000 trace-driven simulation.
+    One Pixie+Cache2000 trace-driven simulation; ``trace merge`` folds
+    several Chrome trace files into one Perfetto-ready view.
 ``reproduce``
     Regenerate a paper table or figure and print it.
 ``workloads``
@@ -22,7 +23,8 @@ Commands
     features, build a phase-clustered sampling plan, or summarize the
     sampled-run estimates recorded in the manifest log.
 ``telemetry``
-    Inspect, validate or clear the run-manifest log.
+    Inspect, validate or clear the run-manifest log; ``telemetry top``
+    ranks the heaviest metric series (e.g. ``--prefix profile.``).
 ``chaos``
     Run a fault-injection plan and verify the detected-or-absorbed
     contract, or print the default plan as JSON to edit.
@@ -33,9 +35,12 @@ an ordinary simulation; without the flag the fault subsystem is inert
 and results are bit-identical to a build without it.
 
 ``run`` and ``reproduce`` accept ``--trace-out`` (Chrome ``trace_event``
-JSON for Perfetto), ``--metrics-out`` (metrics-registry snapshot JSON)
-and ``--manifest-out``; unless ``--no-manifest`` is given, every
-invocation appends a run-manifest record next to the farm cache.
+JSON for Perfetto — with ``--jobs`` the file carries the master's span
+lane plus one lane per farm worker), ``--metrics-out`` (metrics-registry
+snapshot JSON) and ``--manifest-out``; unless ``--no-manifest`` is
+given, every invocation appends a run-manifest record next to the farm
+cache.  ``--profile`` additionally times the simulator's hot-path
+phases into ``profile.*`` histograms; results stay bit-identical.
 
 ``run``, ``trace`` and ``reproduce`` use the compiled reference-stream
 store (``.stream-cache/``) by default: each workload's streams are
@@ -159,6 +164,12 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
         "--trace-capacity", type=int, default=telemetry.DEFAULT_TRACE_CAPACITY,
         metavar="N", help="event ring-buffer capacity (oldest dropped beyond it)",
     )
+    group.add_argument(
+        "--profile", action="store_true",
+        help="time the simulator's hot-path phases into profile.* "
+             "histograms and span events (results stay bit-identical; "
+             "implies an active telemetry session)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -195,7 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_stream_flags(run)
     _add_telemetry_flags(run)
 
-    trace = sub.add_parser("trace", help="one Pixie+Cache2000 simulation")
+    trace = sub.add_parser(
+        "trace",
+        help="one Pixie+Cache2000 simulation, or 'trace merge' to "
+             "combine Chrome trace files",
+    )
     trace.add_argument("--workload", choices=WORKLOAD_NAMES, default="mpeg_play")
     trace.add_argument("--cache-size", type=_parse_size, default=4096)
     trace.add_argument("--line-bytes", type=int, default=16)
@@ -203,6 +218,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--sampling", type=int, default=1)
     trace.add_argument("--refs", type=int, default=300_000)
     _add_stream_flags(trace)
+    trace_sub = trace.add_subparsers(dest="trace_command")
+    t_merge = trace_sub.add_parser(
+        "merge",
+        help="merge Chrome trace_event files (e.g. several runs' "
+             "--trace-out) into one, lanes kept apart",
+    )
+    t_merge.add_argument(
+        "inputs", nargs="+", metavar="TRACE.json",
+        help="Chrome trace files to merge",
+    )
+    t_merge.add_argument(
+        "--out", default="-", metavar="PATH",
+        help="merged trace destination (default: stdout)",
+    )
 
     reproduce = sub.add_parser("reproduce", help="regenerate a paper table/figure")
     reproduce.add_argument(
@@ -251,6 +280,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="cache directory (default .farm-cache/)",
+    )
+    stats.add_argument(
+        "--json", action="store_true",
+        help="emit the counters as a JSON object (machine-readable)",
     )
     clear = farm_sub.add_parser("clear", help="drop every cached result")
     clear.add_argument("--cache-dir", default=None, metavar="DIR")
@@ -318,6 +351,29 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="schema-check every record in the manifest log"
     )
     validate.add_argument("--manifest-path", default=None, metavar="PATH")
+    top = tele_sub.add_parser(
+        "top",
+        help="rank metric series by weight (histograms by total, "
+             "counters by value) from a snapshot or the manifest log",
+    )
+    top.add_argument(
+        "--metrics", default=None, metavar="SNAPSHOT.json",
+        help="metrics snapshot (a --metrics-out file); default: the "
+             "latest manifest record's metrics block",
+    )
+    top.add_argument(
+        "--manifest-path", default=None, metavar="PATH",
+        help=f"manifest log (default {telemetry.DEFAULT_MANIFEST_PATH})",
+    )
+    top.add_argument(
+        "--prefix", default="", metavar="NAME",
+        help="only series whose key starts with NAME (e.g. 'profile.')",
+    )
+    top.add_argument(
+        "-n", "--limit", type=int, default=20, metavar="N",
+        help="show the top N series (default 20)",
+    )
+    top.add_argument("--json", action="store_true", help="emit JSON")
     tele_clear = tele_sub.add_parser(
         "clear", help="drop the run-manifest log"
     )
@@ -445,12 +501,15 @@ def _begin_telemetry(args: argparse.Namespace):
         args.trace_out
         or args.metrics_out
         or args.manifest_out
+        or args.profile
         or not args.no_manifest
     )
     if not wanted:
         return None
     return telemetry.activate(
-        telemetry.TelemetrySession(trace_capacity=args.trace_capacity)
+        telemetry.TelemetrySession(
+            trace_capacity=args.trace_capacity, profile=args.profile
+        )
     )
 
 
@@ -463,13 +522,17 @@ def _finish_telemetry(
     if session is None:
         return
     telemetry.deactivate()
+    session.finalize()
     if args.metrics_out:
         _write_or_print(
             args.metrics_out,
             json.dumps(session.metrics.snapshot(), indent=2, sort_keys=True),
         )
     if args.trace_out:
-        _write_or_print(args.trace_out, json.dumps(session.trace.chrome_trace()))
+        # events + master span lane + one lane per farm worker
+        _write_or_print(
+            args.trace_out, json.dumps(telemetry.merged_chrome_trace(session))
+        )
     if args.no_manifest:
         return
     for manifest in manifests:
@@ -629,7 +692,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_merge(args: argparse.Namespace) -> int:
+    """Merge several Chrome trace files into one Perfetto-ready view."""
+    from pathlib import Path
+
+    payloads = []
+    for name in args.inputs:
+        try:
+            payloads.append(json.loads(Path(name).read_text()))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {name}: {exc}", file=sys.stderr)
+            return 2
+    merged = telemetry.merge_chrome_traces(payloads)
+    _write_or_print(args.out, json.dumps(merged))
+    if args.out != "-":
+        print(
+            f"merged {len(payloads)} trace(s), "
+            f"{len(merged['traceEvents'])} event(s) -> {args.out}"
+        )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if getattr(args, "trace_command", None) == "merge":
+        return _cmd_trace_merge(args)
     spec = get_workload(args.workload)
     config = CacheConfig(
         size_bytes=args.cache_size,
@@ -790,7 +876,79 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metric_weight(value: Any) -> float:
+    """The ranking weight of one snapshot entry: histogram total (time
+    spent), else the scalar counter/gauge value."""
+    if isinstance(value, Mapping):
+        total = value.get("sum", 0.0)
+        return float(total) if isinstance(total, (int, float)) else 0.0
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+def _cmd_telemetry_top(args: argparse.Namespace) -> int:
+    """Rank the heaviest metric series — where the run's time/volume went."""
+    if args.metrics:
+        from pathlib import Path
+
+        try:
+            snapshot = json.loads(Path(args.metrics).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {args.metrics}: {exc}", file=sys.stderr)
+            return 2
+        source = args.metrics
+    else:
+        path = args.manifest_path or telemetry.DEFAULT_MANIFEST_PATH
+        records = telemetry.read_manifests(path)
+        if not records:
+            print(f"no manifest records in {path}", file=sys.stderr)
+            return 2
+        snapshot = records[-1].get("metrics", {})
+        source = f"{path} (latest record: {records[-1].get('name', '?')})"
+    if not isinstance(snapshot, Mapping):
+        print(f"error: {source} holds no metrics object", file=sys.stderr)
+        return 2
+    selected = sorted(
+        (
+            (key, value)
+            for key, value in snapshot.items()
+            if key.startswith(args.prefix)
+        ),
+        key=lambda item: _metric_weight(item[1]),
+        reverse=True,
+    )[: max(args.limit, 0) or None]
+    if args.json:
+        print(json.dumps(dict(selected), indent=2, sort_keys=True))
+        return 0
+    if not selected:
+        print(f"no series matching prefix {args.prefix!r} in {source}")
+        return 0
+    rows = []
+    for key, value in selected:
+        if isinstance(value, Mapping):
+            rows.append(
+                [
+                    key, "histogram", value.get("count", 0),
+                    f"{value.get('sum', 0.0):,.6g}",
+                    f"{value.get('mean', 0.0):,.6g}",
+                    f"{value.get('p90', 0.0):,.6g}",
+                ]
+            )
+        else:
+            rows.append([key, "scalar", "", f"{value:,.6g}", "", ""])
+    print(
+        format_table(
+            ["Series", "Kind", "Count", "Total", "Mean", "P90"],
+            rows,
+            title=f"Top metric series ({source})",
+        )
+    )
+    return 0
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
+    if args.telemetry_command == "top":
+        return _cmd_telemetry_top(args)
+
     path = args.manifest_path or telemetry.DEFAULT_MANIFEST_PATH
 
     if args.telemetry_command == "clear":
@@ -867,6 +1025,19 @@ def _cmd_farm(args: argparse.Namespace) -> int:
     for entry in cache.entries():
         measure = entry.get("measure") or "?"
         per_measure[measure] = per_measure.get(measure, 0) + 1
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "cache_dir": str(cache.directory),
+                    "stored_results": len(cache),
+                    "per_measure": per_measure,
+                    **stats,
+                },
+                indent=2, sort_keys=True,
+            )
+        )
+        return 0
     print(f"cache dir     : {cache.directory}/")
     print(f"stored results: {len(cache)}")
     for measure in sorted(per_measure):

@@ -18,22 +18,27 @@ timeout, and bounded retry when a worker crashes mid-batch.
 
 from __future__ import annotations
 
+import logging
 import random
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Sequence
 
-from repro.errors import ConfigError, FarmError
+from repro.errors import ConfigError, FarmError, TelemetryError
 from repro.farm.cache import ResultCache
 from repro.farm.jobs import CODE_VERSION, Job
 from repro.farm.progress import FarmMetrics
-from repro.farm.registry import timed_execute
+from repro.farm.registry import instrumented_execute, timed_execute
 from repro.faults.infra import WorkerFaults, faulted_execute
 from repro.telemetry.session import active as _telemetry
+from repro.telemetry.spans import span as _span
+
+logger = logging.getLogger(__name__)
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle via keys
     from repro.streams.transport import StreamTransport
@@ -134,6 +139,7 @@ class Farm:
         #: metrics of the most recent ``run_jobs`` call
         self.last_run: FarmMetrics | None = None
         self._batch_started = 0.0
+        self._telemetry_drop_logged = False
 
     # -- public surface
 
@@ -146,41 +152,52 @@ class Farm:
         self._batch_started = start
         session = _telemetry()
 
-        results: list[Any] = [None] * len(jobs)
-        keys = [job.key(self.config.salt) for job in jobs]
-        pending: dict[int, Job] = {}
-        for index, (job, key) in enumerate(zip(jobs, keys)):
-            hit, value = self.cache.get(key)
-            if hit:
-                results[index] = value
-                run.cache_hits += 1
-                if session is not None:
-                    session.trace.farm_job(
-                        "cache_hit",
-                        ts_secs=time.perf_counter() - start,
-                        measure=job.measure,
-                        seed=job.seed,
-                    )
-            else:
-                pending[index] = job
+        batch_span = (
+            session.spans.span(
+                "farm.batch",
+                run_id=session.run_id,
+                jobs=len(jobs),
+                workers=self.config.max_workers,
+            )
+            if session is not None
+            else nullcontext()
+        )
+        with batch_span:
+            results: list[Any] = [None] * len(jobs)
+            keys = [job.key(self.config.salt) for job in jobs]
+            pending: dict[int, Job] = {}
+            for index, (job, key) in enumerate(zip(jobs, keys)):
+                hit, value = self.cache.get(key)
+                if hit:
+                    results[index] = value
+                    run.cache_hits += 1
+                    if session is not None:
+                        session.trace.farm_job(
+                            "cache_hit",
+                            ts_secs=time.perf_counter() - start,
+                            measure=job.measure,
+                            seed=job.seed,
+                        )
+                else:
+                    pending[index] = job
 
-        if pending:
-            if self.config.max_workers == 1:
-                self._run_serial(pending, keys, results, run)
-            else:
-                try:
-                    self._run_pool(pending, keys, results, run)
-                except _PoolUnavailable:
-                    run.fallback_serial = True
+            if pending:
+                if self.config.max_workers == 1:
                     self._run_serial(pending, keys, results, run)
+                else:
+                    try:
+                        self._run_pool(pending, keys, results, run)
+                    except _PoolUnavailable:
+                        run.fallback_serial = True
+                        self._run_serial(pending, keys, results, run)
 
-        run.wall_clock_secs = time.perf_counter() - start
-        run.cache_corrupt = self.cache.corrupt - corrupt_before
-        self.last_run = run
-        self.metrics.merge(run)
-        self.cache.record_run(run.summary())
-        if session is not None:
-            run.publish(session.metrics)
+            run.wall_clock_secs = time.perf_counter() - start
+            run.cache_corrupt = self.cache.corrupt - corrupt_before
+            self.last_run = run
+            self.metrics.merge(run)
+            self.cache.record_run(run.summary())
+            if session is not None:
+                run.publish(session.metrics)
         return results
 
     def run_job(self, job: Job) -> Any:
@@ -211,9 +228,12 @@ class Farm:
                 measure=job.measure,
                 seed=job.seed,
             )
-        self.cache.put(
-            key, value, measure=job.measure, seed=job.seed, elapsed=elapsed
-        )
+        with _span(
+            "farm.cache_write", job_key=key[:12], measure=job.measure
+        ):
+            self.cache.put(
+                key, value, measure=job.measure, seed=job.seed, elapsed=elapsed
+            )
 
     def _run_serial(
         self,
@@ -224,12 +244,25 @@ class Farm:
     ) -> None:
         for index in sorted(pending):
             job = pending[index]
-            value, elapsed = timed_execute(job.measure, dict(job.params), job.seed)
+            with _span(
+                "farm.job",
+                job_key=keys[index][:12],
+                measure=job.measure,
+                seed=job.seed,
+            ):
+                value, elapsed = timed_execute(
+                    job.measure, dict(job.params), job.seed
+                )
             self._store(index, job, keys[index], value, elapsed, results, run)
         pending.clear()
 
     def _submit(
-        self, pool: ProcessPoolExecutor, index: int, job: Job, attempt: int
+        self,
+        pool: ProcessPoolExecutor,
+        index: int,
+        job: Job,
+        key: str,
+        attempt: int,
     ) -> Future:
         faults = self.config.worker_faults
         if faults is not None:
@@ -242,6 +275,23 @@ class Farm:
                 job.seed,
             )
         transport = self._current_transport()
+        session = _telemetry()
+        if session is not None:
+            # capture the worker's spans and metrics in the job result;
+            # the transport (if any) composes underneath
+            ctx = {
+                "run_id": session.run_id,
+                "job_key": key,
+                "profile": session.profile,
+            }
+            return pool.submit(
+                instrumented_execute,
+                ctx,
+                job.measure,
+                dict(job.params),
+                job.seed,
+                transport,
+            )
         if transport is not None:
             from repro.streams.transport import transported_execute
 
@@ -255,6 +305,29 @@ class Farm:
         return pool.submit(
             timed_execute, job.measure, dict(job.params), job.seed
         )
+
+    def _absorb_envelope(self, envelope: Any, elapsed: float) -> None:
+        """Fold one worker's telemetry envelope into the master session.
+
+        An envelope the master cannot merge is a bug somewhere — fail
+        loudly (one log line per farm, a ``farm.telemetry_dropped``
+        counter per occurrence) instead of discarding it silently.
+        """
+        session = _telemetry()
+        if session is None or envelope is None:
+            return
+        completed = time.perf_counter() - self._batch_started
+        shift_us = max(0.0, completed - elapsed) * 1e6
+        try:
+            session.absorb_worker_envelope(envelope, shift_us=shift_us)
+        except TelemetryError as exc:
+            session.metrics.counter("farm.telemetry_dropped").inc()
+            if not self._telemetry_drop_logged:
+                self._telemetry_drop_logged = True
+                logger.warning(
+                    "worker result carried telemetry the master could not "
+                    "merge (%s); counting under farm.telemetry_dropped", exc,
+                )
 
     def _current_transport(self) -> StreamTransport | None:
         """The transport workers should use for this batch.
@@ -322,16 +395,23 @@ class Farm:
             try:
                 # deterministic sharding: jobs enter the queue in index
                 # (and therefore seed) order on every attempt
-                for index in sorted(pending):
-                    futures[index] = self._submit(
-                        pool, index, pending[index], attempts
-                    )
+                with _span("farm.submit", jobs=len(pending), attempt=attempts):
+                    for index in sorted(pending):
+                        futures[index] = self._submit(
+                            pool, index, pending[index], keys[index], attempts
+                        )
                 for index, future in futures.items():
-                    value, elapsed = future.result(timeout=config.job_timeout)
+                    with _span(
+                        "farm.result", job_key=keys[index][:12]
+                    ):
+                        result = future.result(timeout=config.job_timeout)
+                    value, elapsed = result[0], result[1]
                     self._store(
                         index, pending[index], keys[index], value, elapsed,
                         results, run,
                     )
+                    if len(result) > 2:
+                        self._absorb_envelope(result[2], elapsed)
                     del pending[index]
                     progressed = True
                 pool.shutdown(wait=True)

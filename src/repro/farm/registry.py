@@ -87,3 +87,79 @@ def timed_execute(
     start = time.perf_counter()
     value = execute_job(measure, params, seed)
     return value, time.perf_counter() - start
+
+
+#: worker-side trace ring capacity; trap-level events are not shipped
+#: home (only spans and metrics are), so a small ring bounds memory
+_WORKER_TRACE_CAPACITY = 1_024
+
+
+def instrumented_execute(
+    ctx: Mapping[str, Any],
+    measure: str,
+    params: Mapping[str, Any],
+    seed: int,
+    transport: Any = None,
+) -> tuple[Any, float, dict[str, Any]]:
+    """Worker entry point with per-job telemetry capture.
+
+    Activates a private :class:`~repro.telemetry.session.TelemetrySession`
+    for the duration of one job (dropping any session inherited across
+    ``fork`` from the master — see
+    :func:`repro.telemetry.session.drop_inherited`), runs the measure
+    exactly as :func:`timed_execute` / ``transported_execute`` would,
+    then exports the session's spans and metrics into a picklable
+    envelope that rides home on the job result:
+
+        ``(value, elapsed_secs, envelope)``
+
+    ``ctx`` carries the master's correlation state: ``run_id`` (stamped
+    on every span), ``job_key`` (the content hash this result caches
+    under) and ``profile`` (whether the opt-in phase timers fire).
+    ``value`` and ``elapsed`` are bit-identical to the uninstrumented
+    path — the envelope is pure observation.
+    """
+    import os
+
+    from repro.telemetry import session as telemetry_session
+    from repro.telemetry.aggregate import export_metrics
+
+    run_id = str(ctx.get("run_id", ""))
+    job_key = str(ctx.get("job_key", ""))
+    if telemetry_session.active() is not None:
+        telemetry_session.drop_inherited()
+    job_session = telemetry_session.activate(
+        telemetry_session.TelemetrySession(
+            trace_capacity=_WORKER_TRACE_CAPACITY,
+            profile=bool(ctx.get("profile", False)),
+            run_id=run_id or None,
+        )
+    )
+    try:
+        with job_session.spans.span(
+            "worker.job",
+            run_id=run_id,
+            job_key=job_key,
+            measure=measure,
+            seed=seed,
+        ):
+            if transport is not None:
+                from repro.streams.transport import transported_execute
+
+                value, elapsed = transported_execute(
+                    transport, measure, params, seed
+                )
+            else:
+                value, elapsed = timed_execute(measure, params, seed)
+    finally:
+        telemetry_session.deactivate()
+    envelope = {
+        "v": 1,
+        "worker_pid": os.getpid(),
+        "run_id": run_id,
+        "job_key": job_key,
+        "spans": job_session.spans.to_dicts(),
+        "spans_dropped": job_session.spans.dropped,
+        "metrics": export_metrics(job_session.metrics),
+    }
+    return value, elapsed, envelope

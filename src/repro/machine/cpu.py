@@ -30,6 +30,7 @@ from repro.errors import MachineError
 from repro.machine.chunkindex import PositionIndex
 from repro.machine.mmu import PAGE_SHIFT, PageTable
 from repro.machine.traps import TrapFrame, TrapKind
+from repro.telemetry.profile import phase
 from repro.telemetry.session import active as _telemetry
 
 #: log2 of the ECC check granule (16 bytes).
@@ -311,13 +312,15 @@ class CPU:
             if use_ecc:
                 for granule in machine.ecc.drain_recent_sets():
                     if granule_index is None:
-                        granule_index = PositionIndex(granules)
+                        with phase("machine.rescan_index", kind="granule"):
+                            granule_index = PositionIndex(granules)
                     for pos in granule_index.occurrences_after(granule, i):
                         heapq.heappush(heap, int(pos))
             if use_pages:
                 for vpn in table.drain_recent_invalidations():
                     if vpn_index is None:
-                        vpn_index = PositionIndex(vpns)
+                        with phase("machine.rescan_index", kind="vpn"):
+                            vpn_index = PositionIndex(vpns)
                     for pos in vpn_index.occurrences_after(vpn, i):
                         heapq.heappush(heap, int(pos))
 

@@ -49,7 +49,9 @@ from repro.sampling.estimator import (
 from repro.sampling.plan import SamplingPlan
 from repro.streams.keys import fingerprint_payload
 from repro.streams.session import active as _streams
+from repro.telemetry.profile import phase
 from repro.telemetry.session import active as _telemetry
+from repro.telemetry.spans import span as _span
 from repro.workloads.base import WorkloadSpec
 
 if TYPE_CHECKING:
@@ -112,45 +114,49 @@ def _warm_to(
         execution = _boot_execution(spec, tw_config, warm_options)
         execution.apply_attributes()
         return execution, 0
-    session = _streams()
-    if session is None:
-        execution = _boot_execution(spec, tw_config, warm_options)
-        execution.apply_attributes()
-        execution.run(stop_after_refs=start)
-        return execution, execution.executed_refs
-    base = _plan_warm_base(spec, tw_config, warm_options, plan)
-    execution = session.snapshots.fork(f"{base}:{start}")
-    if execution is not None:
-        return execution, 0
-    # resume from the nearest earlier interval-start snapshot, if any
-    # (any interval start is a family member, not just plan boundaries —
-    # exhaustive validation sweeps measure every interval)
-    starts = [
-        i * plan.interval_refs for i in range(1, plan.n_intervals)
-    ]
-    position = 0
-    earlier = [
-        b for b in starts if 0 < b < start and f"{base}:{b}" in session.snapshots
-    ]
-    if earlier:
-        position = max(earlier)
-        execution = session.snapshots.fork(f"{base}:{position}")
-    if execution is None:
-        execution = _boot_execution(spec, tw_config, warm_options)
-        execution.apply_attributes()
+    with phase("sampling.boundary_warm"):
+        session = _streams()
+        if session is None:
+            execution = _boot_execution(spec, tw_config, warm_options)
+            execution.apply_attributes()
+            execution.run(stop_after_refs=start)
+            return execution, execution.executed_refs
+        base = _plan_warm_base(spec, tw_config, warm_options, plan)
+        execution = session.snapshots.fork(f"{base}:{start}")
+        if execution is not None:
+            return execution, 0
+        # resume from the nearest earlier interval-start snapshot, if
+        # any (any interval start is a family member, not just plan
+        # boundaries — exhaustive validation sweeps measure every
+        # interval)
+        starts = [
+            i * plan.interval_refs for i in range(1, plan.n_intervals)
+        ]
         position = 0
-    resumed_at = execution.executed_refs
-    # advance to start, snapshotting every plan boundary passed through
-    # and the destination itself, so later intervals and trials fork
-    stops = sorted(
-        {b for b in plan.boundaries() if position < b <= start} | {start}
-    )
-    for boundary in stops:
-        execution.run(stop_after_refs=boundary)
-        key = f"{base}:{boundary}"
-        if key not in session.snapshots:
-            session.snapshots.put(key, copy.deepcopy(execution))
-    return execution, execution.executed_refs - resumed_at
+        earlier = [
+            b for b in starts
+            if 0 < b < start and f"{base}:{b}" in session.snapshots
+        ]
+        if earlier:
+            position = max(earlier)
+            execution = session.snapshots.fork(f"{base}:{position}")
+        if execution is None:
+            execution = _boot_execution(spec, tw_config, warm_options)
+            execution.apply_attributes()
+            position = 0
+        resumed_at = execution.executed_refs
+        # advance to start, snapshotting every plan boundary passed
+        # through and the destination itself, so later intervals and
+        # trials fork
+        stops = sorted(
+            {b for b in plan.boundaries() if position < b <= start} | {start}
+        )
+        for boundary in stops:
+            execution.run(stop_after_refs=boundary)
+            key = f"{base}:{boundary}"
+            if key not in session.snapshots:
+                session.snapshots.put(key, copy.deepcopy(execution))
+        return execution, execution.executed_refs - resumed_at
 
 
 def measure_interval(
@@ -187,7 +193,10 @@ def measure_interval(
     misses_before = tapeworm.estimated_total_misses()
     traps_before = execution.totals.traps
     overhead_before = tapeworm.overhead_cycles
-    execution.run(stop_after_refs=end)
+    with _span(
+        "sampling.measure_interval", interval=interval, start=start, end=end
+    ):
+        execution.run(stop_after_refs=end)
     refs = execution.executed_refs - refs_before
     if refs <= 0:
         raise ConfigError(

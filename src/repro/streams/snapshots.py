@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ConfigError
+from repro.telemetry.profile import phase
 
 
 @dataclass(frozen=True)
@@ -75,7 +76,8 @@ class SnapshotStore:
         if state is None:
             return None
         self.forks += 1
-        return copy.deepcopy(state)
+        with phase("streams.snapshot_fork"):
+            return copy.deepcopy(state)
 
     def clear(self) -> None:
         self._snapshots.clear()

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.atomicio import atomic_write_bytes, atomic_write_text
 from repro.errors import StreamStoreError
+from repro.telemetry.profile import phase
 
 DEFAULT_STORE_DIR = ".stream-cache"
 QUARANTINE_DIR = "quarantine"
@@ -122,44 +123,45 @@ class StreamStore:
         if cached is not None:
             self.hits += 1
             return cached
-        blob_path = self._blob_path(key)
-        sidecar_path = self._sidecar_path(key)
-        if not sidecar_path.exists() or not blob_path.exists():
-            self.misses += 1
-            return None
-        try:
-            sidecar = json.loads(sidecar_path.read_text())
-        except (json.JSONDecodeError, OSError):
-            self._quarantine(key, "sidecar not valid JSON")
-            self.misses += 1
-            return None
-        try:
-            data = blob_path.read_bytes()
-        except OSError:
-            self.misses += 1
-            return None
-        if len(data) != sidecar.get("blob_bytes"):
-            self._quarantine(key, "blob size mismatch")
-            self.misses += 1
-            return None
-        if blob_crc(data) != sidecar.get("crc"):
-            self._quarantine(key, "blob CRC mismatch")
-            self.misses += 1
-            return None
-        try:
-            array = np.load(blob_path, mmap_mode="r")
-        except (ValueError, OSError):
-            self._quarantine(key, "unreadable npy header")
-            self.misses += 1
-            return None
-        if array.ndim != 1 or array.dtype != np.int64:
-            self._quarantine(key, "wrong shape or dtype")
-            self.misses += 1
-            return None
-        self._mapped[key] = array
-        self.hits += 1
-        self.bytes_mapped += array.nbytes
-        return array
+        with phase("streams.blob_map"):
+            blob_path = self._blob_path(key)
+            sidecar_path = self._sidecar_path(key)
+            if not sidecar_path.exists() or not blob_path.exists():
+                self.misses += 1
+                return None
+            try:
+                sidecar = json.loads(sidecar_path.read_text())
+            except (json.JSONDecodeError, OSError):
+                self._quarantine(key, "sidecar not valid JSON")
+                self.misses += 1
+                return None
+            try:
+                data = blob_path.read_bytes()
+            except OSError:
+                self.misses += 1
+                return None
+            if len(data) != sidecar.get("blob_bytes"):
+                self._quarantine(key, "blob size mismatch")
+                self.misses += 1
+                return None
+            if blob_crc(data) != sidecar.get("crc"):
+                self._quarantine(key, "blob CRC mismatch")
+                self.misses += 1
+                return None
+            try:
+                array = np.load(blob_path, mmap_mode="r")
+            except (ValueError, OSError):
+                self._quarantine(key, "unreadable npy header")
+                self.misses += 1
+                return None
+            if array.ndim != 1 or array.dtype != np.int64:
+                self._quarantine(key, "wrong shape or dtype")
+                self.misses += 1
+                return None
+            self._mapped[key] = array
+            self.hits += 1
+            self.bytes_mapped += array.nbytes
+            return array
 
     def contains(self, key: str) -> bool:
         """Whether a committed (sidecar-present) blob exists for ``key``."""

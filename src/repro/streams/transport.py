@@ -191,8 +191,12 @@ def transported_execute(
     """
     from repro.farm.registry import timed_execute
     from repro.streams import session as stream_session
+    from repro.telemetry.spans import span as telemetry_span
 
-    session = _worker_session(transport)
+    with telemetry_span(
+        "streams.attach", segments=len(transport.shm_segments)
+    ):
+        session = _worker_session(transport)
     if stream_session.active() is not None:
         # a forked worker inherited the master's session; the parent
         # owns its resources, so drop the reference rather than

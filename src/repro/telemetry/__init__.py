@@ -9,6 +9,14 @@ package is the software analogue for the whole reproduction stack:
   Tapeworm and farm publish into under stable dotted names;
 * :mod:`~repro.telemetry.events` — a bounded ring buffer of trap-level
   events, exportable as Chrome ``trace_event`` JSON for Perfetto;
+* :mod:`~repro.telemetry.spans` — causally linked timed regions with
+  parent/child ids and run-id correlation, mergeable across the farm's
+  process boundary into one Chrome trace with per-worker lanes;
+* :mod:`~repro.telemetry.aggregate` — the mergeable metrics snapshot
+  format (counters sum, gauges last-write-wins, histograms bucket-wise
+  exact add) that carries worker registries home per job;
+* :mod:`~repro.telemetry.profile` — opt-in phase timers around kernel
+  and stream hot paths, publishing ``profile.*`` histograms;
 * :mod:`~repro.telemetry.manifest` — append-only JSONL run manifests
   (config hash, seed, git version, metrics snapshot, wall clock);
 * :mod:`~repro.telemetry.session` — the process-wide on/off switch.
@@ -35,6 +43,20 @@ from repro.telemetry.manifest import (
     validate_record,
     write_manifest,
 )
+from repro.telemetry.aggregate import (
+    MAX_WORKER_SERIES,
+    SNAPSHOT_VERSION,
+    export_metrics,
+    fold_into,
+    merge_snapshots,
+    split_key,
+)
+from repro.telemetry.profile import (
+    KNOWN_PHASES,
+    PROFILE_BUCKET_SECS,
+    phase,
+    profiling_enabled,
+)
 from repro.telemetry.registry import (
     CYCLE_BUCKETS,
     TIME_BUCKET_SECS,
@@ -49,7 +71,21 @@ from repro.telemetry.session import (
     activate,
     active,
     deactivate,
+    drop_inherited,
     enabled,
+)
+from repro.telemetry.spans import (
+    DEFAULT_SPAN_CAPACITY,
+    WORKER_PID,
+    Span,
+    SpanRecorder,
+    chrome_span_events,
+    merge_chrome_traces,
+    merged_chrome_trace,
+    new_run_id,
+    span,
+    span_from_dict,
+    spans_from_dicts,
 )
 
 __all__ = [
@@ -77,5 +113,27 @@ __all__ = [
     "activate",
     "active",
     "deactivate",
+    "drop_inherited",
     "enabled",
+    "Span",
+    "SpanRecorder",
+    "DEFAULT_SPAN_CAPACITY",
+    "WORKER_PID",
+    "chrome_span_events",
+    "merge_chrome_traces",
+    "merged_chrome_trace",
+    "new_run_id",
+    "span",
+    "span_from_dict",
+    "spans_from_dicts",
+    "MAX_WORKER_SERIES",
+    "SNAPSHOT_VERSION",
+    "export_metrics",
+    "fold_into",
+    "merge_snapshots",
+    "split_key",
+    "KNOWN_PHASES",
+    "PROFILE_BUCKET_SECS",
+    "phase",
+    "profiling_enabled",
 ]

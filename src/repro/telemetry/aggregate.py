@@ -1,0 +1,210 @@
+"""Mergeable metrics snapshots: worker registries folded into one.
+
+A farm worker's :class:`~repro.telemetry.registry.MetricsRegistry` dies
+with the worker unless its contents travel home.  This module defines
+the wire format and the merge algebra:
+
+* **counters sum** — exact, associative, commutative;
+* **gauges are last-write-wins** by the ``updated_unix`` timestamp the
+  registry stamps on every ``set``;
+* **histograms add bucket-wise** — bucket layouts are fixed per metric
+  name (the registry enforces it), so the merge is *exact*: count, sum,
+  min, max and every bucket are what a single shared histogram would
+  have held.
+
+:func:`export_metrics` snapshots a registry into a JSON-encodable
+envelope; :func:`merge_snapshots` folds two envelopes (the property
+tests pin associativity/commutativity); :func:`fold_into` replays an
+envelope into a live registry under a prefix (``farm.worker.*``), with
+a per-envelope series cap so one misbehaving worker cannot blow up the
+master's registry cardinality.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import TelemetryError
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+#: bump when the envelope layout changes incompatibly
+SNAPSHOT_VERSION = 1
+
+#: ceiling on distinct series accepted from one worker envelope; the
+#: overflow is counted, not silently ignored
+MAX_WORKER_SERIES = 512
+
+
+def split_key(key: str) -> tuple[str, dict[str, str]]:
+    """``name{label=value,...}`` back into ``(name, labels)``."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    if not rest.endswith("}"):
+        raise TelemetryError(f"malformed metric key {key!r}")
+    labels: dict[str, str] = {}
+    for part in rest[:-1].split(","):
+        label, sep, value = part.partition("=")
+        if not sep:
+            raise TelemetryError(f"malformed label {part!r} in key {key!r}")
+        labels[label] = value
+    return name, labels
+
+
+def _export_one(metric: Counter | Gauge | Histogram) -> dict[str, Any]:
+    if metric.kind == "counter":
+        return {"kind": "counter", "value": metric.value}
+    if metric.kind == "gauge":
+        return {
+            "kind": "gauge",
+            "value": metric.value,
+            "updated_unix": metric.updated_unix,
+        }
+    return {
+        "kind": "histogram",
+        "bounds": list(metric.bounds),
+        "counts": list(metric.counts),
+        "count": metric.count,
+        "sum": metric.total,
+        "min": metric.minimum,
+        "max": metric.maximum,
+    }
+
+
+def export_metrics(registry: MetricsRegistry) -> dict[str, Any]:
+    """A registry as a mergeable, JSON-encodable envelope."""
+    return {
+        "v": SNAPSHOT_VERSION,
+        "series": {key: _export_one(metric) for key, metric in registry.items()},
+    }
+
+
+def _check_envelope(snapshot: Mapping[str, Any]) -> Mapping[str, Any]:
+    if not isinstance(snapshot, Mapping):
+        raise TelemetryError(f"metrics envelope is not a mapping: {snapshot!r}")
+    if snapshot.get("v") != SNAPSHOT_VERSION:
+        raise TelemetryError(
+            f"metrics envelope version {snapshot.get('v')!r} != "
+            f"{SNAPSHOT_VERSION}"
+        )
+    series = snapshot.get("series")
+    if not isinstance(series, Mapping):
+        raise TelemetryError("metrics envelope has no series mapping")
+    return series
+
+
+def _merge_entry(
+    merged: dict[str, Any], entry: Mapping[str, Any], key: str
+) -> dict[str, Any]:
+    kind = entry.get("kind")
+    if kind != merged.get("kind"):
+        raise TelemetryError(
+            f"series {key!r} is a {merged.get('kind')} on one side and a "
+            f"{kind} on the other"
+        )
+    if kind == "counter":
+        return {"kind": "counter", "value": merged["value"] + entry["value"]}
+    if kind == "gauge":
+        newer = entry if entry["updated_unix"] >= merged["updated_unix"] else merged
+        return dict(newer)
+    if kind == "histogram":
+        if list(entry["bounds"]) != list(merged["bounds"]):
+            raise TelemetryError(
+                f"series {key!r} has mismatched histogram bounds"
+            )
+        count = merged["count"] + entry["count"]
+        if merged["count"] == 0:
+            minimum, maximum = entry["min"], entry["max"]
+        elif entry["count"] == 0:
+            minimum, maximum = merged["min"], merged["max"]
+        else:
+            minimum = min(merged["min"], entry["min"])
+            maximum = max(merged["max"], entry["max"])
+        return {
+            "kind": "histogram",
+            "bounds": list(merged["bounds"]),
+            "counts": [a + b for a, b in zip(merged["counts"], entry["counts"])],
+            "count": count,
+            "sum": merged["sum"] + entry["sum"],
+            "min": minimum,
+            "max": maximum,
+        }
+    raise TelemetryError(f"series {key!r} has unknown kind {kind!r}")
+
+
+def merge_snapshots(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Fold two envelopes into one (counters sum, gauges LWW,
+    histograms bucket-wise add).  Pure; inputs are not mutated."""
+    series_a, series_b = _check_envelope(a), _check_envelope(b)
+    merged = {key: dict(entry) for key, entry in series_a.items()}
+    for key, entry in series_b.items():
+        if key in merged:
+            merged[key] = _merge_entry(merged[key], entry, key)
+        else:
+            merged[key] = dict(entry)
+    return {"v": SNAPSHOT_VERSION, "series": merged}
+
+
+def fold_into(
+    registry: MetricsRegistry,
+    snapshot: Mapping[str, Any],
+    prefix: str = "farm.worker",
+    max_series: int = MAX_WORKER_SERIES,
+) -> tuple[int, int]:
+    """Replay an envelope into a live registry under ``prefix``.
+
+    Returns ``(merged, dropped)`` series counts; series beyond
+    ``max_series`` (in sorted key order, so the cut is deterministic)
+    are dropped and counted rather than silently lost.  Raises
+    :class:`~repro.errors.TelemetryError` on envelopes this code cannot
+    merge — the caller decides how loudly to fail.
+    """
+    series = _check_envelope(snapshot)
+    keys = sorted(series)
+    kept, overflow = keys[:max_series], len(keys[max_series:])
+    merged = 0
+    for key in kept:
+        entry = series[key]
+        name, labels = split_key(key)
+        target = f"{prefix}.{name}"
+        kind = entry.get("kind")
+        if kind == "counter":
+            registry.counter(target, **labels).inc(entry["value"])
+        elif kind == "gauge":
+            gauge = registry.gauge(target, **labels)
+            if entry["updated_unix"] >= gauge.updated_unix:
+                gauge.value = entry["value"]
+                gauge.updated_unix = entry["updated_unix"]
+        elif kind == "histogram":
+            incoming = Histogram(tuple(entry["bounds"]))
+            incoming.counts = list(entry["counts"])
+            incoming.count = entry["count"]
+            incoming.total = entry["sum"]
+            incoming.minimum = entry["min"]
+            incoming.maximum = entry["max"]
+            registry.histogram(
+                target, bounds=tuple(entry["bounds"]), **labels
+            ).merge(incoming)
+        else:
+            raise TelemetryError(
+                f"series {key!r} has unknown kind {kind!r}"
+            )
+        merged += 1
+    return merged, overflow
+
+
+__all__ = [
+    "MAX_WORKER_SERIES",
+    "SNAPSHOT_VERSION",
+    "export_metrics",
+    "fold_into",
+    "merge_snapshots",
+    "split_key",
+]

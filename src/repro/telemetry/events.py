@@ -212,6 +212,9 @@ class EventTracer:
             "otherData": {
                 "recorded": self.recorded,
                 "dropped": self.dropped,
+                # explicit alias so truncated traces are self-describing
+                # to consumers that only know the trace_event convention
+                "dropped_events": self.dropped,
                 "capacity": self.capacity,
             },
         }

@@ -25,6 +25,7 @@ memory no matter how many values are observed.
 from __future__ import annotations
 
 import re
+import time
 from typing import Any, Iterator, Mapping
 
 from repro.errors import TelemetryError
@@ -72,15 +73,23 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value (last write wins)."""
+    """A point-in-time value (last write wins).
+
+    ``updated_unix`` stamps each write with wall-clock time, so when
+    gauges from several processes are merged (see
+    :mod:`repro.telemetry.aggregate`) "last write" is well defined
+    across registries, not just within one.
+    """
 
     kind = "gauge"
 
     def __init__(self) -> None:
         self.value: float = 0
+        self.updated_unix: float = 0.0
 
     def set(self, value: int | float) -> None:
         self.value = value
+        self.updated_unix = time.time()
 
     def snapshot(self) -> Any:
         return self.value

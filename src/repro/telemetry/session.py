@@ -13,26 +13,111 @@ benchmark runs in unless it opts in) that is a single global load and a
 telemetry state, so results are bit-identical with telemetry on or off.
 ``tests/telemetry/test_unobtrusive.py`` pins that property.
 
-Sessions are per-process; farm worker processes run without one, and
-the farm master records job lifecycle on their behalf.
+Sessions are per-process.  Farm *workers* now get a short-lived private
+session per job (see :func:`repro.farm.registry.instrumented_execute`)
+whose spans and metrics travel home in the job-result envelope; the
+master absorbs them via :meth:`TelemetrySession.absorb_worker_envelope`
+so one session ends a batch holding the whole distributed run.
 """
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Any, Iterator, Mapping
 
 from repro.errors import TelemetryError
 from repro.telemetry.events import DEFAULT_TRACE_CAPACITY, EventTracer
 from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.spans import (
+    DEFAULT_SPAN_CAPACITY,
+    Span,
+    SpanRecorder,
+    new_run_id,
+    spans_from_dicts,
+)
 
 
 class TelemetrySession:
-    """One run's worth of observability state: metrics + event trace."""
+    """One run's worth of observability state: metrics + events + spans.
 
-    def __init__(self, trace_capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+    ``profile`` switches the opt-in phase timers on
+    (:mod:`repro.telemetry.profile`); it defaults to off so enabling
+    telemetry alone never adds timers to kernel hot paths.
+    ``worker_spans`` maps worker pid → list of ``(shift_us, spans)``
+    lanes absorbed from job-result envelopes.
+    """
+
+    def __init__(
+        self,
+        trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+        span_capacity: int = DEFAULT_SPAN_CAPACITY,
+        profile: bool = False,
+        run_id: str | None = None,
+    ) -> None:
         self.metrics = MetricsRegistry()
         self.trace = EventTracer(trace_capacity)
+        self.spans = SpanRecorder(span_capacity)
+        self.profile = profile
+        self.run_id = run_id or new_run_id()
+        self.worker_spans: dict[int, list[tuple[float, list[Span]]]] = {}
+        self._finalized = False
+
+    def absorb_worker_envelope(
+        self, envelope: Mapping[str, Any], shift_us: float = 0.0
+    ) -> None:
+        """Fold one worker's job-result telemetry into this session.
+
+        Metrics land under ``farm.worker.*`` (cardinality-capped, drops
+        counted); spans are filed as a lane for the worker's pid,
+        shifted by ``shift_us`` onto this session's timeline.  Raises
+        :class:`~repro.errors.TelemetryError` on envelopes this code
+        cannot merge — the farm decides how loudly to fail.
+        """
+        from repro.telemetry.aggregate import fold_into
+
+        if not isinstance(envelope, Mapping) or envelope.get("v") != 1:
+            raise TelemetryError(
+                f"unrecognized worker telemetry envelope: {envelope!r}"
+            )
+        started = time.perf_counter()
+        worker = int(envelope.get("worker_pid", 0))
+        merged, overflow = fold_into(self.metrics, envelope["metrics"])
+        if overflow:
+            self.metrics.counter("farm.telemetry.series_dropped").inc(overflow)
+        spans = spans_from_dicts(envelope.get("spans", ()))
+        if spans:
+            self.worker_spans.setdefault(worker, []).append((shift_us, spans))
+        dropped_spans = int(envelope.get("spans_dropped", 0))
+        if dropped_spans:
+            self.metrics.counter("farm.telemetry.spans_dropped").inc(
+                dropped_spans
+            )
+        # the aggregation layer observes itself: how many envelopes,
+        # how much wall-clock the folding cost the master
+        self.metrics.counter("farm.telemetry.envelopes").inc()
+        self.metrics.counter("farm.telemetry.series_merged").inc(merged)
+        self.metrics.counter("farm.telemetry.aggregation_secs").inc(
+            time.perf_counter() - started
+        )
+
+    def finalize(self) -> None:
+        """Stamp self-describing loss counters before export (idempotent).
+
+        A truncated trace or span set should say so in the report, not
+        just in the export metadata.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        if self.trace.dropped:
+            self.metrics.counter("telemetry.trace.dropped").inc(
+                self.trace.dropped
+            )
+        if self.spans.dropped:
+            self.metrics.counter("telemetry.spans.dropped").inc(
+                self.spans.dropped
+            )
 
 
 _active: TelemetrySession | None = None
@@ -61,12 +146,26 @@ def deactivate() -> TelemetrySession:
     return session
 
 
+def drop_inherited() -> None:
+    """Forget a session inherited across ``fork`` without touching it.
+
+    A forked farm worker starts with a copy of the master's active
+    session; recording into it would be silently lost (the copy never
+    travels home) and deactivating it would be a lie (the master owns
+    the original).  Workers call this before activating their own
+    per-job session.
+    """
+    global _active
+    _active = None
+
+
 @contextmanager
 def enabled(
     trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+    profile: bool = False,
 ) -> Iterator[TelemetrySession]:
     """Scope a telemetry session over a block of simulation work."""
-    session = activate(TelemetrySession(trace_capacity))
+    session = activate(TelemetrySession(trace_capacity, profile=profile))
     try:
         yield session
     finally:

@@ -1,0 +1,320 @@
+"""Span tracing: causally linked timed regions, across process lines.
+
+The event tracer (:mod:`repro.telemetry.events`) answers "what happened
+when"; spans answer "what contained what, and where did the time go" —
+the scheduler→submit→worker→measure→result→cache-write chain of one
+farmed run becomes a tree of :class:`Span` records, each carrying a
+monotonic-clock start/duration, a parent id, and the run-id/job-key
+correlation args that let the master's lanes line up with each worker's.
+
+Workers serialize their spans (:meth:`SpanRecorder.to_dicts`) into the
+job-result envelope; the master re-hydrates them
+(:func:`spans_from_dicts`), shifts them onto its own batch timeline and
+files them per worker pid, so :func:`merged_chrome_trace` renders one
+Chrome ``trace_event`` file in which every worker appears as its own
+lane (tid) under a "farm workers" process — a whole distributed run in
+one Perfetto view.
+
+Like every telemetry layer here, spans are observational: the recorder
+is bounded (opening a span past capacity records nothing and counts the
+drop), and nothing in the simulation ever reads a span.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.errors import TelemetryError
+from repro.telemetry.events import FARM_PID, MACHINE_PID
+
+#: Chrome-trace process id for the merged per-worker lanes
+WORKER_PID = 3
+
+#: default recorder capacity; spans are per-region (chunks, jobs,
+#: phases), not per-reference, so this covers very large batches
+DEFAULT_SPAN_CAPACITY = 8_192
+
+#: tid of the master's own span lane under the farm process
+_MASTER_SPAN_TID = 1_000
+
+
+def new_run_id() -> str:
+    """A fresh correlation id for one run (master + all its workers)."""
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass
+class Span:
+    """One timed region.  ``dur_us`` is filled when the region closes."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_us: float
+    dur_us: float = 0.0
+    args: dict[str, Any] | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "start_us": round(self.start_us, 3),
+            "dur_us": round(self.dur_us, 3),
+        }
+        if self.args:
+            record["args"] = dict(self.args)
+        return record
+
+
+def span_from_dict(record: Mapping[str, Any]) -> Span:
+    """Re-hydrate one serialized span; raises on malformed records."""
+    try:
+        return Span(
+            name=str(record["name"]),
+            span_id=int(record["id"]),
+            parent_id=None if record["parent"] is None else int(record["parent"]),
+            start_us=float(record["start_us"]),
+            dur_us=float(record["dur_us"]),
+            args=dict(record["args"]) if record.get("args") else None,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TelemetryError(f"malformed span record {record!r}: {exc}") from exc
+
+
+def spans_from_dicts(records: Sequence[Mapping[str, Any]]) -> list[Span]:
+    return [span_from_dict(record) for record in records]
+
+
+class SpanRecorder:
+    """Bounded in-order store of spans with an implicit parent stack.
+
+    Spans nest lexically: :meth:`span` pushes itself as the parent of
+    anything opened inside it.  Slots are claimed on *entry*, so when
+    the bound is hit it is the latest, deepest spans that drop — the
+    roots of the tree (batch, job) always survive.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_SPAN_CAPACITY) -> None:
+        if capacity <= 0:
+            raise TelemetryError(
+                f"span capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._stack: list[int] = []
+        self._next_id = 1
+        self._epoch = time.perf_counter()
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def now_us(self) -> float:
+        """Microseconds since this recorder was created (monotonic)."""
+        return (time.perf_counter() - self._epoch) * 1e6
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[Span | None]:
+        """Open a timed region; yields the span (None past capacity)."""
+        if len(self.spans) >= self.capacity:
+            self.dropped += 1
+            yield None
+            return
+        record = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            start_us=self.now_us(),
+            args=dict(args) if args else None,
+        )
+        self._next_id += 1
+        self.spans.append(record)
+        self._stack.append(record.span_id)
+        start = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.dur_us = (time.perf_counter() - start) * 1e6
+            self._stack.pop()
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Serialized spans, ready for the worker result envelope."""
+        return [record.to_dict() for record in self.spans]
+
+
+@contextmanager
+def span(name: str, **args: Any) -> Iterator[Span | None]:
+    """Record a span on the active telemetry session (no-op without one)."""
+    from repro.telemetry.session import active
+
+    session = active()
+    if session is None:
+        yield None
+        return
+    with session.spans.span(name, **args) as record:
+        yield record
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event rendering and merging
+# ---------------------------------------------------------------------------
+
+
+def chrome_span_events(
+    spans: Sequence[Span],
+    pid: int,
+    tid: int,
+    shift_us: float = 0.0,
+    **extra_args: Any,
+) -> list[dict[str, Any]]:
+    """Spans as complete ("X") Chrome events on one pid/tid lane."""
+    events = []
+    for record in spans:
+        args: dict[str, Any] = {
+            "span_id": record.span_id,
+            "parent_id": record.parent_id,
+        }
+        if extra_args:
+            args.update(extra_args)
+        if record.args:
+            args.update(record.args)
+        events.append(
+            {
+                "name": record.name,
+                "cat": "span",
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": record.start_us + shift_us,
+                "dur": max(record.dur_us, 0.001),
+                "args": args,
+            }
+        )
+    return events
+
+
+def merged_chrome_trace(session) -> dict[str, Any]:
+    """One Chrome trace for a whole distributed run.
+
+    Starts from the event tracer's export (machine + farm lanes), then
+    appends the master's own span lane and one lane (tid) per worker
+    that shipped spans back — so ``reproduce --jobs N --trace-out``
+    shows scheduler, workers and simulated machine side by side.
+    """
+    trace = session.trace.chrome_trace()
+    events: list[dict[str, Any]] = trace["traceEvents"]
+
+    if session.spans.spans:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": FARM_PID,
+                "tid": _MASTER_SPAN_TID,
+                "args": {"name": "master spans"},
+            }
+        )
+        events.extend(
+            chrome_span_events(
+                session.spans.spans,
+                pid=FARM_PID,
+                tid=_MASTER_SPAN_TID,
+                run_id=session.run_id,
+            )
+        )
+
+    if session.worker_spans:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": WORKER_PID,
+                "tid": 0,
+                "args": {"name": "farm workers"},
+            }
+        )
+        for tid, (worker, lanes) in enumerate(
+            sorted(session.worker_spans.items()), start=1
+        ):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": WORKER_PID,
+                    "tid": tid,
+                    "args": {"name": f"worker {worker}"},
+                }
+            )
+            for shift_us, spans_ in lanes:
+                events.extend(
+                    chrome_span_events(
+                        spans_,
+                        pid=WORKER_PID,
+                        tid=tid,
+                        shift_us=shift_us,
+                        run_id=session.run_id,
+                        worker=worker,
+                    )
+                )
+
+    other = trace["otherData"]
+    other["run_id"] = session.run_id
+    other["spans"] = len(session.spans)
+    other["spans_dropped"] = session.spans.dropped
+    other["worker_lanes"] = len(session.worker_spans)
+    return trace
+
+
+def merge_chrome_traces(
+    payloads: Sequence[Mapping[str, Any]],
+) -> dict[str, Any]:
+    """Merge several Chrome trace files into one, lanes kept apart.
+
+    Every input's pids are remapped into a disjoint block (input ``i``
+    gets ``i * 100 + original_pid``), so two runs' "simulated machine"
+    processes appear side by side instead of interleaved.  ``otherData``
+    keeps each input's metadata under ``merged[i]``.
+    """
+    merged_events: list[dict[str, Any]] = []
+    merged_other: list[Any] = []
+    for i, payload in enumerate(payloads):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            raise TelemetryError(
+                f"input {i} is not a Chrome trace (no traceEvents array)"
+            )
+        for event in events:
+            if not isinstance(event, Mapping) or "pid" not in event:
+                raise TelemetryError(
+                    f"input {i} has a malformed trace event: {event!r}"
+                )
+            shifted = dict(event)
+            shifted["pid"] = i * 100 + int(event["pid"])
+            merged_events.append(shifted)
+        merged_other.append(payload.get("otherData", {}))
+    return {
+        "traceEvents": merged_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"merged": merged_other, "inputs": len(payloads)},
+    }
+
+
+__all__ = [
+    "DEFAULT_SPAN_CAPACITY",
+    "MACHINE_PID",
+    "WORKER_PID",
+    "Span",
+    "SpanRecorder",
+    "chrome_span_events",
+    "merge_chrome_traces",
+    "merged_chrome_trace",
+    "new_run_id",
+    "span",
+    "span_from_dict",
+    "spans_from_dicts",
+]

@@ -48,8 +48,31 @@ def slow(seed: int, delay: float) -> float:
     return float(seed)
 
 
+def spanned(seed: int) -> float:
+    """Open a nested span, so round-trip tests can check parent links."""
+    from repro.telemetry.spans import span
+
+    with span("test.inner", seed=seed):
+        return seed * 2.0
+
+
+def metered(seed: int) -> float:
+    """Publish a deterministic counter into the active session (if any)."""
+    from repro.telemetry.session import active
+
+    session = active()
+    if session is not None:
+        session.metrics.counter("test.work").inc(seed + 1)
+        session.metrics.histogram(
+            "test.sizes", bounds=(1.0, 10.0, 100.0)
+        ).observe(seed)
+    return float(seed)
+
+
 register("test.double", double)
 register("test.counted", counted)
 register("test.crash_always", crash_always)
 register("test.crash_once", crash_once)
 register("test.slow", slow)
+register("test.spanned", spanned)
+register("test.metered", metered)

@@ -1,0 +1,273 @@
+"""The merge algebra for worker metrics snapshots.
+
+The farm folds every worker envelope into the master registry, in
+whatever order results happen to land — so the merge must not care
+about grouping or order.  Hypothesis pins that algebra: for counters
+and histograms, ``merge_snapshots`` is associative and commutative
+(gauges are deliberately excluded — last-write-wins resolves ties in
+favour of the right operand, which is the documented, deterministic
+tie-break, not a commutative one).
+
+Values are integers so float addition stays exact; the properties are
+about the algebra, not about rounding.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TelemetryError
+from repro.telemetry.aggregate import (
+    MAX_WORKER_SERIES,
+    SNAPSHOT_VERSION,
+    export_metrics,
+    fold_into,
+    merge_snapshots,
+    split_key,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+# a small, fixed universe of series names keeps collisions (the
+# interesting case) frequent; the name prefix decides the kind
+_COUNTER_KEYS = ("jobs.done", "work.units{component=user}", "traps.seen")
+_HISTOGRAM_KEYS = ("latency.secs", "chunk.secs{kind=dm}")
+_BOUNDS = (1.0, 5.0, 25.0)
+
+
+def _counter_entry(value: int) -> dict:
+    return {"kind": "counter", "value": value}
+
+
+def _histogram_entry(observations: list[int]) -> dict:
+    counts = [0] * (len(_BOUNDS) + 1)
+    for value in observations:
+        for i, bound in enumerate(_BOUNDS):
+            if value <= bound:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    return {
+        "kind": "histogram",
+        "bounds": list(_BOUNDS),
+        "counts": counts,
+        "count": len(observations),
+        "sum": sum(observations),
+        "min": min(observations) if observations else 0.0,
+        "max": max(observations) if observations else 0.0,
+    }
+
+
+_counter_series = st.dictionaries(
+    st.sampled_from(_COUNTER_KEYS),
+    st.integers(min_value=0, max_value=10**6).map(_counter_entry),
+    max_size=len(_COUNTER_KEYS),
+)
+_histogram_series = st.dictionaries(
+    st.sampled_from(_HISTOGRAM_KEYS),
+    st.lists(
+        st.integers(min_value=0, max_value=50), min_size=1, max_size=8
+    ).map(_histogram_entry),
+    max_size=len(_HISTOGRAM_KEYS),
+)
+
+
+@st.composite
+def envelopes(draw):
+    series = {**draw(_counter_series), **draw(_histogram_series)}
+    return {"v": SNAPSHOT_VERSION, "series": series}
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=200)
+    @given(a=envelopes(), b=envelopes(), c=envelopes())
+    def test_associative(self, a, b, c):
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        assert left == right
+
+    @settings(max_examples=200)
+    @given(a=envelopes(), b=envelopes())
+    def test_commutative_for_counters_and_histograms(self, a, b):
+        assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+    @settings(max_examples=100)
+    @given(a=envelopes())
+    def test_empty_envelope_is_identity(self, a):
+        empty = {"v": SNAPSHOT_VERSION, "series": {}}
+        assert merge_snapshots(a, empty) == merge_snapshots(empty, a)
+        assert merge_snapshots(a, empty)["series"] == a["series"]
+
+    @settings(max_examples=100)
+    @given(a=envelopes(), b=envelopes())
+    def test_merge_is_pure(self, a, b):
+        import copy
+
+        a_before, b_before = copy.deepcopy(a), copy.deepcopy(b)
+        merge_snapshots(a, b)
+        assert a == a_before and b == b_before
+
+
+class TestGaugeMerge:
+    def _gauge(self, value, when):
+        return {
+            "v": SNAPSHOT_VERSION,
+            "series": {
+                "memory.used": {
+                    "kind": "gauge", "value": value, "updated_unix": when,
+                }
+            },
+        }
+
+    def test_newer_write_wins(self):
+        merged = merge_snapshots(self._gauge(1, 100.0), self._gauge(2, 200.0))
+        assert merged["series"]["memory.used"]["value"] == 2
+        merged = merge_snapshots(self._gauge(2, 200.0), self._gauge(1, 100.0))
+        assert merged["series"]["memory.used"]["value"] == 2
+
+    def test_tie_resolved_toward_right_operand(self):
+        merged = merge_snapshots(self._gauge(1, 100.0), self._gauge(2, 100.0))
+        assert merged["series"]["memory.used"]["value"] == 2
+
+
+class TestMergeErrors:
+    def test_kind_mismatch_raises(self):
+        a = {"v": 1, "series": {"x.y": {"kind": "counter", "value": 1}}}
+        b = {
+            "v": 1,
+            "series": {
+                "x.y": {"kind": "gauge", "value": 1, "updated_unix": 0.0}
+            },
+        }
+        with pytest.raises(TelemetryError):
+            merge_snapshots(a, b)
+
+    def test_histogram_bounds_mismatch_raises(self):
+        a = {"v": 1, "series": {"h.s": _histogram_entry([1])}}
+        b = {"v": 1, "series": {"h.s": _histogram_entry([1])}}
+        b["series"]["h.s"]["bounds"] = [1.0, 2.0, 3.0]
+        with pytest.raises(TelemetryError):
+            merge_snapshots(a, b)
+
+    def test_unknown_kind_raises(self):
+        a = {"v": 1, "series": {"x.y": {"kind": "sketch", "value": 1}}}
+        with pytest.raises(TelemetryError):
+            merge_snapshots(a, a)
+
+    def test_wrong_version_raises(self):
+        with pytest.raises(TelemetryError):
+            merge_snapshots({"v": 99, "series": {}}, {"v": 1, "series": {}})
+
+    def test_missing_series_raises(self):
+        with pytest.raises(TelemetryError):
+            merge_snapshots({"v": 1}, {"v": 1, "series": {}})
+
+
+class TestSplitKey:
+    def test_plain_name(self):
+        assert split_key("machine.cpu.refs") == ("machine.cpu.refs", {})
+
+    def test_labeled_name(self):
+        assert split_key("tapeworm.misses{component=kernel,kind=read}") == (
+            "tapeworm.misses",
+            {"component": "kernel", "kind": "read"},
+        )
+
+    @pytest.mark.parametrize("key", ["a{b=c", "a{bc}"])
+    def test_malformed_key_raises(self, key):
+        with pytest.raises(TelemetryError):
+            split_key(key)
+
+
+class TestExportFold:
+    def test_fold_matches_a_single_shared_registry(self):
+        """Two worker registries folded == one registry fed everything."""
+        shared = MetricsRegistry()
+        worker_a = MetricsRegistry()
+        worker_b = MetricsRegistry()
+        for registry, values in (
+            (worker_a, (0.5, 2.0)),
+            (worker_b, (7.0, 0.1, 30.0)),
+        ):
+            for value in values:
+                registry.counter("jobs.done").inc()
+                registry.histogram(
+                    "latency.secs", bounds=_BOUNDS
+                ).observe(value)
+                shared.counter("jobs.done").inc()
+                shared.histogram("latency.secs", bounds=_BOUNDS).observe(value)
+
+        master = MetricsRegistry()
+        for worker in (worker_a, worker_b):
+            fold_into(master, export_metrics(worker), prefix="farm.worker")
+
+        got = master.snapshot()
+        want = shared.snapshot()
+        assert got["farm.worker.jobs.done"] == want["jobs.done"]
+        assert got["farm.worker.latency.secs"] == want["latency.secs"]
+
+    def test_fold_preserves_labels(self):
+        worker = MetricsRegistry()
+        worker.counter("traps.seen", kind="ecc_error").inc(3)
+        master = MetricsRegistry()
+        merged, dropped = fold_into(master, export_metrics(worker))
+        assert (merged, dropped) == (1, 0)
+        assert (
+            master.snapshot()["farm.worker.traps.seen{kind=ecc_error}"] == 3
+        )
+
+    def test_fold_gauge_respects_timestamps(self):
+        stale = {
+            "v": 1,
+            "series": {
+                "memory.used": {
+                    "kind": "gauge", "value": 5, "updated_unix": 50.0,
+                }
+            },
+        }
+        master = MetricsRegistry()
+        fold_into(master, stale)
+        gauge = master.gauge("farm.worker.memory.used")
+        assert gauge.value == 5 and gauge.updated_unix == 50.0
+        older = {
+            "v": 1,
+            "series": {
+                "memory.used": {
+                    "kind": "gauge", "value": 1, "updated_unix": 10.0,
+                }
+            },
+        }
+        fold_into(master, older)
+        assert gauge.value == 5  # the stale write lost
+
+    def test_cardinality_cap_is_deterministic_and_counted(self):
+        worker = MetricsRegistry()
+        for i in range(6):
+            worker.counter(f"series_{i:02d}.value").inc(i)
+        master = MetricsRegistry()
+        merged, dropped = fold_into(
+            master, export_metrics(worker), max_series=4
+        )
+        assert (merged, dropped) == (4, 2)
+        kept = [key for key in master.snapshot() if "series_" in key]
+        # sorted key order: the *first* four survive, every time
+        assert kept == [
+            f"farm.worker.series_{i:02d}.value" for i in range(4)
+        ]
+        assert MAX_WORKER_SERIES >= 4  # default cap is far above the test's
+
+    def test_fold_rejects_kind_conflict_with_live_registry(self):
+        master = MetricsRegistry()
+        master.counter("farm.worker.memory.used")
+        snapshot = {
+            "v": 1,
+            "series": {
+                "memory.used": {
+                    "kind": "gauge", "value": 5, "updated_unix": 1.0,
+                }
+            },
+        }
+        with pytest.raises(TelemetryError):
+            fold_into(master, snapshot)

@@ -151,6 +151,7 @@ class TestChromeTrace:
         assert payload["otherData"] == {
             "recorded": 3,
             "dropped": 0,
+            "dropped_events": 0,
             "capacity": 16,
         }
 

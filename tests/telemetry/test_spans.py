@@ -1,0 +1,273 @@
+"""Span tracing: nesting, bounded capacity, serialization, Chrome merge.
+
+The span layer is the cross-process half of the observability story:
+workers serialize spans into the job-result envelope and the master
+re-hydrates them into per-worker Chrome lanes.  These tests pin the
+parts that must survive a process boundary — ids, parent links, the
+serialized record layout — and the merge semantics of the trace files.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.events import FARM_PID
+from repro.telemetry.session import (
+    TelemetrySession,
+    activate,
+    active,
+    deactivate,
+)
+from repro.telemetry.spans import (
+    WORKER_PID,
+    SpanRecorder,
+    chrome_span_events,
+    merge_chrome_traces,
+    merged_chrome_trace,
+    new_run_id,
+    span,
+    span_from_dict,
+    spans_from_dicts,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    assert active() is None, "a telemetry session leaked into this test"
+    yield
+    if active() is not None:  # pragma: no cover - cleanup on test failure
+        deactivate()
+
+
+class TestSpanRecorder:
+    def test_nesting_assigns_parent_ids(self):
+        recorder = SpanRecorder()
+        with recorder.span("batch") as batch:
+            with recorder.span("job") as job:
+                with recorder.span("measure") as measure:
+                    pass
+            with recorder.span("cache_write") as write:
+                pass
+        assert batch.parent_id is None
+        assert job.parent_id == batch.span_id
+        assert measure.parent_id == job.span_id
+        assert write.parent_id == batch.span_id
+        assert len(recorder) == 4
+
+    def test_sibling_spans_do_not_parent_each_other(self):
+        recorder = SpanRecorder()
+        with recorder.span("first"):
+            pass
+        with recorder.span("second") as second:
+            pass
+        assert second.parent_id is None
+
+    def test_durations_are_positive_and_start_monotone(self):
+        recorder = SpanRecorder()
+        with recorder.span("a"):
+            pass
+        with recorder.span("b"):
+            pass
+        a, b = recorder.spans
+        assert a.dur_us >= 0.0 and b.dur_us >= 0.0
+        assert b.start_us >= a.start_us
+
+    def test_capacity_drops_latest_deepest_roots_survive(self):
+        recorder = SpanRecorder(capacity=2)
+        with recorder.span("root") as root:
+            with recorder.span("child") as child:
+                with recorder.span("grandchild") as grandchild:
+                    pass
+            with recorder.span("second_child") as second:
+                pass
+        # slots claimed on entry: root and child got in, the rest dropped
+        assert root is not None and child is not None
+        assert grandchild is None and second is None
+        assert [s.name for s in recorder.spans] == ["root", "child"]
+        assert recorder.dropped == 2
+
+    def test_dropped_span_does_not_corrupt_parent_stack(self):
+        recorder = SpanRecorder(capacity=1)
+        with recorder.span("root") as root:
+            with recorder.span("dropped") as nothing:
+                pass
+        assert nothing is None
+        # the drop never pushed onto the stack, so closing "root" still
+        # balances and a later recorder use is sane
+        assert root.dur_us >= 0.0
+        assert recorder._stack == []
+
+    def test_args_are_recorded(self):
+        recorder = SpanRecorder()
+        with recorder.span("job", job_key="abc123", seed=7) as record:
+            pass
+        assert record.args == {"job_key": "abc123", "seed": 7}
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(TelemetryError):
+            SpanRecorder(capacity=0)
+
+
+class TestSerialization:
+    def _record_two(self):
+        recorder = SpanRecorder()
+        with recorder.span("worker.job", run_id="r1", job_key="k1"):
+            with recorder.span("measure"):
+                pass
+        return recorder
+
+    def test_round_trip_preserves_ids_and_parents(self):
+        recorder = self._record_two()
+        hydrated = spans_from_dicts(recorder.to_dicts())
+        assert [s.name for s in hydrated] == ["worker.job", "measure"]
+        outer, inner = hydrated
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert outer.args == {"run_id": "r1", "job_key": "k1"}
+        assert inner.args is None
+
+    def test_round_trip_is_json_safe(self):
+        import json
+
+        recorder = self._record_two()
+        wire = json.loads(json.dumps(recorder.to_dicts()))
+        hydrated = spans_from_dicts(wire)
+        assert hydrated[1].parent_id == hydrated[0].span_id
+
+    @pytest.mark.parametrize(
+        "record",
+        [
+            {},
+            {"name": "x"},
+            {"name": "x", "id": "not-a-number", "parent": None,
+             "start_us": 0.0, "dur_us": 0.0},
+            {"name": "x", "id": 1, "parent": None, "start_us": "soon",
+             "dur_us": 0.0},
+        ],
+    )
+    def test_malformed_record_raises(self, record):
+        with pytest.raises(TelemetryError):
+            span_from_dict(record)
+
+
+class TestModuleLevelSpan:
+    def test_noop_without_session(self):
+        with span("anything") as record:
+            assert record is None
+
+    def test_records_on_active_session(self):
+        session = activate(TelemetrySession())
+        try:
+            with span("farm.batch", jobs=3) as record:
+                pass
+        finally:
+            deactivate()
+        assert record is not None
+        assert [s.name for s in session.spans.spans] == ["farm.batch"]
+        assert session.spans.spans[0].args == {"jobs": 3}
+
+
+class TestChromeRendering:
+    def test_span_events_carry_lane_and_correlation(self):
+        recorder = SpanRecorder()
+        with recorder.span("job", job_key="k"):
+            pass
+        (event,) = chrome_span_events(
+            recorder.spans, pid=WORKER_PID, tid=2, shift_us=100.0, run_id="r"
+        )
+        assert event["ph"] == "X" and event["cat"] == "span"
+        assert event["pid"] == WORKER_PID and event["tid"] == 2
+        assert event["ts"] == pytest.approx(
+            recorder.spans[0].start_us + 100.0
+        )
+        assert event["dur"] >= 0.001  # zero-length spans stay visible
+        assert event["args"]["run_id"] == "r"
+        assert event["args"]["job_key"] == "k"
+        assert event["args"]["span_id"] == recorder.spans[0].span_id
+
+    def test_merged_trace_has_master_and_worker_lanes(self):
+        session = TelemetrySession()
+        with session.spans.span("farm.batch"):
+            pass
+        envelope = {
+            "v": 1,
+            "worker_pid": 4242,
+            "run_id": session.run_id,
+            "job_key": "k",
+            "spans": [
+                {"name": "worker.job", "id": 1, "parent": None,
+                 "start_us": 0.0, "dur_us": 5.0},
+            ],
+            "spans_dropped": 0,
+            "metrics": {"v": 1, "series": {}},
+        }
+        session.absorb_worker_envelope(envelope, shift_us=250.0)
+        trace = merged_chrome_trace(session)
+        events = trace["traceEvents"]
+
+        master = [
+            e for e in events
+            if e.get("pid") == FARM_PID and e.get("cat") == "span"
+        ]
+        assert [e["name"] for e in master] == ["farm.batch"]
+
+        worker = [
+            e for e in events
+            if e.get("pid") == WORKER_PID and e.get("ph") == "X"
+        ]
+        (job_event,) = worker
+        assert job_event["ts"] == pytest.approx(250.0)
+        assert job_event["args"]["run_id"] == session.run_id
+        assert job_event["args"]["worker"] == 4242
+
+        names = [
+            e["args"]["name"] for e in events
+            if e.get("ph") == "M" and e.get("pid") == WORKER_PID
+        ]
+        assert "farm workers" in names
+        assert "worker 4242" in names
+
+        other = trace["otherData"]
+        assert other["run_id"] == session.run_id
+        assert other["spans"] == 1
+        assert other["worker_lanes"] == 1
+
+    def test_run_ids_are_fresh(self):
+        assert new_run_id() != new_run_id()
+        assert len(new_run_id()) == 12
+
+
+class TestMergeChromeTraces:
+    def _trace(self, pid, name):
+        return {
+            "traceEvents": [
+                {"name": name, "ph": "X", "pid": pid, "tid": 1,
+                 "ts": 0.0, "dur": 1.0},
+            ],
+            "otherData": {"run_id": name},
+        }
+
+    def test_pids_remapped_into_disjoint_blocks(self):
+        merged = merge_chrome_traces(
+            [self._trace(1, "first"), self._trace(1, "second")]
+        )
+        pids = [e["pid"] for e in merged["traceEvents"]]
+        assert pids == [1, 101]
+        assert merged["otherData"]["inputs"] == 2
+        assert [o["run_id"] for o in merged["otherData"]["merged"]] == [
+            "first", "second",
+        ]
+
+    def test_inputs_not_mutated(self):
+        payload = self._trace(2, "only")
+        merge_chrome_traces([payload, payload])
+        assert payload["traceEvents"][0]["pid"] == 2
+
+    def test_not_a_trace_raises(self):
+        with pytest.raises(TelemetryError):
+            merge_chrome_traces([{"otherData": {}}])
+
+    def test_malformed_event_raises(self):
+        with pytest.raises(TelemetryError):
+            merge_chrome_traces([{"traceEvents": [{"name": "no pid"}]}])

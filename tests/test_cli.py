@@ -342,3 +342,159 @@ class TestChaosCommands:
         ])
         assert code == 1
         assert "unknown fault kind" in capsys.readouterr().err
+
+
+class TestObservabilityCommands:
+    """The PR 7 surfaces: farm stats --json, trace merge, telemetry
+    top, --profile, and the merged distributed trace."""
+
+    RUN = [
+        "run", "--workload", "espresso", "--cache-size", "2K",
+        "--refs", "20000", "--simulate", "user",
+    ]
+
+    def test_farm_stats_json_on_empty_cache(self, capsys):
+        assert main(["farm", "stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stored_results"] == 0
+        assert payload["per_measure"] == {}
+        for key in ("runs", "jobs", "cache_hits", "executed"):
+            assert key in payload
+
+    def test_farm_stats_json_counts_stored_results(self, capsys):
+        assert main(
+            [
+                "reproduce", "table7", "--budget", "tiny", "--jobs", "2",
+                "--no-manifest",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["farm", "stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stored_results"] > 0
+        assert "table7.measure" in payload["per_measure"]
+
+    def test_profile_flag_emits_profile_series(self, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            self.RUN + ["--profile", "--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        snapshot = json.loads(metrics_path.read_text())
+        assert any(key.startswith("profile.") for key in snapshot)
+
+    def test_no_profile_flag_emits_no_profile_series(self, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(self.RUN + ["--metrics-out", str(metrics_path)]) == 0
+        snapshot = json.loads(metrics_path.read_text())
+        assert not any(key.startswith("profile.") for key in snapshot)
+
+    def test_trace_out_carries_span_metadata(self, tmp_path):
+        trace_path = tmp_path / "t.json"
+        assert main(self.RUN + ["--trace-out", str(trace_path)]) == 0
+        other = json.loads(trace_path.read_text())["otherData"]
+        for key in ("run_id", "spans", "spans_dropped", "worker_lanes"):
+            assert key in other
+
+    def test_trace_merge_remaps_pids(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(self.RUN + ["--trace-out", str(first)]) == 0
+        assert main(self.RUN + ["--trace-out", str(second)]) == 0
+        merged_path = tmp_path / "merged.json"
+        capsys.readouterr()
+        code = main(
+            ["trace", "merge", str(first), str(second),
+             "--out", str(merged_path)]
+        )
+        assert code == 0
+        merged = json.loads(merged_path.read_text())
+        assert merged["otherData"]["inputs"] == 2
+        pids = {e["pid"] for e in merged["traceEvents"]}
+        assert any(pid >= 100 for pid in pids)  # input 1's block
+        assert len(merged["otherData"]["merged"]) == 2
+
+    def test_trace_merge_to_stdout(self, tmp_path, capsys):
+        trace_path = tmp_path / "a.json"
+        assert main(self.RUN + ["--trace-out", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "merge", str(trace_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["otherData"]["inputs"] == 1
+
+    def test_trace_merge_missing_input_exits_two(self, capsys):
+        assert main(["trace", "merge", "no-such-trace.json"]) == 2
+        assert "no-such-trace.json" in capsys.readouterr().err
+
+    def test_trace_without_subcommand_still_runs_a_trace(self, capsys):
+        assert main(["trace", "--workload", "espresso", "--refs", "20000"]) == 0
+        assert "miss ratio" in capsys.readouterr().out
+
+    def test_telemetry_top_from_metrics_file(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(self.RUN + ["--metrics-out", str(metrics_path)]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "top", "--metrics", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Top metric series" in out
+        assert "machine.cpu.refs" in out
+
+    def test_telemetry_top_prefix_and_json(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(self.RUN + ["--metrics-out", str(metrics_path)]) == 0
+        capsys.readouterr()
+        code = main(
+            ["telemetry", "top", "--metrics", str(metrics_path),
+             "--prefix", "machine.", "--json", "-n", "3"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload
+        assert len(payload) <= 3
+        assert all(key.startswith("machine.") for key in payload)
+
+    def test_telemetry_top_from_latest_manifest(self, capsys):
+        assert main(self.RUN) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "top"]) == 0
+        assert "Top metric series" in capsys.readouterr().out
+
+    def test_telemetry_top_missing_snapshot_exits_two(self, capsys):
+        assert main(["telemetry", "top", "--metrics", "nope.json"]) == 2
+
+    def test_distributed_run_merges_worker_lanes(self, tmp_path, capsys):
+        """The PR acceptance path: a farmed, profiled reproduction
+        exports ONE Chrome trace holding the master's lanes plus one
+        lane per worker, and the master's metrics hold the workers'."""
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        code = main(
+            [
+                "reproduce", "table7", "--budget", "tiny", "--jobs", "2",
+                "--profile", "--no-manifest",
+                "--trace-out", str(trace_path),
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0, capsys.readouterr().err
+        trace = json.loads(trace_path.read_text())
+        other = trace["otherData"]
+        if other["worker_lanes"] == 0:  # pragma: no cover - restricted env
+            import pytest
+
+            pytest.skip("no process pool available")
+        assert other["worker_lanes"] >= 2
+        worker_jobs = [
+            e for e in trace["traceEvents"]
+            if e.get("name") == "worker.job" and e.get("ph") == "X"
+        ]
+        assert worker_jobs
+        assert all(
+            e["args"]["run_id"] == other["run_id"] for e in worker_jobs
+        )
+        metrics = json.loads(metrics_path.read_text())
+        assert any(k.startswith("farm.worker.") for k in metrics)
+        assert any(
+            k.startswith(("profile.", "farm.worker.profile."))
+            for k in metrics
+        )

@@ -1,0 +1,257 @@
+"""The perf-trend watchdog: normalization, gating, the CI contract.
+
+``benchmarks/trend.py`` is the regression gate CI runs over the
+committed ``BENCH_*.json`` envelopes; these tests pin its envelope
+tolerance (schema-1 and bare lists), its group identity (suite, record,
+budget, metric — so tiny-budget CI runs never face quick-budget
+baselines) and the exit codes automation depends on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks import trend
+
+
+def _envelope(suite, budget, records):
+    return {"schema": 1, "suite": suite, "budget": budget, "records": records}
+
+
+def _record(name, created, **results):
+    return {
+        "name": name,
+        "created_unix": created,
+        "wall_clock_secs": 0.25,
+        "results": results,
+        "metrics": {},
+    }
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestLoadEnvelope:
+    def test_schema_envelope(self, tmp_path):
+        path = _write(
+            tmp_path / "BENCH_X.json",
+            _envelope("BENCH_X", "quick", [_record("a", 1, speedup=2.0)]),
+        )
+        envelope = trend.load_envelope(path)
+        assert envelope["suite"] == "BENCH_X"
+        assert envelope["budget"] == "quick"
+        assert len(envelope["records"]) == 1
+
+    def test_bare_record_list_normalizes(self, tmp_path):
+        path = _write(
+            tmp_path / "BENCH_BARE.json", [_record("a", 1, speedup=2.0)]
+        )
+        envelope = trend.load_envelope(path)
+        assert envelope["suite"] == "BENCH_BARE"
+        assert envelope["budget"] == "unknown"
+
+    @pytest.mark.parametrize(
+        "payload",
+        ["not json {", '"a string"', '{"records": []}', '{"records": [42]}'],
+    )
+    def test_bad_layouts_raise_with_filename(self, tmp_path, payload):
+        path = tmp_path / "BENCH_BAD.json"
+        path.write_text(payload)
+        with pytest.raises(ValueError, match="BENCH_BAD"):
+            trend.load_envelope(path)
+
+
+class TestFlatten:
+    def test_numeric_leaves_only(self):
+        record = {
+            "name": "a",
+            "wall_clock_secs": 1.5,
+            "results": {"speedup": 3.0, "label": "fast", "ok": True},
+            "metrics": {"machine.cpu.refs": 100},
+        }
+        assert trend.flatten_record(record) == {
+            "results.speedup": 3.0,
+            "metrics.machine.cpu.refs": 100.0,
+            "wall_clock_secs": 1.5,
+        }
+
+    def test_missing_sections_tolerated(self):
+        assert trend.flatten_record({"name": "a"}) == {}
+
+
+class TestCollect:
+    def test_groups_key_on_suite_record_budget_metric(self, tmp_path):
+        _write(
+            tmp_path / "BENCH_A.json",
+            _envelope("S", "quick", [_record("r", 10, speedup=2.0)]),
+        )
+        _write(
+            tmp_path / "BENCH_B.json",
+            _envelope("S", "quick", [_record("r", 20, speedup=3.0)]),
+        )
+        _write(
+            tmp_path / "BENCH_C.json",
+            _envelope("S", "tiny", [_record("r", 30, speedup=0.5)]),
+        )
+        groups, problems = trend.collect(sorted(tmp_path.glob("*.json")))
+        assert problems == []
+        quick = groups[("S", "r", "quick", "results.speedup")]
+        assert [s["value"] for s in quick] == [2.0, 3.0]  # created order
+        # the tiny-budget run lives in its own group — never compared
+        assert [
+            s["value"] for s in groups[("S", "r", "tiny", "results.speedup")]
+        ] == [0.5]
+
+    def test_load_problems_reported_not_fatal(self, tmp_path):
+        (tmp_path / "BENCH_BAD.json").write_text("nope")
+        _write(
+            tmp_path / "BENCH_OK.json",
+            _envelope("S", "quick", [_record("r", 1, speedup=2.0)]),
+        )
+        groups, problems = trend.collect(sorted(tmp_path.glob("*.json")))
+        assert len(groups) == 2  # speedup + wall_clock_secs
+        assert len(problems) == 1 and "BENCH_BAD" in problems[0]
+
+
+class TestCheckRegressions:
+    def _groups(self, *values):
+        snapshots = [
+            {"value": v, "created_unix": i, "source": f"f{i}"}
+            for i, v in enumerate(values)
+        ]
+        return {("S", "r", "quick", "results.speedup"): snapshots}
+
+    def test_regression_past_threshold_fails(self):
+        failures = trend.check_regressions(
+            self._groups(30.0, 10.0), ("results.speedup",), 25.0
+        )
+        (failure,) = failures
+        assert failure["best"] == 30.0 and failure["latest"] == 10.0
+        assert failure["regression_pct"] == pytest.approx(66.67, abs=0.01)
+
+    def test_within_threshold_passes(self):
+        assert not trend.check_regressions(
+            self._groups(30.0, 25.0), ("results.speedup",), 25.0
+        )
+
+    def test_improvement_passes(self):
+        assert not trend.check_regressions(
+            self._groups(10.0, 30.0), ("results.speedup",), 25.0
+        )
+
+    def test_single_snapshot_trivially_passes(self):
+        assert not trend.check_regressions(
+            self._groups(5.0), ("results.speedup",), 25.0
+        )
+
+    def test_ungated_metrics_never_fail(self):
+        groups = {
+            ("S", "r", "quick", "wall_clock_secs"): [
+                {"value": 1.0, "created_unix": 0, "source": "a"},
+                {"value": 100.0, "created_unix": 1, "source": "b"},
+            ]
+        }
+        assert not trend.check_regressions(groups, ("results.speedup",), 25.0)
+
+    def test_nonpositive_best_skipped(self):
+        assert not trend.check_regressions(
+            self._groups(0.0, -1.0), ("results.speedup",), 25.0
+        )
+
+
+class TestMain:
+    def _dir_with(self, tmp_path, *values):
+        for i, value in enumerate(values):
+            _write(
+                tmp_path / f"BENCH_{i}.json",
+                _envelope(
+                    "S", "quick", [_record("r", i, speedup=value)]
+                ),
+            )
+        return tmp_path
+
+    def test_healthy_dir_exits_zero(self, tmp_path, capsys):
+        results = self._dir_with(tmp_path, 10.0, 12.0)
+        code = trend.main(
+            ["--results-dir", str(results), "--check-regressions"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no gated regressions" in out
+        assert "results.speedup" in out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        results = self._dir_with(tmp_path, 10.0, 1.0)
+        code = trend.main(
+            ["--results-dir", str(results), "--check-regressions"]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_regression_without_check_flag_still_exits_zero(self, tmp_path):
+        results = self._dir_with(tmp_path, 10.0, 1.0)
+        assert trend.main(["--results-dir", str(results)]) == 0
+
+    def test_empty_dir_exits_two(self, tmp_path):
+        assert trend.main(["--results-dir", str(tmp_path)]) == 2
+
+    def test_unreadable_file_exits_two(self, tmp_path, capsys):
+        results = self._dir_with(tmp_path, 10.0)
+        (tmp_path / "BENCH_ROT.json").write_text("{broken")
+        code = trend.main(
+            ["--results-dir", str(results), "--check-regressions"]
+        )
+        assert code == 2
+        assert "BENCH_ROT" in capsys.readouterr().err
+
+    def test_extra_file_joins_the_comparison(self, tmp_path, capsys):
+        results = self._dir_with(tmp_path, 10.0)
+        fresh = _write(
+            tmp_path / "ci_run.json",
+            _envelope("S", "quick", [_record("r", 99, speedup=1.0)]),
+        )
+        code = trend.main(
+            [
+                "--results-dir", str(results), "--check-regressions",
+                str(fresh),
+            ]
+        )
+        assert code == 1
+        assert "ci_run.json" in capsys.readouterr().out
+
+    def test_custom_threshold_and_gate(self, tmp_path):
+        results = self._dir_with(tmp_path, 10.0, 8.9)  # 11% off best
+        assert trend.main(
+            [
+                "--results-dir", str(results), "--check-regressions",
+                "--threshold", "10",
+            ]
+        ) == 1
+        # gate wall-clock instead: speedup regression no longer matters
+        assert trend.main(
+            [
+                "--results-dir", str(results), "--check-regressions",
+                "--gate", "metrics.none",
+            ]
+        ) == 0
+
+    def test_json_output_is_machine_readable(self, tmp_path, capsys):
+        results = self._dir_with(tmp_path, 10.0, 1.0)
+        code = trend.main(
+            ["--results-dir", str(results), "--check-regressions", "--json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["threshold_pct"] == 25.0
+        assert len(payload["failures"]) == 1
+        gated = [g for g in payload["groups"] if g["gated"]]
+        assert gated and gated[0]["metric"] == "results.speedup"
+
+    def test_committed_baselines_pass_the_gate(self, capsys):
+        """The CI invocation, verbatim, over the repo's own history."""
+        assert trend.main(["--check-regressions"]) == 0
+        assert "no gated regressions" in capsys.readouterr().out
