@@ -1,0 +1,534 @@
+"""Kernel-pipeline microbenchmarks: ``python -m benchmarks.perf.pipeline``.
+
+The PR-8 pass pipeline compiles one specialized chunk kernel per
+configuration and hands simulators a closure with zero per-chunk
+dispatch.  These benchmarks time that against faithful replicas of the
+*old* inline-branching paths (the per-chunk ``_vectorized`` test,
+``_space_of`` call, ``phase()`` session probe and modulo indexing the
+pipeline compiled away):
+
+* **pipeline-dispatch-dm** — the headline number: a repeated-small-
+  chunk stream (48-reference chunks, where per-chunk dispatch is the
+  largest cost fraction) through the compiled direct-mapped kernel
+  versus the legacy dispatch.  Miss counts are asserted equal; CI
+  gates on 1.3x at the quick budget.
+* **pipeline-dispatch-2way** — the same stream through the grouped-set
+  kernel at 2-way LRU.
+* **pipeline-dispatch-tlb** — the compiled TLB chunk path versus the
+  legacy inline ``supports_policy`` branch.
+* **pipeline-compile-and-lookup** — the registry's two costs: cold
+  compiles across a config grid, then pure cache-hit lookups.
+* **pipeline-table7-e2e** — one end-to-end Table 7 measurement through
+  the rewired trap-driven engine, so the envelope records the absolute
+  wall clock the pipeline must not regress.
+
+Each timed comparison takes the best of three interleaved repetitions
+(fresh state per repetition), which suppresses scheduler noise without
+changing what is measured.  Results are emitted as ``BENCH_PR8.json``
+— the same schema-versioned envelope as ``BENCH_PR3.json`` — and the
+trend watchdog (``benchmarks/trend.py``) gates every ``results.
+speedup`` group against its best committed snapshot.  Run with::
+
+    PYTHONPATH=src python -m benchmarks.perf.pipeline --budget quick \\
+        --check-speedup 1.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from benchmarks.perf import (
+    BENCH_REFS,
+    _code_stream,
+    _record,
+    _timed,
+    speedup_of,
+    write_bench,
+)
+from repro._types import Component, Indexing
+from repro.caches.cache import SetAssociativeCache
+from repro.caches.config import CacheConfig, TLBConfig
+from repro.caches.kernels import (
+    GroupedSetKernel,
+    collapse_consecutive,
+    grouped_stack_pass,
+    supports_policy,
+)
+from repro.caches.pipeline import KernelRegistry, cache_request, tlb_request
+from repro.caches.replacement import LRUPolicy, make_policy
+from repro.caches.stats import CacheStats
+from repro.caches.tlb import SimulatedTLB
+from repro.errors import ConfigError
+from repro.telemetry.profile import phase
+from repro.tracing.cache2000 import (
+    CACHE2000_CYCLES_PER_HIT,
+    CACHE2000_MISS_PREMIUM_CYCLES,
+    Cache2000,
+)
+
+#: where the envelope lands (next to BENCH_PR3.json)
+DEFAULT_BENCH_PATH = (
+    Path(__file__).parent.parent / "results" / "BENCH_PR8.json"
+)
+
+#: the repeated-small-chunk shape: small enough that per-chunk dispatch
+#: is a large cost fraction, large enough that the kernels still do
+#: real vector work per call
+REPEAT_CHUNK_REFS = 48
+
+#: interleaved repetitions per timed side; the best is reported
+_REPEATS = 3
+
+_SEED = 1994
+_MAX_SPACES = 4096
+
+
+# ---------------------------------------------------------------------------
+# faithful replicas of the pre-pipeline inline dispatch
+# ---------------------------------------------------------------------------
+
+class _LegacyCache2000:
+    """The old Cache2000 hot path, branch for branch.
+
+    Per chunk: the ``_vectorized`` test, the ``_space_of`` range check
+    and indexing-mode branch, the kernel's ``phase()`` session probe
+    and modulo set indexing, then the same stats bookkeeping the
+    current class performs — everything the pass pipeline now resolves
+    at compile time, kept verbatim so the comparison is dispatch
+    against dispatch.
+    """
+
+    def __init__(self, config, policy=None, force_general_path=False):
+        self.config = config
+        self.policy = policy or LRUPolicy()
+        self.stats = CacheStats()
+        self.processing_cycles = 0
+        self.fastpath_chunks = 0
+        self.general_chunks = 0
+        self._vectorized = not force_general_path and (
+            config.associativity == 1 or supports_policy(self.policy)
+        )
+        if self._vectorized:
+            policy_name = getattr(self.policy, "name", "lru")
+            if config.associativity == 1:
+                policy_name = "lru"
+            self._kernel = GroupedSetKernel(config, policy_name)
+            self._cache = None
+        else:
+            self._kernel = None
+            self._cache = SetAssociativeCache(config, self.policy)
+
+    def _space_of(self, tid: int) -> int:
+        if not 0 <= tid < _MAX_SPACES:
+            raise ConfigError(
+                f"tid {tid} outside the fast path's space range"
+            )
+        return tid if self.config.indexing is Indexing.VIRTUAL else 0
+
+    def simulate_chunk(self, addresses, tid=0, component=Component.USER):
+        n = len(addresses)
+        if n == 0:
+            return 0
+        if self._vectorized:
+            misses = self._kernel.simulate_chunk(
+                addresses, space=self._space_of(tid)
+            )
+            self.fastpath_chunks += 1
+        else:
+            misses = 0
+            cache = self._cache
+            for addr in np.asarray(addresses, dtype=np.int64).tolist():
+                hit, _ = cache.access(tid, addr)
+                if not hit:
+                    misses += 1
+            self.general_chunks += 1
+        self.stats.count_refs(component, n)
+        self.stats.count_miss(component, misses)
+        self.processing_cycles += (
+            n * CACHE2000_CYCLES_PER_HIT
+            + misses * CACHE2000_MISS_PREMIUM_CYCLES
+        )
+        return misses
+
+
+class _LegacyTLB(SimulatedTLB):
+    """The old ``access_chunk``: per-chunk policy branch, ``phase()``
+    probe, ``//`` and ``%`` indexing."""
+
+    def access_chunk(self, tid: int, vpns) -> int:
+        vpns = np.asarray(vpns, dtype=np.int64)
+        n = len(vpns)
+        if n == 0:
+            return 0
+        if not supports_policy(self.policy):
+            misses = 0
+            for vpn in vpns.tolist():
+                hit, _ = self.access(tid, int(vpn))
+                misses += not hit
+            return misses
+        with phase("kernels.tlb_chunk"):
+            superpages = vpns // self.config.pages_per_entry
+            sets = superpages % self.config.n_sets
+            order = np.argsort(sets, kind="stable")
+            sets_sorted = sets[order]
+            superpages_sorted = superpages[order]
+            keep = collapse_consecutive(sets_sorted, superpages_sorted)
+            misses = grouped_stack_pass(
+                self._sets,
+                self.config.effective_associativity,
+                isinstance(self.policy, LRUPolicy),
+                sets_sorted[keep].tolist(),
+                [(tid, sp) for sp in superpages_sorted[keep].tolist()],
+            )
+        self.searches += n
+        self.insertions += misses
+        return misses
+
+
+# ---------------------------------------------------------------------------
+# timing helpers
+# ---------------------------------------------------------------------------
+
+def _best_of(make_drive: Callable[[], Callable[[], int]]) -> tuple[int, float]:
+    """Best wall clock over ``_REPEATS`` runs, fresh state each time."""
+    best = float("inf")
+    value = None
+    for _ in range(_REPEATS):
+        drive = make_drive()
+        start = time.perf_counter()
+        value = drive()
+        best = min(best, time.perf_counter() - start)
+    return value, best
+
+
+def _chunked(stream: np.ndarray, chunk_refs: int) -> list[np.ndarray]:
+    return [
+        stream[start : start + chunk_refs]
+        for start in range(0, len(stream), chunk_refs)
+    ]
+
+
+def _dispatch_record(
+    name: str,
+    config,
+    configuration: str,
+    refs: int,
+    chunks: int,
+    misses: int,
+    new_secs: float,
+    old_secs: float,
+) -> dict:
+    return _record(
+        name=name,
+        configuration=configuration,
+        config=config,
+        wall=new_secs + old_secs,
+        metrics={
+            "pipeline_chunks_per_sec": round(chunks / max(new_secs, 1e-9)),
+            "legacy_chunks_per_sec": round(chunks / max(old_secs, 1e-9)),
+        },
+        results={
+            "refs": refs,
+            "chunk_refs": REPEAT_CHUNK_REFS,
+            "chunks": chunks,
+            "misses": misses,
+            "pipeline_secs": round(new_secs, 6),
+            "legacy_secs": round(old_secs, 6),
+            "speedup": round(old_secs / max(new_secs, 1e-9), 2),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# 1-2. repeated-small-chunk dispatch: compiled kernel vs legacy branch
+# ---------------------------------------------------------------------------
+
+def bench_dispatch_cache(budget: str) -> list[dict]:
+    stream = _code_stream(BENCH_REFS[budget], np.random.default_rng(_SEED))
+    chunks = _chunked(stream, REPEAT_CHUNK_REFS)
+    records = []
+    for name, associativity in (
+        ("pipeline-dispatch-dm", 1),
+        ("pipeline-dispatch-2way", 2),
+    ):
+        config = CacheConfig(
+            size_bytes=8192, line_bytes=16, associativity=associativity
+        )
+
+        def _pipeline_drive(config=config):
+            sim = Cache2000(config, policy=make_policy("lru"))
+
+            def drive() -> int:
+                total = 0
+                for chunk in chunks:
+                    total += sim.simulate_chunk(chunk, tid=1)
+                return total
+
+            return drive
+
+        def _legacy_drive(config=config):
+            sim = _LegacyCache2000(config, policy=make_policy("lru"))
+
+            def drive() -> int:
+                total = 0
+                for chunk in chunks:
+                    total += sim.simulate_chunk(chunk, tid=1)
+                return total
+
+            return drive
+
+        new_misses, new_secs = _best_of(_pipeline_drive)
+        old_misses, old_secs = _best_of(_legacy_drive)
+        assert new_misses == old_misses, (
+            f"{name}: paths diverged ({new_misses} != {old_misses})"
+        )
+        records.append(
+            _dispatch_record(
+                name,
+                config,
+                f"{config.describe()}, {REPEAT_CHUNK_REFS}-ref chunks",
+                len(stream),
+                len(chunks),
+                new_misses,
+                new_secs,
+                old_secs,
+            )
+        )
+    return records
+
+
+# ---------------------------------------------------------------------------
+# 3. the TLB chunk path
+# ---------------------------------------------------------------------------
+
+def bench_dispatch_tlb(budget: str) -> dict:
+    n = BENCH_REFS[budget]
+    rng = np.random.default_rng(_SEED)
+    # page-granule stream with page-level locality (as in bench_tlb)
+    pages = []
+    total = 0
+    page = 0
+    while total < n:
+        repeat = int(rng.integers(8, 96))
+        pages.append((page, repeat))
+        total += repeat
+        if rng.random() < 0.85:
+            page = max(0, page + int(rng.integers(-2, 4)))
+        else:
+            page = int(rng.integers(0, 4096))
+    vpns = np.repeat(
+        np.array([p for p, _ in pages], dtype=np.int64),
+        np.array([r for _, r in pages]),
+    )[:n]
+    chunks = _chunked(vpns, REPEAT_CHUNK_REFS)
+    config = TLBConfig(n_entries=64)
+
+    def _pipeline_drive():
+        tlb = SimulatedTLB(config, make_policy("lru"))
+
+        def drive() -> int:
+            total = 0
+            for chunk in chunks:
+                total += tlb.access_chunk(0, chunk)
+            return total
+
+        return drive
+
+    def _legacy_drive():
+        tlb = _LegacyTLB(config, make_policy("lru"))
+
+        def drive() -> int:
+            total = 0
+            for chunk in chunks:
+                total += tlb.access_chunk(0, chunk)
+            return total
+
+        return drive
+
+    new_misses, new_secs = _best_of(_pipeline_drive)
+    old_misses, old_secs = _best_of(_legacy_drive)
+    assert new_misses == old_misses
+    return _dispatch_record(
+        "pipeline-dispatch-tlb",
+        config,
+        f"{config.describe()}, {REPEAT_CHUNK_REFS}-ref chunks",
+        n,
+        len(chunks),
+        new_misses,
+        new_secs,
+        old_secs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# 4. registry costs: cold compiles vs cache-hit lookups
+# ---------------------------------------------------------------------------
+
+def bench_compile_and_lookup(budget: str) -> dict:
+    """Compile a config grid cold, then hammer the registry with hits.
+
+    No speedup gate here — compiles and lookups are different
+    operations; the record pins both absolute costs so the trend table
+    shows either one rotting.
+    """
+    requests = [
+        cache_request(
+            CacheConfig(
+                size_bytes=size,
+                line_bytes=16,
+                associativity=associativity,
+                indexing=indexing,
+            ),
+            make_policy(policy),
+        )
+        for size in (4096, 8192, 16384)
+        for associativity in (1, 2, 4)
+        for policy in ("lru", "fifo", "random")
+        for indexing in (Indexing.PHYSICAL, Indexing.VIRTUAL)
+    ] + [tlb_request(TLBConfig(n_entries=entries)) for entries in (16, 64)]
+
+    registry = KernelRegistry()
+    _, compile_secs = _timed(
+        lambda: [registry.get(request) for request in requests]
+    )
+    lookups = 20_000
+    _, lookup_secs = _timed(
+        lambda: [
+            registry.get(requests[i % len(requests)])
+            for i in range(lookups)
+        ]
+    )
+    counters = registry.counters()
+    assert counters["compiles"] == len(requests)
+    assert counters["lookup_hits"] == lookups
+    return _record(
+        name="pipeline-compile-and-lookup",
+        configuration=f"{len(requests)}-config grid",
+        config={"configs": len(requests), "lookups": lookups},
+        wall=compile_secs + lookup_secs,
+        metrics={
+            "compiles_per_sec": round(
+                len(requests) / max(compile_secs, 1e-9)
+            ),
+            "lookups_per_sec": round(lookups / max(lookup_secs, 1e-9)),
+        },
+        results={
+            "configs": len(requests),
+            "compile_secs": round(compile_secs, 6),
+            "lookups": lookups,
+            "lookup_secs": round(lookup_secs, 6),
+            "compile_micros_per_config": round(
+                compile_secs / len(requests) * 1e6, 2
+            ),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# 5. end-to-end: Table 7 through the rewired trap-driven engine
+# ---------------------------------------------------------------------------
+
+def bench_table7(budget: str) -> dict:
+    """One Table 7 measurement end to end (chunk engine, scan kernels,
+    TLB/cache structures all running pipeline-compiled programs)."""
+    from repro.experiments.table7 import run_table7
+
+    n_trials = 2 if budget in ("tiny", "smoke") else 4
+    workloads = ("espresso",) if budget == "tiny" else ("espresso", "xlisp")
+    result, wall = _timed(
+        lambda: run_table7(
+            budget=budget, n_trials=n_trials, workloads=workloads
+        )
+    )
+    means = {
+        name: round(stats.mean, 2) for name, stats in result.stats.items()
+    }
+    return _record(
+        name="pipeline-table7-e2e",
+        configuration=f"table7 {budget}, {n_trials} trials, "
+        f"{len(workloads)} workload(s)",
+        config={"budget": budget, "n_trials": n_trials,
+                "workloads": list(workloads)},
+        wall=wall,
+        metrics={"trials_per_sec": round(
+            n_trials * len(workloads) / max(wall, 1e-9), 3
+        )},
+        results={"mean_misses": means, "n_trials": n_trials},
+    )
+
+
+# ---------------------------------------------------------------------------
+# the envelope
+# ---------------------------------------------------------------------------
+
+def run_all(budget: str = "tiny") -> dict:
+    if budget not in BENCH_REFS:
+        raise ValueError(
+            f"unknown budget {budget!r}; choose from {sorted(BENCH_REFS)}"
+        )
+    records = list(bench_dispatch_cache(budget))
+    records.append(bench_dispatch_tlb(budget))
+    records.append(bench_compile_and_lookup(budget))
+    records.append(bench_table7(budget))
+    return {
+        "schema": 1,
+        "suite": "BENCH_PR8",
+        "budget": budget,
+        "records": records,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.perf.pipeline",
+        description="kernel pass-pipeline microbenchmarks -> BENCH_PR8.json",
+    )
+    parser.add_argument(
+        "--budget", choices=tuple(sorted(BENCH_REFS)), default="tiny"
+    )
+    parser.add_argument(
+        "--out", default=str(DEFAULT_BENCH_PATH), help="output JSON path"
+    )
+    parser.add_argument(
+        "--check-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit nonzero unless the repeated-small-chunk DM dispatch "
+        "benchmark is at least X times faster than the legacy path",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_all(args.budget)
+    path = write_bench(payload, args.out, suite="BENCH_PR8")
+
+    print(f"budget={args.budget} -> {path}")
+    for record in payload["records"]:
+        speedup = record["results"].get("speedup")
+        extra = f"  speedup={speedup:g}x" if speedup is not None else ""
+        wall = record["wall_clock_secs"]
+        print(f"  {record['name']:<28} wall={wall:8.3f}s{extra}")
+
+    if args.check_speedup is not None:
+        achieved = speedup_of(payload, "pipeline-dispatch-dm")
+        if achieved < args.check_speedup:
+            print(
+                f"FAIL: dm dispatch speedup {achieved:g}x < "
+                f"required {args.check_speedup:g}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"dm dispatch speedup {achieved:g}x >= {args.check_speedup:g}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

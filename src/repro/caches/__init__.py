@@ -17,6 +17,17 @@ from repro.caches.replacement import (
 )
 from repro.caches.cache import SetAssociativeCache, MissOutcome
 from repro.caches.kernels import GroupedSetKernel, supports_policy
+from repro.caches.pipeline import (
+    KernelProgram,
+    KernelRegistry,
+    KernelRequest,
+    cache_request,
+    compile_kernel,
+    default_registry,
+    scan_request,
+    sweep_request,
+    tlb_request,
+)
 from repro.caches.tlb import SimulatedTLB
 from repro.caches.multilevel import SplitCache, TwoLevelCache
 from repro.caches.stack import StackSimulator
@@ -34,6 +45,15 @@ __all__ = [
     "MissOutcome",
     "GroupedSetKernel",
     "supports_policy",
+    "KernelProgram",
+    "KernelRegistry",
+    "KernelRequest",
+    "cache_request",
+    "compile_kernel",
+    "default_registry",
+    "scan_request",
+    "sweep_request",
+    "tlb_request",
     "SimulatedTLB",
     "SplitCache",
     "TwoLevelCache",

@@ -1,0 +1,74 @@
+"""Pass-pipeline kernel compilation for the chunk engine.
+
+Given a ``(geometry, policy, indexing, tracing, fault-plan, telemetry)``
+configuration, this package composes a specialized chunk-access kernel
+*once* — normalization → capability analysis → kernel selection →
+composition → rescan binding → optional profiling shims → finalize —
+caches it in a keyed registry (config fingerprint +
+:data:`KERNEL_CODE_VERSION` salt), and hands back a callable the hot
+loop invokes with zero per-chunk dispatch.
+
+``Cache2000``, ``MultiSizeDMSweep``, ``SimulatedTLB`` and the CPU chunk
+engine all request kernels here instead of branching inline; the
+capability report on each program is the single source of truth for
+which path a configuration runs and why.  See "Kernel pass pipeline" in
+docs/INTERNALS.md.
+"""
+
+from repro.caches.pipeline.capability import (
+    KERNEL_PATHS,
+    CapabilityReport,
+    analyze,
+)
+from repro.caches.pipeline.passes import (
+    PIPELINE_PASSES,
+    KernelBuild,
+    KernelPass,
+    KernelProgram,
+    run_pipeline,
+)
+from repro.caches.pipeline.registry import (
+    DEFAULT_LEDGER_DIR,
+    KernelRegistry,
+    clear_ledger,
+    compile_kernel,
+    default_registry,
+    read_ledger,
+    reset_default_registry,
+)
+from repro.caches.pipeline.request import (
+    KERNEL_CODE_VERSION,
+    KERNEL_KINDS,
+    KernelRequest,
+    cache_request,
+    fingerprint_request,
+    scan_request,
+    sweep_request,
+    tlb_request,
+)
+
+__all__ = [
+    "KERNEL_CODE_VERSION",
+    "KERNEL_KINDS",
+    "KERNEL_PATHS",
+    "DEFAULT_LEDGER_DIR",
+    "CapabilityReport",
+    "KernelBuild",
+    "KernelPass",
+    "KernelProgram",
+    "KernelRegistry",
+    "KernelRequest",
+    "PIPELINE_PASSES",
+    "analyze",
+    "cache_request",
+    "clear_ledger",
+    "compile_kernel",
+    "default_registry",
+    "fingerprint_request",
+    "read_ledger",
+    "reset_default_registry",
+    "run_pipeline",
+    "scan_request",
+    "sweep_request",
+    "tlb_request",
+]

@@ -1,0 +1,97 @@
+"""Capability analysis: which kernel may legally serve a request.
+
+The analysis pass turns a :class:`~repro.caches.pipeline.request.
+KernelRequest` into a :class:`CapabilityReport` — the *single* place
+the fast-path/general-path decision is made.  Call sites never branch
+on ``supports_policy`` or ``force_general_path`` again; they read the
+report the pipeline hands back.
+
+The rules (also documented in docs/INTERNALS.md):
+
+* **direct-mapped caches** always group: the victim is forced, the
+  replacement policy is never consulted, so even seeded-random configs
+  ride the pure-numpy ``dm_grouped_pass``;
+* **LRU/FIFO** group at any associativity — per-set state independence
+  makes the stable-sorted set-by-set replay exact (the Mattson
+  congruence-class argument);
+* **seeded-random replacement** at associativity > 1 cannot group: the
+  policy consumes one shared RNG stream in global *miss order*, which
+  grouping would permute — the request is routed to the exact
+  per-reference path with the reason recorded;
+* **force_general** pins the per-reference path for differential
+  testing, again with the reason recorded.
+
+Every report carries its ``reasons`` tuple so telemetry, the compile
+ledger and the equivalence tests can all see *why* a configuration was
+denied the fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.caches.kernels import GROUPABLE_POLICIES
+from repro.caches.pipeline.request import KernelRequest
+from repro.errors import ConfigError
+
+#: kernel implementations the selection pass can choose from
+KERNEL_PATHS = (
+    "dm",
+    "grouped",
+    "general",
+    "tlb_grouped",
+    "tlb_general",
+    "dm_sweep",
+    "scan",
+)
+
+
+@dataclass(frozen=True)
+class CapabilityReport:
+    """What the pipeline decided for one request, and why."""
+
+    selected: str
+    reasons: tuple[str, ...] = ()
+
+    @property
+    def general(self) -> bool:
+        """True when the exact per-reference path was selected."""
+        return self.selected in ("general", "tlb_general")
+
+    def describe(self) -> str:
+        if not self.reasons:
+            return self.selected
+        return f"{self.selected} ({', '.join(self.reasons)})"
+
+
+def _general_reasons(request: KernelRequest) -> tuple[str, ...]:
+    reasons = []
+    if request.force_general:
+        reasons.append("forced:request")
+    if request.policy is not None and request.policy not in GROUPABLE_POLICIES:
+        reasons.append(f"policy:{request.policy}")
+    return tuple(reasons)
+
+
+def analyze(request: KernelRequest) -> CapabilityReport:
+    """The capability pass: map one request to its kernel path."""
+    if request.kind == "cache":
+        if request.force_general:
+            return CapabilityReport("general", _general_reasons(request))
+        if request.cache.associativity == 1:
+            # the victim is forced; the policy is never consulted
+            return CapabilityReport("dm")
+        if request.policy in GROUPABLE_POLICIES:
+            return CapabilityReport("grouped")
+        return CapabilityReport("general", _general_reasons(request))
+    if request.kind == "tlb":
+        if request.force_general:
+            return CapabilityReport("tlb_general", _general_reasons(request))
+        if request.policy in GROUPABLE_POLICIES:
+            return CapabilityReport("tlb_grouped")
+        return CapabilityReport("tlb_general", _general_reasons(request))
+    if request.kind == "dm_sweep":
+        return CapabilityReport("dm_sweep")
+    if request.kind == "scan":
+        return CapabilityReport("scan")
+    raise ConfigError(f"unknown kernel kind {request.kind!r}")

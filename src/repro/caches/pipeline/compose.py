@@ -1,0 +1,379 @@
+"""Kernel composition: close a specialized chunk kernel over one config.
+
+Each ``compose_*`` factory takes a build context (request + capability
+report) and returns the program *fields* — plain closures with every
+configuration constant bound in cells at compose time:
+
+* the line shift, set mask and key packing are literals in the closure,
+  not attribute lookups on a config object;
+* the virtual/physical space mapping is selected once (physical kernels
+  never add a space term at all);
+* power-of-two modulo is strength-reduced to a bit-and;
+* the profiling shim is *absent* unless the request asked for it (see
+  :mod:`repro.caches.pipeline.passes`), so the hot loop pays no
+  session lookup per chunk.
+
+Everything stays bit-identical to the pre-pipeline dispatch: the
+closures call the very same :func:`~repro.caches.kernels.
+dm_grouped_pass` / :func:`~repro.caches.kernels.grouped_stack_pass`
+primitives, the general paths loop the very same per-reference
+``access`` methods, and ``tests/property/test_kernel_equivalence.py``
+sweeps the whole grid to prove it.
+
+Programs are stateless and shared: mutable simulation state is created
+per simulator by ``make_state`` and threaded through ``run`` — so one
+compiled program can serve any number of concurrently-live simulators
+of the same configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._types import Indexing
+from repro.caches.cache import SetAssociativeCache
+from repro.caches.kernels import (
+    MAX_SPACES,
+    collapse_consecutive,
+    dm_grouped_pass,
+    grouped_stack_pass,
+)
+from repro.errors import ConfigError
+
+
+def _space_fn(indexing: Indexing):
+    """The tid -> tag-space mapping, specialized per indexing mode."""
+    if indexing is Indexing.VIRTUAL:
+        def space_of(tid: int) -> int:
+            if not 0 <= tid < MAX_SPACES:
+                raise ConfigError(
+                    f"tid {tid} outside the fast path's space range"
+                )
+            return tid
+    else:
+        def space_of(tid: int) -> int:
+            if not 0 <= tid < MAX_SPACES:
+                raise ConfigError(
+                    f"tid {tid} outside the fast path's space range"
+                )
+            return 0
+    return space_of
+
+
+def _decode(key: int, line_shift: int) -> tuple[int, int]:
+    space, line = key % MAX_SPACES, key // MAX_SPACES
+    return space, line << line_shift
+
+
+# ---------------------------------------------------------------------------
+# cache kernels
+# ---------------------------------------------------------------------------
+
+def compose_cache_dm(build) -> dict:
+    """Direct-mapped chunk kernel: pure numpy, any policy."""
+    config = build.request.cache
+    line_shift = config.line_shift
+    set_mask = config.n_sets - 1
+    n_sets = config.n_sets
+    virtual = config.indexing is Indexing.VIRTUAL
+    space_of = _space_fn(config.indexing)
+
+    def make_state(policy=None) -> np.ndarray:
+        return np.full(n_sets, -1, dtype=np.int64)
+
+    if virtual:
+        def run(state, addresses, tid: int = 0) -> int:
+            addresses = np.asarray(addresses, dtype=np.int64)
+            if len(addresses) == 0:
+                return 0
+            space = space_of(tid)
+            lines = addresses >> line_shift
+            return dm_grouped_pass(
+                state, lines & set_mask, lines * MAX_SPACES + space
+            )
+
+        def resident_keys(state) -> set[tuple[int, int]]:
+            return {
+                _decode(int(key), line_shift) for key in state if key >= 0
+            }
+    else:
+        # physical keys carry no space term, so the lines themselves are
+        # the keys: the packing multiply is compiled out entirely (the
+        # line <-> packed-key mapping is injective, so miss counts and
+        # state transitions are unchanged — only the encoding differs)
+        def run(state, addresses, tid: int = 0) -> int:
+            addresses = np.asarray(addresses, dtype=np.int64)
+            if len(addresses) == 0:
+                return 0
+            space_of(tid)  # range check only; physical space is always 0
+            lines = addresses >> line_shift
+            return dm_grouped_pass(state, lines & set_mask, lines)
+
+        def resident_keys(state) -> set[tuple[int, int]]:
+            return {
+                (0, int(line) << line_shift) for line in state if line >= 0
+            }
+
+    def occupancy(state) -> int:
+        return int(np.count_nonzero(state >= 0))
+
+    return {
+        "run": run,
+        "make_state": make_state,
+        "resident_keys": resident_keys,
+        "occupancy": occupancy,
+        "phase_name": "kernels.dm_pass",
+    }
+
+
+def compose_cache_grouped(build) -> dict:
+    """Grouped-set stack replay: exact for LRU/FIFO, any associativity."""
+    config = build.request.cache
+    line_shift = config.line_shift
+    set_mask = config.n_sets - 1
+    n_sets = config.n_sets
+    associativity = config.associativity
+    lru = build.request.policy == "lru"
+    space_of = _space_fn(config.indexing)
+
+    def make_state(policy=None) -> list[list[int]]:
+        return [[] for _ in range(n_sets)]
+
+    def run(state, addresses, tid: int = 0) -> int:
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if len(addresses) == 0:
+            return 0
+        space = space_of(tid)
+        lines = addresses >> line_shift
+        sets = lines & set_mask
+        keys = lines * MAX_SPACES + space
+        order = np.argsort(sets, kind="stable")
+        sets_sorted = sets[order]
+        keys_sorted = keys[order]
+        keep = collapse_consecutive(sets_sorted, keys_sorted)
+        return grouped_stack_pass(
+            state,
+            associativity,
+            lru,
+            sets_sorted[keep].tolist(),
+            keys_sorted[keep].tolist(),
+        )
+
+    def resident_keys(state) -> set[tuple[int, int]]:
+        return {
+            _decode(key, line_shift)
+            for entries in state
+            for key in entries
+        }
+
+    def occupancy(state) -> int:
+        return sum(len(entries) for entries in state)
+
+    return {
+        "run": run,
+        "make_state": make_state,
+        "resident_keys": resident_keys,
+        "occupancy": occupancy,
+        "phase_name": "kernels.grouped_set",
+    }
+
+
+def compose_cache_general(build) -> dict:
+    """The exact per-reference path over ``SetAssociativeCache``.
+
+    ``make_state`` accepts the *caller's* policy instance so a seeded
+    random policy keeps drawing from its own RNG stream in global miss
+    order — the property grouping cannot preserve.
+    """
+    config = build.request.cache
+
+    def make_state(policy=None) -> SetAssociativeCache:
+        return SetAssociativeCache(config, policy)
+
+    def run(cache, addresses, tid: int = 0) -> int:
+        misses = 0
+        access = cache.access
+        for addr in np.asarray(addresses, dtype=np.int64).tolist():
+            hit, _ = access(tid, addr)
+            if not hit:
+                misses += 1
+        return misses
+
+    return {
+        "run": run,
+        "make_state": make_state,
+        "resident_keys": lambda cache: cache.resident_keys(),
+        "occupancy": lambda cache: cache.occupancy(),
+        "phase_name": None,  # the reference path is never shimmed
+    }
+
+
+# ---------------------------------------------------------------------------
+# TLB kernels (state lives on the SimulatedTLB instance passed to run)
+# ---------------------------------------------------------------------------
+
+def compose_tlb_grouped(build) -> dict:
+    """The grouped TLB chunk path, counters included.
+
+    Bit-identical to calling ``SimulatedTLB.access`` per reference —
+    including the ``searches``/``insertions`` totals (one search per
+    reference, one insertion per miss) and the final entry state shared
+    with the trap-driven ``miss_insert`` path.
+    """
+    config = build.request.tlb
+    page_shift = config.pages_per_entry.bit_length() - 1
+    set_mask = config.n_sets - 1
+    associativity = config.effective_associativity
+    lru = build.request.policy == "lru"
+
+    def run(tlb, tid: int, vpns) -> int:
+        vpns = np.asarray(vpns, dtype=np.int64)
+        n = len(vpns)
+        if n == 0:
+            return 0
+        superpages = vpns >> page_shift
+        sets = superpages & set_mask
+        order = np.argsort(sets, kind="stable")
+        sets_sorted = sets[order]
+        superpages_sorted = superpages[order]
+        keep = collapse_consecutive(sets_sorted, superpages_sorted)
+        misses = grouped_stack_pass(
+            tlb._sets,
+            associativity,
+            lru,
+            sets_sorted[keep].tolist(),
+            [(tid, sp) for sp in superpages_sorted[keep].tolist()],
+        )
+        tlb.searches += n
+        tlb.insertions += misses
+        return misses
+
+    return {"run": run, "phase_name": "kernels.tlb_chunk"}
+
+
+def compose_tlb_general(build) -> dict:
+    """The per-reference TLB loop, for non-groupable policies."""
+
+    def run(tlb, tid: int, vpns) -> int:
+        vpns = np.asarray(vpns, dtype=np.int64)
+        misses = 0
+        access = tlb.access
+        for vpn in vpns.tolist():
+            hit, _ = access(tid, int(vpn))
+            misses += not hit
+        return misses
+
+    return {"run": run, "phase_name": None}
+
+
+# ---------------------------------------------------------------------------
+# the multi-size direct-mapped sweep
+# ---------------------------------------------------------------------------
+
+def compose_dm_sweep(build) -> dict:
+    """One pass over every power-of-two DM size, sharing argsorts.
+
+    Each size runs the exact :func:`dm_grouped_pass`; the stable
+    set-order argsort is shared across sizes with equal set counts.
+    Returns per-size miss counts in config order.
+    """
+    configs = build.request.sweep
+    line_shift = configs[0].line_shift
+    set_counts = tuple(config.n_sets for config in configs)
+
+    def make_state(policy=None) -> list[np.ndarray]:
+        return [
+            np.full(n_sets, -1, dtype=np.int64) for n_sets in set_counts
+        ]
+
+    def run(states, addresses, tid: int = 0) -> list[int]:
+        lines = np.asarray(addresses, dtype=np.int64) >> line_shift
+        order_cache: dict[int, np.ndarray] = {}
+        misses = []
+        for state, n_sets in zip(states, set_counts):
+            sets = lines & (n_sets - 1)
+            order = order_cache.get(n_sets)
+            if order is None:
+                order = np.argsort(sets, kind="stable")
+                order_cache[n_sets] = order
+            misses.append(dm_grouped_pass(state, sets, lines, order))
+        return misses
+
+    return {"run": run, "make_state": make_state, "phase_name": None}
+
+
+# ---------------------------------------------------------------------------
+# the chunk engine's trap scan
+# ---------------------------------------------------------------------------
+
+def compose_scan(build) -> dict:
+    """Candidate-mask collection for the CPU's chunk engine.
+
+    Composes one mask contributor per active trap mechanism; the
+    per-segment hot path is a single ``collect`` call with no mechanism
+    branching.  ``collect`` is None when no mechanism is active — the
+    segment has no candidates by construction.
+    """
+    mechanisms = build.request.mechanisms
+    use_ecc = "ecc" in mechanisms
+    use_pages = "pages" in mechanisms
+    use_breakpoints = "breakpoints" in mechanisms
+    granule_shift = build.request.granule_shift
+
+    parts = []
+    if use_ecc:
+        parts.append(
+            lambda machine, table, vas, vpns, granules:
+                machine.ecc.granule_trapped[granules]
+        )
+    if use_pages:
+        parts.append(
+            lambda machine, table, vas, vpns, granules:
+                table.resident[vpns] & ~table.valid[vpns]
+        )
+    if use_breakpoints:
+        parts.append(
+            lambda machine, table, vas, vpns, granules:
+                machine.breakpoints.check_chunk(vas)
+        )
+
+    if not parts:
+        collect = None
+    elif len(parts) == 1:
+        collect = parts[0]
+    else:
+        def collect(machine, table, vas, vpns, granules):
+            # each contributor returns a fresh bool array (fancy
+            # indexing / elementwise ops), so |= mutates no shared state
+            mask = parts[0](machine, table, vas, vpns, granules)
+            for part in parts[1:]:
+                mask |= part(machine, table, vas, vpns, granules)
+            return mask
+
+    if use_ecc:
+        def granules_of(pas):
+            return pas >> granule_shift
+    else:
+        def granules_of(pas):
+            return None
+
+    return {
+        "collect": collect,
+        "granules_of": granules_of,
+        "use_ecc": use_ecc,
+        "use_pages": use_pages,
+        "use_breakpoints": use_breakpoints,
+        "phase_name": None,
+    }
+
+
+#: capability path -> composer factory
+COMPOSERS = {
+    "dm": compose_cache_dm,
+    "grouped": compose_cache_grouped,
+    "general": compose_cache_general,
+    "tlb_grouped": compose_tlb_grouped,
+    "tlb_general": compose_tlb_general,
+    "dm_sweep": compose_dm_sweep,
+    "scan": compose_scan,
+}

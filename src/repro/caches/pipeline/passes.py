@@ -1,0 +1,226 @@
+"""The pass pipeline that compiles one kernel program.
+
+pymtl3-style (SNIPPETS.md): simulation-as-passes, where each pass
+consumes and extends one build context and the final pass emits the
+compiled artifact.  The fixed order is
+
+1. **normalize** — validate the request (kind known, geometry present,
+   policy name legal);
+2. **capability** — decide the kernel path and record why
+   (:mod:`repro.caches.pipeline.capability`);
+3. **select** — map the chosen path to its composer factory;
+4. **compose** — close the specialized kernel over the configuration
+   (:mod:`repro.caches.pipeline.compose`);
+5. **bind_rescan** — attach the trap-rescan binding factory to scan
+   kernels (lazy :class:`~repro.machine.chunkindex.PositionIndex`
+   construction, phase-labelled);
+6. **shim** — wrap the kernel in a profiling phase timer *only* when
+   the request asked for one, so unprofiled kernels carry zero
+   per-chunk session lookups;
+7. **finalize** — fingerprint the request and assemble the immutable
+   :class:`KernelProgram`.
+
+Every pass is timed; the per-pass durations ride on the program and
+feed the ``kernels.pipeline.compose_secs`` histograms.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.caches.pipeline.capability import CapabilityReport, analyze
+from repro.caches.pipeline.compose import COMPOSERS
+from repro.caches.pipeline.request import (
+    KERNEL_KINDS,
+    KernelRequest,
+    fingerprint_request,
+)
+from repro.caches.replacement import make_policy
+from repro.errors import ConfigError
+
+
+@dataclass
+class KernelBuild:
+    """Mutable state threaded through the passes."""
+
+    request: KernelRequest
+    capabilities: CapabilityReport | None = None
+    composer: Callable | None = None
+    fields: dict[str, Any] = field(default_factory=dict)
+    pass_secs: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class KernelProgram:
+    """One compiled, cacheable kernel.
+
+    Stateless by construction: mutable simulation state comes from
+    ``make_state`` and is threaded through ``run`` by the caller, so a
+    single program serves every simulator of its configuration.
+    """
+
+    request: KernelRequest
+    capabilities: CapabilityReport
+    fingerprint: str
+    pass_secs: dict[str, float]
+    #: chunk kernels: (state, addresses/vpns, tid) -> misses
+    run: Callable | None = None
+    make_state: Callable | None = None
+    resident_keys: Callable | None = None
+    occupancy: Callable | None = None
+    #: scan kernels: candidate-mask collection + rescan binding
+    collect: Callable | None = None
+    granules_of: Callable | None = None
+    bind_rescans: Callable | None = None
+    use_ecc: bool = False
+    use_pages: bool = False
+    use_breakpoints: bool = False
+
+    @property
+    def is_fast(self) -> bool:
+        return not self.capabilities.general
+
+    def describe(self) -> str:
+        return f"{self.request.kind}:{self.capabilities.describe()}"
+
+
+class KernelPass:
+    """One pipeline stage; subclasses mutate the build in ``apply``."""
+
+    name = "pass"
+
+    def apply(self, build: KernelBuild) -> None:
+        raise NotImplementedError
+
+
+class NormalizeRequestPass(KernelPass):
+    name = "normalize"
+
+    def apply(self, build: KernelBuild) -> None:
+        request = build.request
+        if request.kind not in KERNEL_KINDS:
+            raise ConfigError(
+                f"unknown kernel kind {request.kind!r}; "
+                f"choose from {KERNEL_KINDS}"
+            )
+        if request.kind == "cache" and request.cache is None:
+            raise ConfigError("cache kernel request carries no CacheConfig")
+        if request.kind == "tlb" and request.tlb is None:
+            raise ConfigError("tlb kernel request carries no TLBConfig")
+        if request.kind == "dm_sweep":
+            if not request.sweep:
+                raise ConfigError("dm_sweep request carries no configs")
+            for config in request.sweep:
+                if config.associativity != 1:
+                    raise ConfigError(
+                        "dm_sweep requires direct-mapped configs, got "
+                        f"{config.describe()}"
+                    )
+        if request.policy is not None:
+            make_policy(request.policy)  # raises on unknown names
+
+
+class CapabilityPass(KernelPass):
+    name = "capability"
+
+    def apply(self, build: KernelBuild) -> None:
+        build.capabilities = analyze(build.request)
+
+
+class SelectKernelPass(KernelPass):
+    name = "select"
+
+    def apply(self, build: KernelBuild) -> None:
+        build.composer = COMPOSERS[build.capabilities.selected]
+
+
+class ComposeKernelPass(KernelPass):
+    name = "compose"
+
+    def apply(self, build: KernelBuild) -> None:
+        build.fields = build.composer(build)
+
+
+class BindRescanPass(KernelPass):
+    name = "bind_rescan"
+
+    def apply(self, build: KernelBuild) -> None:
+        if build.request.kind != "scan":
+            return
+        from repro.machine.chunkindex import RescanBinding
+
+        use_ecc = build.fields["use_ecc"]
+        use_pages = build.fields["use_pages"]
+
+        def bind_rescans(granules, vpns):
+            return (
+                RescanBinding(granules, "granule") if use_ecc else None,
+                RescanBinding(vpns, "vpn") if use_pages else None,
+            )
+
+        build.fields["bind_rescans"] = bind_rescans
+
+
+class ShimPass(KernelPass):
+    name = "shim"
+
+    def apply(self, build: KernelBuild) -> None:
+        phase_name = build.fields.pop("phase_name", None)
+        if not build.request.profile or phase_name is None:
+            return
+        from repro.telemetry.profile import phase
+
+        inner = build.fields.get("run")
+        if inner is None:
+            return
+
+        def run(state, payload, tid: int = 0):
+            with phase(phase_name):
+                return inner(state, payload, tid)
+
+        build.fields["run"] = run
+
+
+class FinalizePass(KernelPass):
+    name = "finalize"
+
+    def apply(self, build: KernelBuild) -> None:
+        build.fields["program"] = KernelProgram(
+            request=build.request,
+            capabilities=build.capabilities,
+            fingerprint=fingerprint_request(build.request),
+            pass_secs=build.pass_secs,
+            **{
+                key: value
+                for key, value in build.fields.items()
+                if key != "program"
+            },
+        )
+
+
+#: the pipeline, in execution order
+PIPELINE_PASSES: tuple[KernelPass, ...] = (
+    NormalizeRequestPass(),
+    CapabilityPass(),
+    SelectKernelPass(),
+    ComposeKernelPass(),
+    BindRescanPass(),
+    ShimPass(),
+    FinalizePass(),
+)
+
+
+def run_pipeline(request: KernelRequest) -> KernelProgram:
+    """Compile one request through every pass, timing each."""
+    build = KernelBuild(request=request)
+    for kernel_pass in PIPELINE_PASSES:
+        start = time.perf_counter()
+        kernel_pass.apply(build)
+        build.pass_secs[kernel_pass.name] = (
+            build.pass_secs.get(kernel_pass.name, 0.0)
+            + time.perf_counter()
+            - start
+        )
+    return build.fields["program"]

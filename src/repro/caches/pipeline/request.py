@@ -1,0 +1,158 @@
+"""Kernel requests: the configuration tuple a compiled kernel answers.
+
+A :class:`KernelRequest` is the *complete* input of kernel composition —
+geometry, replacement policy, indexing, profiling shims, forced-general
+overrides, active trap mechanisms.  It is frozen and hashable so the
+registry can key its in-memory program cache directly on the request,
+and canonical-JSON encodable (every field is a dataclass, enum, tuple or
+scalar) so the same request also has a content-addressed fingerprint:
+SHA-256 over the canonical encoding, salted with
+:data:`KERNEL_CODE_VERSION`.  Bump the salt whenever composition
+semantics change — stale fingerprints then stop matching in the compile
+ledger and cross-process tooling never conflates two generations of
+kernel code.
+
+The policy is carried by *name*, not instance: composed kernels never
+bake replacement state into the closure (the grouped paths need only
+"is it LRU", and the general paths receive the caller's live policy
+object through ``make_state``), so a seeded ``RandomPolicy``'s RNG
+stream stays owned by the simulator instance that consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.caches.config import CacheConfig, TLBConfig
+from repro.errors import ConfigError
+
+#: Salt mixed into every kernel fingerprint.  Bump the version suffix
+#: whenever a change alters what the pipeline composes for a request.
+KERNEL_CODE_VERSION = "repro-kernels-pipeline-v1"
+
+#: the kinds of kernel the pipeline knows how to compose
+KERNEL_KINDS = ("cache", "tlb", "dm_sweep", "scan")
+
+
+@dataclass(frozen=True)
+class KernelRequest:
+    """One fully-normalized kernel configuration.
+
+    ``kind`` selects the geometry field that applies (``cache``,
+    ``tlb``, ``sweep`` — or none for ``scan``, which is configured by
+    ``mechanisms`` + ``granule_shift``).  ``profile`` asks for a phase
+    timer composed *around* the kernel; ``force_general`` pins the
+    per-reference path regardless of capability analysis.
+    """
+
+    kind: str
+    cache: CacheConfig | None = None
+    tlb: TLBConfig | None = None
+    sweep: tuple[CacheConfig, ...] = ()
+    policy: str | None = None
+    force_general: bool = False
+    profile: bool = False
+    mechanisms: tuple[str, ...] = ()
+    granule_shift: int = 0
+
+
+def _profile_default(profile: bool | None) -> bool:
+    if profile is not None:
+        return bool(profile)
+    from repro.telemetry.profile import profiling_enabled
+
+    return profiling_enabled()
+
+
+def _policy_name(policy) -> str:
+    name = getattr(policy, "name", None)
+    if policy is None:
+        name = "lru"
+    if not isinstance(name, str):
+        raise ConfigError(
+            f"replacement policy {policy!r} has no name; kernels are "
+            "keyed by policy name"
+        )
+    return name
+
+
+def cache_request(
+    config: CacheConfig,
+    policy=None,
+    force_general: bool = False,
+    profile: bool | None = None,
+) -> KernelRequest:
+    """The request for one trace-driven cache chunk kernel.
+
+    ``profile`` defaults to the active telemetry session's profiling
+    flag at request time, so simulators built inside a ``--profile``
+    run get the timed shims and everything else gets the bare kernel.
+    """
+    return KernelRequest(
+        kind="cache",
+        cache=config,
+        policy=_policy_name(policy),
+        force_general=bool(force_general),
+        profile=_profile_default(profile),
+    )
+
+
+def tlb_request(
+    config: TLBConfig,
+    policy=None,
+    force_general: bool = False,
+    profile: bool | None = None,
+) -> KernelRequest:
+    """The request for one TLB chunk-access kernel."""
+    return KernelRequest(
+        kind="tlb",
+        tlb=config,
+        policy=_policy_name(policy),
+        force_general=bool(force_general),
+        profile=_profile_default(profile),
+    )
+
+
+def sweep_request(
+    configs: tuple[CacheConfig, ...], profile: bool | None = None
+) -> KernelRequest:
+    """The request for one multi-size direct-mapped sweep kernel."""
+    return KernelRequest(
+        kind="dm_sweep",
+        sweep=tuple(configs),
+        profile=_profile_default(profile),
+    )
+
+
+def scan_request(
+    use_ecc: bool,
+    use_pages: bool,
+    use_breakpoints: bool,
+    granule_shift: int,
+    profile: bool | None = None,
+) -> KernelRequest:
+    """The request for one chunk-engine trap-scan kernel."""
+    mechanisms = tuple(
+        name
+        for name, active in (
+            ("ecc", use_ecc),
+            ("pages", use_pages),
+            ("breakpoints", use_breakpoints),
+        )
+        if active
+    )
+    return KernelRequest(
+        kind="scan",
+        mechanisms=mechanisms,
+        granule_shift=int(granule_shift),
+        profile=_profile_default(profile),
+    )
+
+
+def fingerprint_request(request: KernelRequest) -> str:
+    """Content address of one request under the current kernel code."""
+    from repro.streams.keys import fingerprint_payload
+
+    return fingerprint_payload(
+        {"request": request, "salt": KERNEL_CODE_VERSION}
+    )

@@ -14,13 +14,8 @@ import numpy as np
 
 from repro._types import PAGE_SIZE
 from repro.caches.config import TLBConfig
-from repro.caches.kernels import (
-    collapse_consecutive,
-    grouped_stack_pass,
-    supports_policy,
-)
+from repro.caches.pipeline import compile_kernel, tlb_request
 from repro.caches.replacement import LRUPolicy, ReplacementPolicy
-from repro.telemetry.profile import phase
 
 Key = tuple[int, int]  # (tid, superpage number)
 
@@ -38,6 +33,10 @@ class SimulatedTLB:
         self._sets: list[list[Key]] = [[] for _ in range(config.n_sets)]
         self.searches = 0
         self.insertions = 0
+        program = compile_kernel(tlb_request(config, self.policy))
+        #: the pipeline's capability report: which chunk path, and why
+        self.capabilities = program.capabilities
+        self._chunk_run = program.run
 
     def superpage_of(self, vpn: int) -> int:
         """Collapse a machine-page VPN to its superpage number."""
@@ -66,40 +65,16 @@ class SimulatedTLB:
     def access_chunk(self, tid: int, vpns: np.ndarray) -> int:
         """Trace-driven path over a whole chunk of VPNs; returns misses.
 
-        Under LRU or FIFO replacement this runs the grouped-set kernel
+        Runs the kernel the pass pipeline compiled for this TLB's
+        configuration: under LRU or FIFO replacement a grouped-set pass
         (stable sort by set, consecutive-duplicate collapse, per-run
-        stack update) and is bit-identical to calling :meth:`access` per
-        reference — including the ``searches``/``insertions`` counters
-        and the final entry state, which :meth:`miss_insert` shares.
-        Other policies fall back to the per-reference loop.
+        stack update) that is bit-identical to calling :meth:`access`
+        per reference — including the ``searches``/``insertions``
+        counters and the final entry state, which :meth:`miss_insert`
+        shares.  Other policies get the exact per-reference loop; see
+        ``self.capabilities`` for the decision.
         """
-        vpns = np.asarray(vpns, dtype=np.int64)
-        n = len(vpns)
-        if n == 0:
-            return 0
-        if not supports_policy(self.policy):
-            misses = 0
-            for vpn in vpns.tolist():
-                hit, _ = self.access(tid, int(vpn))
-                misses += not hit
-            return misses
-        with phase("kernels.tlb_chunk"):
-            superpages = vpns // self.config.pages_per_entry
-            sets = superpages % self.config.n_sets
-            order = np.argsort(sets, kind="stable")
-            sets_sorted = sets[order]
-            superpages_sorted = superpages[order]
-            keep = collapse_consecutive(sets_sorted, superpages_sorted)
-            misses = grouped_stack_pass(
-                self._sets,
-                self.config.effective_associativity,
-                isinstance(self.policy, LRUPolicy),
-                sets_sorted[keep].tolist(),
-                [(tid, sp) for sp in superpages_sorted[keep].tolist()],
-            )
-        self.searches += n
-        self.insertions += misses
-        return misses
+        return self._chunk_run(self, tid, vpns)
 
     def miss_insert(self, tid: int, vpn: int) -> Key | None:
         """Trap-driven path: insert a known-missing translation.

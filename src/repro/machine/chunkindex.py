@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry.profile import phase
+
 _EMPTY = np.empty(0, dtype=np.int64)
 
 
@@ -50,3 +52,28 @@ class PositionIndex:
     def occurrences(self, value: int) -> np.ndarray:
         """All positions holding ``value``, ascending."""
         return self.occurrences_after(value, -1)
+
+
+class RescanBinding:
+    """Lazy, phase-labelled :class:`PositionIndex` over one chunk array.
+
+    The scan kernel's rescan-binding pass hands one of these per
+    rescannable value array (ECC granules, VPNs); the index is built on
+    the *first* lookup — most segments deliver no displaced-location
+    traps and never pay the argsort — under the same
+    ``machine.rescan_index`` phase timer the inline code used.
+    """
+
+    __slots__ = ("_values", "_kind", "_index")
+
+    def __init__(self, values: np.ndarray, kind: str) -> None:
+        self._values = values
+        self._kind = kind
+        self._index: PositionIndex | None = None
+
+    def occurrences_after(self, value: int, position: int) -> np.ndarray:
+        index = self._index
+        if index is None:
+            with phase("machine.rescan_index", kind=self._kind):
+                index = self._index = PositionIndex(self._values)
+        return index.occurrences_after(value, position)

@@ -22,15 +22,15 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 from repro._types import Component, TrapMechanism
+from repro.caches.pipeline import compile_kernel, scan_request
 from repro.errors import MachineError
-from repro.machine.chunkindex import PositionIndex
 from repro.machine.mmu import PAGE_SHIFT, PageTable
 from repro.machine.traps import TrapFrame, TrapKind
-from repro.telemetry.profile import phase
 from repro.telemetry.session import active as _telemetry
 
 #: log2 of the ECC check granule (16 bytes).
@@ -87,6 +87,9 @@ class CPU:
     def __init__(self, machine) -> None:
         self.machine = machine
         self._in_tick = False
+        #: compiled scan programs, memoized per active-mechanism tuple —
+        #: a plain dict probe per segment, compiled once by the pipeline
+        self._scan_programs: dict[tuple[bool, bool, bool], Any] = {}
         #: per-component totals, for the Monster-style monitor
         self.refs_by_component: dict[Component, int] = {c: 0 for c in Component}
         self.cycles_by_component: dict[Component, int] = {c: 0 for c in Component}
@@ -185,27 +188,27 @@ class CPU:
         pas = table.translate(vas)
 
         mechanisms = machine.active_mechanisms
-        use_ecc = TrapMechanism.ECC in mechanisms
-        use_pages = TrapMechanism.PAGE_VALID in mechanisms
-        use_breakpoints = (
+        key = (
+            TrapMechanism.ECC in mechanisms,
+            TrapMechanism.PAGE_VALID in mechanisms,
             TrapMechanism.BREAKPOINT in mechanisms
-            and machine.breakpoints.n_active() > 0
+            and machine.breakpoints.n_active() > 0,
         )
+        program = self._scan_programs.get(key)
+        if program is None:
+            program = compile_kernel(
+                scan_request(*key, granule_shift=GRANULE_SHIFT)
+            )
+            self._scan_programs[key] = program
+        if program.collect is None:
+            return  # no trap mechanism active: no candidates exist
 
-        granules = pas >> GRANULE_SHIFT if use_ecc else None
-
-        candidate_mask = np.zeros(len(vas), dtype=bool)
-        if use_ecc:
-            candidate_mask |= machine.ecc.granule_trapped[granules]
-        if use_pages:
-            candidate_mask |= table.resident[vpns] & ~table.valid[vpns]
-        if use_breakpoints:
-            candidate_mask |= machine.breakpoints.check_chunk(vas)
-
+        granules = program.granules_of(pas)
+        candidate_mask = program.collect(machine, table, vas, vpns, granules)
         if candidate_mask.any():
             self._process_candidates(
-                ctx, table, vas, vpns, pas, granules, candidate_mask, result,
-                use_ecc, use_pages, use_breakpoints, writes,
+                ctx, table, vas, vpns, pas, granules, candidate_mask,
+                result, program, writes,
             )
 
     def _process_candidates(
@@ -218,13 +221,20 @@ class CPU:
         granules: np.ndarray | None,
         candidate_mask: np.ndarray,
         result: ChunkResult,
-        use_ecc: bool,
-        use_pages: bool,
-        use_breakpoints: bool,
+        program,
         writes: np.ndarray | None = None,
     ) -> None:
-        """In-order trap delivery with displaced-line rescans."""
+        """In-order trap delivery with displaced-line rescans.
+
+        ``program`` is the compiled scan kernel for this segment's
+        active mechanisms; the per-kind delivery branches below are trap
+        *semantics* (priority, masking, write-evaporation), not kernel
+        dispatch — they stay here.
+        """
         machine = self.machine
+        use_ecc = program.use_ecc
+        use_pages = program.use_pages
+        use_breakpoints = program.use_breakpoints
         # Stale logs from outside this chunk are irrelevant.
         if use_ecc:
             machine.ecc.drain_recent_sets()
@@ -233,11 +243,11 @@ class CPU:
 
         heap = [int(i) for i in np.nonzero(candidate_mask)[0]]
         heapq.heapify(heap)
-        # Rescan indexes, built lazily on the first handler that traps a
-        # displaced location: "next occurrence of this granule/VPN after
-        # position i" becomes two bisects instead of an O(chunk) scan.
-        granule_index: PositionIndex | None = None
-        vpn_index: PositionIndex | None = None
+        # Rescan bindings from the pipeline's binding pass: the
+        # PositionIndex is built lazily on the first handler that traps
+        # a displaced location — "next occurrence of this granule/VPN
+        # after position i" becomes two bisects, not an O(chunk) scan.
+        granule_rescan, vpn_rescan = program.bind_rescans(granules, vpns)
         previous = -1
         while heap:
             i = heapq.heappop(heap)
@@ -311,17 +321,11 @@ class CPU:
             # occur later in this very chunk; queue those positions.
             if use_ecc:
                 for granule in machine.ecc.drain_recent_sets():
-                    if granule_index is None:
-                        with phase("machine.rescan_index", kind="granule"):
-                            granule_index = PositionIndex(granules)
-                    for pos in granule_index.occurrences_after(granule, i):
+                    for pos in granule_rescan.occurrences_after(granule, i):
                         heapq.heappush(heap, int(pos))
             if use_pages:
                 for vpn in table.drain_recent_invalidations():
-                    if vpn_index is None:
-                        with phase("machine.rescan_index", kind="vpn"):
-                            vpn_index = PositionIndex(vpns)
-                    for pos in vpn_index.occurrences_after(vpn, i):
+                    for pos in vpn_rescan.occurrences_after(vpn, i):
                         heapq.heappush(heap, int(pos))
 
     # ------------------------------------------------------------------

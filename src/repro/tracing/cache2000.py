@@ -19,19 +19,20 @@ Pixie's generation share) and misses add a replacement premium; the
 premium makes Cache2000's slowdown fall from ~30 at a 0.118 miss ratio
 toward ~22 at zero, as in Figure 2's table.
 
-Two execution paths produce identical miss counts:
+Which execution path serves a configuration is decided *once*, by the
+kernel pass pipeline (:mod:`repro.caches.pipeline`): direct-mapped and
+LRU/FIFO configs get a vectorized grouped-set kernel, everything else
+(seeded-random replacement consumes its RNG in global miss order, which
+grouping would permute) gets the exact per-address path over the shared
+:class:`~repro.caches.cache.SetAssociativeCache`.  The compiled program
+is fetched from the keyed registry at construction and invoked with
+zero per-chunk dispatch; ``capabilities`` reports the decision and its
+reasons.  ``force_general_path=True`` pins the reference path for
+differential testing — forwarded into the request, never branched on
+here.
 
-* the vectorized :class:`~repro.caches.kernels.GroupedSetKernel` fast
-  path — a stable sort-by-set grouped stack pass, exact for *any*
-  associativity under LRU or FIFO replacement (direct-mapped chunks
-  reduce to pure numpy);
-* a general per-address path over the shared
-  :class:`~repro.caches.cache.SetAssociativeCache` for everything else
-  (seeded-random replacement consumes its RNG in global miss order,
-  which grouping would permute).
-
-Per-chunk dispatch counts are kept in ``fastpath_chunks`` /
-``general_chunks`` and published as
+Per-chunk dispatch counts remain visible as ``fastpath_chunks`` /
+``general_chunks`` and are published as
 ``tracing.cache2000.fastpath{taken=...}`` by :meth:`publish_metrics`.
 """
 
@@ -39,22 +40,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._types import Component, Indexing
-from repro.caches.cache import SetAssociativeCache
+from repro._types import Component
 from repro.caches.config import CacheConfig
-from repro.caches.kernels import GroupedSetKernel, supports_policy
+from repro.caches.pipeline import cache_request, compile_kernel
 from repro.caches.replacement import LRUPolicy, ReplacementPolicy
 from repro.caches.stats import CacheStats
-from repro.errors import ConfigError
 
 #: processing cycles per address when the reference hits (search only)
 CACHE2000_CYCLES_PER_HIT = 53
 
 #: extra cycles when it misses (replacement-policy work)
 CACHE2000_MISS_PREMIUM_CYCLES = 280
-
-#: space id used to mix tids into the fast path's key encoding
-_MAX_SPACES = 4096
 
 
 class Cache2000:
@@ -70,31 +66,30 @@ class Cache2000:
         self.policy = policy or LRUPolicy()
         self.stats = CacheStats()
         self.processing_cycles = 0
-        #: per-chunk dispatch counts (telemetry: tracing.cache2000.fastpath)
-        self.fastpath_chunks = 0
-        self.general_chunks = 0
-        # The grouped kernel is exact for LRU/FIFO at any associativity.
-        # Direct-mapped caches never consult the policy (the victim is
-        # forced), so they always take the fast path.
-        self._vectorized = not force_general_path and (
-            config.associativity == 1 or supports_policy(self.policy)
+        program = compile_kernel(
+            cache_request(
+                config, self.policy, force_general=force_general_path
+            )
         )
-        if self._vectorized:
-            policy_name = getattr(self.policy, "name", "lru")
-            if config.associativity == 1:
-                policy_name = "lru"  # irrelevant for DM; keep kernel happy
-            self._kernel = GroupedSetKernel(config, policy_name)
-            self._cache = None
-        else:
-            self._kernel = None
-            self._cache = SetAssociativeCache(config, self.policy)
+        self._program = program
+        #: the pipeline's capability report: which path, and why
+        self.capabilities = program.capabilities
+        self._run = program.run
+        self._state = program.make_state(self.policy)
+        self._fastpath = program.is_fast
+        self._chunks = 0
 
     # ------------------------------------------------------------------
 
-    def _space_of(self, tid: int) -> int:
-        if not 0 <= tid < _MAX_SPACES:
-            raise ConfigError(f"tid {tid} outside the fast path's space range")
-        return tid if self.config.indexing is Indexing.VIRTUAL else 0
+    @property
+    def fastpath_chunks(self) -> int:
+        """Chunks served by the vectorized kernel (telemetry compat)."""
+        return self._chunks if self._fastpath else 0
+
+    @property
+    def general_chunks(self) -> int:
+        """Chunks served by the exact per-address path."""
+        return 0 if self._fastpath else self._chunks
 
     def simulate_chunk(
         self,
@@ -106,14 +101,8 @@ class Cache2000:
         n = len(addresses)
         if n == 0:
             return 0
-        if self._vectorized:
-            misses = self._kernel.simulate_chunk(
-                addresses, space=self._space_of(tid)
-            )
-            self.fastpath_chunks += 1
-        else:
-            misses = self._simulate_general(addresses, tid)
-            self.general_chunks += 1
+        misses = self._run(self._state, addresses, tid)
+        self._chunks += 1
         self.stats.count_refs(component, n)
         self.stats.count_miss(component, misses)
         self.processing_cycles += (
@@ -122,28 +111,15 @@ class Cache2000:
         )
         return misses
 
-    def _simulate_general(self, addresses: np.ndarray, tid: int) -> int:
-        cache = self._cache
-        misses = 0
-        for addr in np.asarray(addresses, dtype=np.int64).tolist():
-            hit, _ = cache.access(tid, addr)
-            if not hit:
-                misses += 1
-        return misses
-
     # ------------------------------------------------------------------
 
     def resident_lines(self) -> int:
         """Occupancy, for cross-path consistency checks."""
-        if self._vectorized:
-            return self._kernel.occupancy()
-        return self._cache.occupancy()
+        return self._program.occupancy(self._state)
 
     def resident_keys(self) -> set[tuple[int, int]]:
         """Every resident ``(space, line_addr)``, whichever path ran."""
-        if self._vectorized:
-            return self._kernel.resident_keys()
-        return self._cache.resident_keys()
+        return self._program.resident_keys(self._state)
 
     def average_cycles_per_address(self) -> float:
         total = self.stats.total_refs

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.caches.config import CacheConfig
-from repro.caches.kernels import dm_grouped_pass
+from repro.caches.pipeline import compile_kernel, sweep_request
 from repro.errors import ConfigError
 from repro.tracing.cache2000 import CACHE2000_CYCLES_PER_HIT
 from repro.tracing.pixie import PixieTracer
@@ -52,41 +52,34 @@ class MultiSizeDMSweep:
         if len({c.size_bytes for c in self.configs}) != len(self.configs):
             raise ConfigError("duplicate sizes in sweep")
         self.line_shift = self.configs[0].line_shift
-        self._states = [
-            np.full(config.n_sets, -1, dtype=np.int64)
-            for config in self.configs
-        ]
+        program = compile_kernel(sweep_request(self.configs))
+        #: the pipeline's capability report (always the dm_sweep kernel)
+        self.capabilities = program.capabilities
+        self._run = program.run
+        self._states = program.make_state()
         self.misses = [0] * len(self.configs)
         self.refs = 0
         self.processing_cycles = 0
+        self._cycles_per_ref = (
+            SWEEP_CYCLES_PER_ADDRESS_PER_SIZE * len(self.configs)
+        )
 
     def simulate_chunk(self, addresses: np.ndarray) -> None:
         """Fold one chunk into every size's miss count.
 
-        Each size runs one :func:`~repro.caches.kernels.dm_grouped_pass`
-        — the same exact direct-mapped kernel Cache2000's fast path uses
-        — with the stable set-order argsort shared across sizes of equal
+        The compiled sweep kernel runs one
+        :func:`~repro.caches.kernels.dm_grouped_pass` per size — the
+        same exact direct-mapped kernel Cache2000's fast path uses —
+        with the stable set-order argsort shared across sizes of equal
         set count.
         """
         n = len(addresses)
         if n == 0:
             return
-        lines = np.asarray(addresses, dtype=np.int64) >> self.line_shift
-        order_cache: dict[int, np.ndarray] = {}
-        for index, config in enumerate(self.configs):
-            n_sets = config.n_sets
-            sets = lines & (n_sets - 1)
-            order = order_cache.get(n_sets)
-            if order is None:
-                order = np.argsort(sets, kind="stable")
-                order_cache[n_sets] = order
-            self.misses[index] += dm_grouped_pass(
-                self._states[index], sets, lines, order
-            )
+        for index, misses in enumerate(self._run(self._states, addresses)):
+            self.misses[index] += misses
         self.refs += n
-        self.processing_cycles += (
-            n * SWEEP_CYCLES_PER_ADDRESS_PER_SIZE * len(self.configs)
-        )
+        self.processing_cycles += n * self._cycles_per_ref
 
     def miss_counts(self) -> dict[int, int]:
         return {

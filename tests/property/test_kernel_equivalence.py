@@ -92,7 +92,15 @@ def test_random_policy_routes_to_general_path():
     policy = make_policy("random", seed=11)
     assert not supports_policy(policy)
     sim = Cache2000(config, policy=policy)
-    assert sim._cache is not None and sim._kernel is None
+    assert sim.capabilities.general
+    assert sim.capabilities.selected == "general"
+    assert "policy:random" in sim.capabilities.reasons
+
+
+def test_forced_general_is_reported_with_its_reason():
+    sim = Cache2000(_config(2, Indexing.VIRTUAL), force_general_path=True)
+    assert sim.capabilities.general
+    assert "forced:request" in sim.capabilities.reasons
 
 
 # ---------------------------------------------------------------------------
@@ -128,13 +136,94 @@ def test_property_paths_agree_on_any_stream(
     slow = Cache2000(
         config, policy=make_policy(policy_name), force_general_path=True
     )
-    assert fast._kernel is not None  # the point of the test
+    assert not fast.capabilities.general  # the point of the test
     for tid, words in chunks:
         addrs = np.asarray(words, dtype=np.int64) * 4
         assert fast.simulate_chunk(addrs, tid=tid) == slow.simulate_chunk(
             addrs, tid=tid
         )
     assert fast.resident_keys() == slow.resident_keys()
+
+
+# ---------------------------------------------------------------------------
+# the full pipeline sweep: every compiled kernel vs the reference path,
+# with tracing (telemetry profiling) and fault sessions toggled — the
+# pipeline's shims and environment probes must never change results
+# ---------------------------------------------------------------------------
+
+import contextlib
+
+from repro.caches.pipeline import reset_default_registry
+from repro.faults.plan import FaultPlan
+from repro.faults.session import enabled as faults_enabled
+from repro.telemetry.session import enabled as telemetry_enabled
+
+
+def _environment(profiling: bool, faulting: bool):
+    stack = contextlib.ExitStack()
+    if profiling:
+        stack.enter_context(telemetry_enabled(profile=True))
+    if faulting:
+        stack.enter_context(faults_enabled(FaultPlan(seed=7)))
+    return stack
+
+
+@pytest.mark.parametrize("associativity", ASSOCIATIVITIES)
+@pytest.mark.parametrize("policy_name", POLICIES)
+@pytest.mark.parametrize("indexing", INDEXINGS)
+@pytest.mark.parametrize("profiling", (False, True))
+@pytest.mark.parametrize("faulting", (False, True))
+def test_pipeline_sweep_bit_identical(
+    associativity, policy_name, indexing, profiling, faulting
+):
+    """Compiled kernel vs forced-general reference across the full grid.
+
+    Tracing on/off (profiling shims composed into the kernel) and
+    fault-plan on/off (an active fault session) are swept too: neither
+    may perturb miss counts, occupancy, or resident keys.
+    """
+    rng = np.random.default_rng(
+        hash((associativity, policy_name, indexing.value)) & 0xFFFF
+    )
+    config = _config(associativity, indexing)
+    with _environment(profiling, faulting):
+        fast = Cache2000(config, policy=make_policy(policy_name, seed=3))
+        reference = Cache2000(
+            config,
+            policy=make_policy(policy_name, seed=3),
+            force_general_path=True,
+        )
+        assert reference.capabilities.general
+        for _ in range(8):
+            tid = int(rng.integers(0, 3))
+            n = int(rng.integers(1, 500))
+            addrs = (rng.integers(0, 256, size=n) * 4).astype(np.int64)
+            assert fast.simulate_chunk(addrs, tid=tid) == (
+                reference.simulate_chunk(addrs, tid=tid)
+            )
+        assert fast.resident_lines() == reference.resident_lines()
+        assert fast.resident_keys() == reference.resident_keys()
+
+
+def test_sweep_results_survive_registry_reset():
+    """Cold vs warm registry: compiling fresh programs mid-stream (as a
+    forked worker would) yields the same counts as reusing cached ones."""
+    config = _config(4, Indexing.VIRTUAL)
+    rng = np.random.default_rng(23)
+    chunks = [
+        (rng.integers(0, 256, size=300) * 4).astype(np.int64)
+        for _ in range(6)
+    ]
+    warm = Cache2000(config)
+    warm_misses = [int(warm.simulate_chunk(c, tid=1)) for c in chunks]
+    reset_default_registry()
+    try:
+        cold = Cache2000(config)
+        cold_misses = [int(cold.simulate_chunk(c, tid=1)) for c in chunks]
+    finally:
+        reset_default_registry()
+    assert cold_misses == warm_misses
+    assert cold.resident_keys() == warm.resident_keys()
 
 
 # ---------------------------------------------------------------------------

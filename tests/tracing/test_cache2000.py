@@ -50,7 +50,7 @@ def test_vectorized_path_matches_general_path():
 
 def test_associative_configs_take_the_grouped_fast_path():
     sim = Cache2000(CacheConfig(size_bytes=64, line_bytes=16, associativity=2))
-    assert sim._kernel is not None and sim._cache is None
+    assert sim.capabilities.selected == "grouped"
     sim.simulate_chunk(_addrs(0x00, 0x20, 0x00))
     assert sim.stats.total_misses == 2  # 2-way set holds both
     assert sim.fastpath_chunks == 1 and sim.general_chunks == 0
@@ -63,7 +63,7 @@ def test_random_replacement_stays_on_the_general_path():
         CacheConfig(size_bytes=64, line_bytes=16, associativity=2),
         policy=make_policy("random", seed=7),
     )
-    assert sim._cache is not None and sim._kernel is None
+    assert sim.capabilities.selected == "general"
     sim.simulate_chunk(_addrs(0x00, 0x20, 0x00))
     assert sim.fastpath_chunks == 0 and sim.general_chunks == 1
 
@@ -72,7 +72,8 @@ def test_force_general_path_is_respected():
     sim = Cache2000(
         CacheConfig(size_bytes=64, line_bytes=16), force_general_path=True
     )
-    assert sim._cache is not None and sim._kernel is None
+    assert sim.capabilities.general
+    assert "forced:request" in sim.capabilities.reasons
 
 
 def test_fastpath_dispatch_counts_publish_to_metrics():
