@@ -235,12 +235,16 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     gates = tuple(args.gate) if args.gate else DEFAULT_GATES
     groups, problems = collect(paths)
-    if problems:
-        for problem in problems:
-            print(f"error: {problem}", file=sys.stderr)
-        return 2
+    # a missing or partially-written envelope (e.g. CI killed mid-dump)
+    # must not take the watchdog down with it: warn, skip the file, and
+    # keep judging whatever did load
+    for problem in problems:
+        print(f"warning: {problem} — skipped", file=sys.stderr)
     if not groups:
-        print("error: no numeric metrics found", file=sys.stderr)
+        print(
+            "error: no numeric metrics found in any readable file",
+            file=sys.stderr,
+        )
         return 2
 
     failures = check_regressions(groups, gates, args.threshold)
@@ -261,6 +265,7 @@ def main(argv: list[str] | None = None) -> int:
                         in sorted(groups.items())
                     ],
                     "threshold_pct": args.threshold,
+                    "skipped": problems,
                     "failures": failures,
                 },
                 indent=2,
@@ -273,6 +278,7 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{len(groups)} metric group(s) across {len(paths)} file(s); "
             f"{gated_count} gated (threshold {args.threshold:g}%)"
+            + (f"; {len(problems)} file(s) skipped" if problems else "")
         )
         for failure in failures:
             print(

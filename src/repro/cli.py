@@ -431,6 +431,107 @@ def build_parser() -> argparse.ArgumentParser:
         "plan", help="print the default fault plan as editable JSON"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run a batch through the supervised, crash-recoverable farm "
+             "service (journal + supervisor + admission + GC)",
+    )
+    serve.add_argument(
+        "--measure", default="chaos.probe", metavar="NAME",
+        help="registered measure every job runs (default: the chaos probe)",
+    )
+    serve.add_argument(
+        "--seeds", type=int, default=8, metavar="N",
+        help="submit one job per seed 0..N-1 (0 = no new batch, "
+             "e.g. a resume-only invocation)",
+    )
+    serve.add_argument(
+        "--params", default=None, metavar="JSON",
+        help="JSON object of keyword params passed to every job's measure",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=2, metavar="W",
+        help="pool worker processes (default 2)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="farm cache + journal directory (default .farm-cache/)",
+    )
+    serve.add_argument(
+        "--client", default="cli", metavar="ID",
+        help="client id for fair-share admission",
+    )
+    serve.add_argument(
+        "--batch", default="", metavar="LABEL",
+        help="batch label recorded in the journal",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="first replay unfinished journaled work from a previous "
+             "(possibly SIGKILLed) service run, exactly once",
+    )
+    serve.add_argument(
+        "--cache-budget", type=int, default=None, metavar="BYTES",
+        help="after the batch, GC every cache tier down to BYTES per "
+             "tier (journal-leased entries are pinned)",
+    )
+    serve.add_argument(
+        "--stream-dir", default=None, metavar="DIR",
+        help="also GC this stream-store directory",
+    )
+    serve.add_argument(
+        "--kernel-dir", default=None, metavar="DIR",
+        help="also GC this compile-ledger directory",
+    )
+    serve.add_argument(
+        "--shard", action="store_true",
+        help="migrate the stream tier into two-level shard dirs during GC",
+    )
+    serve.add_argument(
+        "--compact", action="store_true",
+        help="drop retired (done) journal entries after the run",
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="emit the full service report as JSON",
+    )
+
+    jobs = sub.add_parser(
+        "jobs", help="job-journal utilities (list, retry, gc)"
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+    j_list = jobs_sub.add_parser(
+        "list", help="show the journal's job table"
+    )
+    j_list.add_argument("--cache-dir", default=None, metavar="DIR")
+    j_list.add_argument(
+        "--state", default=None,
+        choices=("queued", "leased", "done", "failed", "poisoned"),
+        help="only jobs in this state",
+    )
+    j_list.add_argument("--json", action="store_true")
+    j_retry = jobs_sub.add_parser(
+        "retry",
+        help="requeue every failed/poisoned job and re-run it serially",
+    )
+    j_retry.add_argument("--cache-dir", default=None, metavar="DIR")
+    j_retry.add_argument("--json", action="store_true")
+    j_gc = jobs_sub.add_parser(
+        "gc", help="size-budgeted cache GC with journal pins held"
+    )
+    j_gc.add_argument(
+        "--cache-budget", type=int, required=True, metavar="BYTES",
+        help="per-tier byte budget (0 = evict everything unpinned)",
+    )
+    j_gc.add_argument("--cache-dir", default=None, metavar="DIR")
+    j_gc.add_argument("--stream-dir", default=None, metavar="DIR")
+    j_gc.add_argument("--kernel-dir", default=None, metavar="DIR")
+    j_gc.add_argument(
+        "--shard", action="store_true",
+        help="migrate the stream tier into two-level shard dirs",
+    )
+    j_gc.add_argument("--json", action="store_true")
+
     sample = sub.add_parser(
         "sample", help="interval-sampling utilities (profile, plan, stats)"
     )
@@ -1358,6 +1459,178 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _print_gc_summary(summary: dict[str, Any]) -> None:
+    budget = summary["budget_bytes"]
+    print(
+        f"gc            : budget="
+        + ("unbounded" if budget is None else f"{budget:,}B")
+        + f" pins={summary['pins']} evicted={summary['evicted']} "
+        f"freed={summary['bytes_freed']:,}B "
+        f"pinned_skips={summary['pinned_skips']}"
+    )
+    for tier in summary["tiers"]:
+        print(
+            f"  {tier['tier']:<8}: {tier['bytes_before']:,}B -> "
+            f"{tier['bytes_after']:,}B "
+            f"(evicted {tier['evicted']}, orphans {tier['orphans_swept']}, "
+            f"migrated {tier['migrated']}, pinned {tier['pinned_skips']})"
+        )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.farm import FarmConfig, FarmService, ServiceConfig
+    from repro.farm.jobs import Job
+    from repro.farm.pool import DEFAULT_CACHE_DIR
+
+    params: dict[str, Any] = {}
+    if args.params:
+        try:
+            params = json.loads(args.params)
+        except json.JSONDecodeError as exc:
+            print(f"error: --params is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(params, dict):
+            print("error: --params must be a JSON object", file=sys.stderr)
+            return 2
+    service = FarmService(
+        ServiceConfig(
+            farm=FarmConfig(
+                max_workers=args.jobs,
+                cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+            ),
+            cache_budget_bytes=args.cache_budget,
+            stream_dir=args.stream_dir,
+            kernel_dir=args.kernel_dir,
+            shard=args.shard,
+        )
+    )
+    report: dict[str, Any] = {}
+    if args.resume:
+        report["resume"] = service.resume()
+    ticket = None
+    if args.seeds > 0:
+        batch = [
+            Job(measure=args.measure, params=params, seed=seed)
+            for seed in range(args.seeds)
+        ]
+        ticket = service.run(batch, client=args.client, batch=args.batch)
+        report["ticket"] = ticket.summary()
+        report["values"] = ticket.results
+    if args.cache_budget is not None:
+        report["gc"] = service.gc()
+    if args.compact:
+        report["compacted"] = service.journal.compact()
+    report["status"] = service.status()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        if "resume" in report:
+            resumed = report["resume"]
+            print(
+                f"resume        : {resumed['incomplete']} unfinished — "
+                f"{resumed['reconciled']} reconciled from cache, "
+                f"{resumed['executed']} re-executed, "
+                f"{resumed['unreplayable']} unreplayable"
+            )
+        if ticket is not None:
+            print(
+                f"ticket        : #{ticket.ticket_id} {ticket.state}"
+                + (" [degraded to serial]" if ticket.degraded else "")
+            )
+            if ticket.results is not None:
+                print(f"values        : {ticket.results}")
+            for key, reason in (ticket.reasons or {}).items():
+                print(
+                    f"  poisoned    : {key[:12]} "
+                    f"{reason.get('verdict', reason)}"
+                )
+            if ticket.state == "failed":
+                print(f"  error       : {ticket.error}")
+        if "gc" in report:
+            _print_gc_summary(report["gc"])
+        if "compacted" in report:
+            print(f"compacted     : {report['compacted']} retired job(s)")
+        print(service.render_status())
+    if ticket is not None and ticket.state != "done":
+        return 1
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.farm.pool import DEFAULT_CACHE_DIR
+
+    cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    if args.jobs_command == "gc":
+        from repro.farm.gc import CacheGC, journal_pins
+
+        collector = CacheGC(args.cache_budget, pins=journal_pins(cache_dir))
+        collector.collect(
+            farm_dir=cache_dir,
+            stream_dir=args.stream_dir,
+            kernel_dir=args.kernel_dir,
+            shard=args.shard,
+        )
+        summary = collector.summary()
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            _print_gc_summary(summary)
+        return 0
+
+    if args.jobs_command == "retry":
+        from repro.farm import FarmConfig, FarmService, ServiceConfig
+
+        service = FarmService(
+            ServiceConfig(
+                farm=FarmConfig(max_workers=1, cache_dir=cache_dir)
+            )
+        )
+        requeued = 0
+        for entry in service.journal.entries():
+            if entry.state in ("failed", "poisoned"):
+                service.journal.requeue(entry.key)
+                requeued += 1
+        report = service.resume()
+        report["requeued"] = requeued
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(
+                f"retry         : {requeued} requeued — "
+                f"{report['reconciled']} reconciled from cache, "
+                f"{report['executed']} re-executed, "
+                f"{report['unreplayable']} unreplayable"
+            )
+        return 0
+
+    from repro.farm import JobJournal
+    from repro.farm.service import journal_rows
+
+    journal = JobJournal(cache_dir)
+    entries = journal.entries()
+    if args.state:
+        entries = [e for e in entries if e.state == args.state]
+    if args.json:
+        print(
+            json.dumps(
+                [dataclasses.asdict(e) for e in entries],
+                indent=2, sort_keys=True,
+            )
+        )
+        return 0
+    if not entries:
+        print(f"journal is empty ({cache_dir}/)")
+        return 0
+    print(journal_rows(entries))
+    counts = journal.counts()
+    print(
+        "totals: " + ", ".join(f"{k}={v}" for k, v in counts.items() if v)
+    )
+    return 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     rows = [
         [
@@ -1453,6 +1726,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sample": _cmd_sample,
         "telemetry": _cmd_telemetry,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
+        "jobs": _cmd_jobs,
     }
     try:
         return handlers[args.command](args)

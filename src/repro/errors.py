@@ -58,6 +58,28 @@ class FarmError(ReproError):
     """
 
 
+class PoisonedJobsError(FarmError):
+    """A batch finished except for jobs quarantined as poisoned.
+
+    Raised only under supervision (a plain farm retries/raises as
+    before).  Carries the machine-readable poison reasons and the
+    partial results so a service can report per-job failure while still
+    delivering every healthy job's value.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        poisoned: dict | None = None,
+        results: list | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: job key -> machine-readable poison reason
+        self.poisoned = poisoned or {}
+        #: batch values in job order; poisoned slots hold None
+        self.results = results or []
+
+
 class FaultInjectionError(ReproError):
     """The fault-injection layer was misused (bad plan, double session
     activation, injecting into a structure the fault cannot target)."""

@@ -30,8 +30,11 @@ This module deliberately avoids importing :mod:`repro.farm.measures`
 import path when a job first needs them.
 """
 
+from repro.farm.admission import AdmissionConfig, AdmissionController, Ticket
 from repro.farm.cache import ResultCache
+from repro.farm.gc import CacheGC, journal_pins
 from repro.farm.jobs import CODE_VERSION, Job, canonical, fingerprint
+from repro.farm.journal import JobJournal, StaleLeaseError
 from repro.farm.pool import DEFAULT_CACHE_DIR, Farm, FarmConfig
 from repro.farm.progress import FarmMetrics
 from repro.farm.registry import (
@@ -41,19 +44,32 @@ from repro.farm.registry import (
     registered_names,
     resolve,
 )
+from repro.farm.service import FarmService, ServiceConfig
+from repro.farm.supervisor import SupervisorConfig, WorkerSupervisor
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
     "BUILTIN_MEASURES",
     "CODE_VERSION",
+    "CacheGC",
     "DEFAULT_CACHE_DIR",
     "Farm",
     "FarmConfig",
     "FarmMetrics",
+    "FarmService",
+    "JobJournal",
     "Job",
     "ResultCache",
+    "ServiceConfig",
+    "StaleLeaseError",
+    "SupervisorConfig",
+    "Ticket",
+    "WorkerSupervisor",
     "canonical",
     "execute_job",
     "fingerprint",
+    "journal_pins",
     "register",
     "registered_names",
     "resolve",

@@ -1,0 +1,209 @@
+"""Admission control: bounded queues, fair share, shed-to-serial.
+
+The service front door.  Clients submit batches as *tickets*; the
+controller decides not *whether* they run — nothing is ever rejected —
+but *how*:
+
+bounded queue depth
+    Total queued jobs are capped.  A submission that would burst the
+    cap is still admitted, but marked *degraded*: the service runs it
+    in-process serially (``max_workers=1``) instead of fanning it onto
+    the pool.  By the farm determinism contract serial execution is
+    bit-identical to pooled execution, so load shedding changes
+    latency, never answers — the Ramulator-style contract that degraded
+    modes must produce correct numbers, not fast wrong ones.
+
+fair share
+    Tickets drain round-robin across client ids, one ticket per client
+    per turn, so a client that dumps a thousand batches cannot starve
+    the client that submitted one.
+
+breaker coupling
+    The controller also carries the overload breaker: consecutive
+    degraded admissions past ``shed_breaker`` keep the service in
+    serial mode until a submission is admitted under the cap again
+    (the same open/half-open shape as the PR 4 pool breaker, applied
+    one layer up).
+
+Single-threaded by design: the service loop owns the controller, and
+"concurrency" here is the multiplexing of many clients' queued work
+onto one farm — matching the paper's batch-simulation reality where one
+master schedules everything.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import ConfigError
+from repro.farm.jobs import Job
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Front-door knobs."""
+
+    #: total queued jobs (across all clients) before shedding starts
+    max_queue_depth: int = 64
+    #: consecutive shed admissions that latch serial-degraded mode
+    #: (0 disables the latch; each shed then degrades only itself)
+    shed_breaker: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ConfigError(
+                f"max_queue_depth must be at least 1, "
+                f"got {self.max_queue_depth}"
+            )
+        if self.shed_breaker < 0:
+            raise ConfigError(
+                f"shed_breaker must be non-negative, got {self.shed_breaker}"
+            )
+
+
+@dataclass
+class Ticket:
+    """One client batch moving through the service."""
+
+    ticket_id: int
+    client: str
+    jobs: list[Job]
+    batch: str = ""
+    #: run serially in-process (load shed) instead of on the pool
+    degraded: bool = False
+    state: str = "queued"
+    results: list[Any] | None = None
+    error: str = ""
+    reasons: dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "ticket": self.ticket_id,
+            "client": self.client,
+            "batch": self.batch,
+            "jobs": len(self.jobs),
+            "degraded": self.degraded,
+            "state": self.state,
+            "error": self.error,
+        }
+
+
+class AdmissionController:
+    """Bounded, fair-share, never-rejecting front end."""
+
+    def __init__(self, config: AdmissionConfig | None = None) -> None:
+        self.config = config or AdmissionConfig()
+        self._queues: dict[str, deque[Ticket]] = {}
+        #: round-robin cursor over client ids, stable across mutation
+        self._turn: deque[str] = deque()
+        self._ids = itertools.count(1)
+        self.admitted = 0
+        self.shed = 0
+        self._consecutive_shed = 0
+        self._degraded_latched = False
+
+    # -- intake
+
+    @property
+    def depth(self) -> int:
+        """Total jobs currently queued across every client."""
+        return sum(
+            len(ticket.jobs)
+            for queue in self._queues.values()
+            for ticket in queue
+        )
+
+    @property
+    def tickets_queued(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    @property
+    def degraded_latched(self) -> bool:
+        """Whether the overload breaker is holding serial mode open."""
+        return self._degraded_latched
+
+    def submit(
+        self,
+        jobs: Sequence[Job],
+        client: str = "default",
+        batch: str = "",
+    ) -> Ticket:
+        """Admit a batch; never rejects.
+
+        Over the depth cap the ticket is admitted *degraded*: it will
+        run serially, trading latency for correctness under overload.
+        """
+        ticket = Ticket(
+            ticket_id=next(self._ids),
+            client=client,
+            jobs=list(jobs),
+            batch=batch,
+        )
+        overloaded = self.depth + len(ticket.jobs) > self.config.max_queue_depth
+        if overloaded or self._degraded_latched:
+            ticket.degraded = True
+            if overloaded:
+                self.shed += 1
+                self._consecutive_shed += 1
+                if (
+                    self.config.shed_breaker
+                    and self._consecutive_shed >= self.config.shed_breaker
+                ):
+                    self._degraded_latched = True
+        else:
+            self._consecutive_shed = 0
+            self._degraded_latched = False
+        self.admitted += 1
+        if client not in self._queues:
+            self._queues[client] = deque()
+            self._turn.append(client)
+        self._queues[client].append(ticket)
+        return ticket
+
+    # -- fair-share drain
+
+    def next_ticket(self) -> Ticket | None:
+        """The next ticket under round-robin fair share, or None."""
+        for _ in range(len(self._turn)):
+            client = self._turn[0]
+            self._turn.rotate(-1)
+            queue = self._queues.get(client)
+            if queue:
+                return queue.popleft()
+        return None
+
+    def drain_order(self) -> list[Ticket]:
+        """Pop every queued ticket in fair-share order."""
+        tickets = []
+        while True:
+            ticket = self.next_ticket()
+            if ticket is None:
+                return tickets
+            tickets.append(ticket)
+
+    # -- reporting
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "queue_depth": self.depth,
+            "tickets_queued": self.tickets_queued,
+            "clients": len(self._queues),
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "degraded_latched": self._degraded_latched,
+        }
+
+    def publish(self, metrics) -> None:
+        """Copy front-door totals under ``farm.service.*``."""
+        metrics.gauge("farm.service.queue_depth").set(self.depth)
+        metrics.gauge("farm.service.clients").set(len(self._queues))
+        if self.admitted:
+            metrics.counter("farm.service.admitted").inc(self.admitted)
+        if self.shed:
+            metrics.counter("farm.service.shed").inc(self.shed)
+        metrics.gauge("farm.service.degraded").set(
+            1 if self._degraded_latched else 0
+        )

@@ -35,7 +35,7 @@ import zlib
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
-from repro.atomicio import atomic_append_line, atomic_write_text
+from repro.atomicio import RotatingLedger, atomic_append_line, atomic_write_text
 from repro.errors import FarmError
 
 RESULTS_FILE = "results.jsonl"
@@ -75,6 +75,12 @@ class ResultCache:
         self._corrupt_recorded = 0
         self._corruption_logged = False
         self._index: dict[str, Any] | None = None
+        #: entries a clear/GC left in place because a journal lease
+        #: still references them
+        self.pinned_skips = 0
+        # size-capped quarantine: a corruption storm rotates the file
+        # instead of filling the disk (one generation of history kept)
+        self._quarantine_ledger = RotatingLedger(self._quarantine_path)
 
     # -- storage
 
@@ -100,10 +106,7 @@ class ResultCache:
                 "counted silently",
                 self._results_path, reason, self._quarantine_path,
             )
-        try:
-            atomic_append_line(self._quarantine_path, line)
-        except OSError:
-            pass  # quarantine is best-effort; the skip is what matters
+        self._quarantine_ledger.append(line)
 
     def _read_records(self) -> Iterator[dict[str, Any]]:
         """Yield verified records; corrupt lines are quarantined."""
@@ -193,13 +196,19 @@ class ResultCache:
             return False
         return True
 
-    def clear(self) -> int:
+    def clear(self, pinned: frozenset[str] | set[str] = frozenset()) -> int:
         """Drop every stored result; returns how many were dropped.
 
         Refuses (raising :class:`FarmError`) to unlink anything that
         does not resolve to inside the cache directory — a symlink
         planted at ``results.jsonl`` cannot steer the delete at an
         unrelated file, and a mis-set ``--dir`` cannot silently eat one.
+
+        Entries named in ``pinned`` — keys a live journal lease still
+        references — survive the clear (counted in
+        :attr:`pinned_skips`): deleting a result out from under an
+        in-flight resume would turn exactly-once replay into silent
+        re-execution.
         """
         count = len(self._load())
         victims = [
@@ -213,11 +222,26 @@ class ResultCache:
                     f"refusing to clear {path}: it escapes the farm cache "
                     f"directory {self.directory}"
                 )
+        survivors = []
+        if pinned:
+            survivors = [
+                record
+                for record in self.entries()
+                if record["key"] in pinned
+            ]
+            self.pinned_skips += len(survivors)
         for path in victims:
             if path.exists():
                 path.unlink()
         self._index = {}
-        return count
+        if survivors:
+            lines = [
+                json.dumps(record, sort_keys=True) for record in survivors
+            ]
+            atomic_write_text(self._results_path, "\n".join(lines) + "\n")
+            for record in survivors:
+                self._index[record["key"]] = record["value"]
+        return count - len(survivors)
 
     # -- cumulative run statistics (the ``repro farm stats`` view)
 

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Sequence
 
-from repro.errors import ConfigError, FarmError, TelemetryError
+from repro.errors import ConfigError, FarmError, PoisonedJobsError, TelemetryError
 from repro.farm.cache import ResultCache
 from repro.farm.jobs import CODE_VERSION, Job
 from repro.farm.progress import FarmMetrics
@@ -41,6 +41,8 @@ from repro.telemetry.spans import span as _span
 logger = logging.getLogger(__name__)
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle via keys
+    from repro.farm.journal import JobJournal
+    from repro.farm.supervisor import WorkerSupervisor
     from repro.streams.transport import StreamTransport
 
 #: default location of the on-disk result store
@@ -138,8 +140,18 @@ class Farm:
         self.metrics = FarmMetrics(workers=self.config.max_workers)
         #: metrics of the most recent ``run_jobs`` call
         self.last_run: FarmMetrics | None = None
+        #: optional service-plane attachments (set by the farm service):
+        #: a write-ahead job journal and a worker supervisor.  Both
+        #: default to None, leaving plain batch behavior untouched.
+        self.journal: JobJournal | None = None
+        self.supervisor: WorkerSupervisor | None = None
+        #: label journaled batches carry (set by the service per ticket)
+        self.batch_label = ""
+        self.client_id = ""
         self._batch_started = 0.0
         self._telemetry_drop_logged = False
+        self._epochs: dict[int, int] = {}
+        self._poisoned: dict[str, dict[str, Any]] = {}
 
     # -- public surface
 
@@ -166,11 +178,24 @@ class Farm:
             results: list[Any] = [None] * len(jobs)
             keys = [job.key(self.config.salt) for job in jobs]
             pending: dict[int, Job] = {}
+            self._epochs = {}
+            self._poisoned = {}
+            if self.journal is not None:
+                # write-ahead: the whole batch is durable before any
+                # job runs, so a SIGKILL at any later instant leaves a
+                # journal that names exactly the unfinished work
+                self.journal.queue(
+                    zip(jobs, keys),
+                    batch=self.batch_label,
+                    client=self.client_id,
+                )
             for index, (job, key) in enumerate(zip(jobs, keys)):
                 hit, value = self.cache.get(key)
                 if hit:
                     results[index] = value
                     run.cache_hits += 1
+                    if self.journal is not None:
+                        self.journal.reconcile(key)
                     if session is not None:
                         session.trace.farm_job(
                             "cache_hit",
@@ -193,11 +218,26 @@ class Farm:
 
             run.wall_clock_secs = time.perf_counter() - start
             run.cache_corrupt = self.cache.corrupt - corrupt_before
+            run.poisoned = len(self._poisoned)
             self.last_run = run
             self.metrics.merge(run)
             self.cache.record_run(run.summary())
             if session is not None:
                 run.publish(session.metrics)
+                if self.supervisor is not None:
+                    self.supervisor.publish(session.metrics)
+                if self.journal is not None:
+                    self.journal.publish(session.metrics)
+        if self._poisoned:
+            # everything healthy finished (and is cached/journaled);
+            # report the quarantined stragglers with their reasons
+            raise PoisonedJobsError(
+                f"{len(self._poisoned)} job(s) poisoned "
+                f"(quarantined after striking distinct workers); "
+                f"{run.cache_hits + run.executed} of {run.jobs} completed",
+                poisoned=dict(self._poisoned),
+                results=results,
+            )
         return results
 
     def run_job(self, job: Job) -> Any:
@@ -234,6 +274,16 @@ class Farm:
             self.cache.put(
                 key, value, measure=job.measure, seed=job.seed, elapsed=elapsed
             )
+        if self.journal is not None:
+            # commit strictly *after* the cache write: a crash in the
+            # window leaves a leased job whose value is already durable,
+            # which resume reconciles without re-executing (exactly-once
+            # observable effect)
+            epoch = self._epochs.get(index)
+            if epoch is not None:
+                self.journal.commit(key, epoch)
+            else:
+                self.journal.reconcile(key)
 
     def _run_serial(
         self,
@@ -244,15 +294,26 @@ class Farm:
     ) -> None:
         for index in sorted(pending):
             job = pending[index]
+            if self.journal is not None:
+                self._epochs[index] = self.journal.lease(keys[index])
             with _span(
                 "farm.job",
                 job_key=keys[index][:12],
                 measure=job.measure,
                 seed=job.seed,
             ):
-                value, elapsed = timed_execute(
-                    job.measure, dict(job.params), job.seed
-                )
+                try:
+                    value, elapsed = timed_execute(
+                        job.measure, dict(job.params), job.seed
+                    )
+                except Exception as exc:
+                    if self.journal is not None:
+                        self.journal.fail(
+                            keys[index],
+                            self._epochs.get(index, 0),
+                            {"code": "execute_error", "error": repr(exc)},
+                        )
+                    raise
             self._store(index, job, keys[index], value, elapsed, results, run)
         pending.clear()
 
@@ -379,9 +440,13 @@ class Farm:
         run: FarmMetrics,
     ) -> None:
         config = self.config
+        supervisor = self.supervisor
         attempts = 0
         consecutive_failures = 0
         jitter_rng = random.Random(config.backoff_seed)
+        timeout = config.job_timeout
+        if supervisor is not None:
+            timeout = supervisor.effective_deadline(config.job_timeout)
         while pending:
             if (
                 config.breaker_threshold
@@ -389,9 +454,20 @@ class Farm:
             ):
                 self._trip_breaker(pending, keys, results, run)
                 return
+            if supervisor is not None and supervisor.flapping:
+                # the pool is crashing faster than it does work:
+                # degrade to serial before burning more workers
+                self._trip_breaker(pending, keys, results, run)
+                return
+            if self.journal is not None:
+                # fresh lease epochs every round: a commit surfacing
+                # from a previous (presumed-dead) round is fenced out
+                for index in sorted(pending):
+                    self._epochs[index] = self.journal.lease(keys[index])
             pool = self._make_pool(len(pending))
             futures: dict[int, Future] = {}
             progressed = False
+            culprit: int | None = None
             try:
                 # deterministic sharding: jobs enter the queue in index
                 # (and therefore seed) order on every attempt
@@ -401,10 +477,11 @@ class Farm:
                             pool, index, pending[index], keys[index], attempts
                         )
                 for index, future in futures.items():
+                    culprit = index
                     with _span(
                         "farm.result", job_key=keys[index][:12]
                     ):
-                        result = future.result(timeout=config.job_timeout)
+                        result = future.result(timeout=timeout)
                     value, elapsed = result[0], result[1]
                     self._store(
                         index, pending[index], keys[index], value, elapsed,
@@ -412,9 +489,13 @@ class Farm:
                     )
                     if len(result) > 2:
                         self._absorb_envelope(result[2], elapsed)
+                        if supervisor is not None:
+                            supervisor.observe_heartbeat(result[2])
                     del pending[index]
                     progressed = True
                 pool.shutdown(wait=True)
+                if supervisor is not None:
+                    supervisor.record_progress()
             except (BrokenProcessPool, FutureTimeoutError) as exc:
                 # a worker died (or a job hung): drop the poisoned pool
                 # without waiting on it, then back off and retry what's
@@ -426,6 +507,10 @@ class Farm:
                 )
                 delay = config.backoff_delay(attempts, jitter_rng)
                 run.record_retry(attempts, delay)
+                if supervisor is not None:
+                    delay += self._supervise_failure(
+                        exc, culprit, pending, keys, attempts, progressed, run
+                    )
                 session = _telemetry()
                 if session is not None:
                     session.trace.farm_job(
@@ -436,7 +521,20 @@ class Farm:
                         pending=len(pending),
                         error=type(exc).__name__,
                     )
+                if not pending:
+                    return  # the only survivors were poisoned away
                 if attempts > config.max_retries:
+                    if self.journal is not None:
+                        for i in sorted(pending):
+                            self.journal.fail(
+                                keys[i],
+                                self._epochs.get(i, 0),
+                                {
+                                    "code": "retries_exhausted",
+                                    "attempts": attempts,
+                                    "error": repr(exc),
+                                },
+                            )
                     failed = ", ".join(
                         f"{pending[i].measure}(seed={pending[i].seed})"
                         for i in sorted(pending)
@@ -446,6 +544,48 @@ class Farm:
                         f"{attempts} attempt(s) [{failed}]: {exc!r}"
                     ) from exc
                 time.sleep(delay)
+
+    def _supervise_failure(
+        self,
+        exc: Exception,
+        culprit: int | None,
+        pending: dict[int, Job],
+        keys: list[str],
+        attempts: int,
+        progressed: bool,
+        run: FarmMetrics,
+    ) -> float:
+        """Strike the culprit job, poison it if it keeps killing
+        workers, and meter the pool restart; returns the cool-down."""
+        supervisor = self.supervisor
+        assert supervisor is not None
+        kind = (
+            "deadline"
+            if isinstance(exc, FutureTimeoutError)
+            else "worker_crash"
+        )
+        if culprit is not None and culprit in pending:
+            reason = supervisor.record_strike(
+                keys[culprit], kind, repr(exc), generation=attempts
+            )
+            if reason is not None:
+                if self.journal is not None:
+                    self.journal.poison(
+                        keys[culprit],
+                        self._epochs.get(culprit, 0),
+                        reason,
+                    )
+                self._poisoned[keys[culprit]] = reason
+                del pending[culprit]
+                session = _telemetry()
+                if session is not None:
+                    session.trace.farm_job(
+                        "poisoned",
+                        ts_secs=time.perf_counter() - self._batch_started,
+                        job_key=keys[culprit][:12],
+                        strikes=len(reason["strikes"]),
+                    )
+        return supervisor.record_round(progressed)
 
     def _make_pool(self, n_pending: int) -> ProcessPoolExecutor:
         workers = min(self.config.max_workers, n_pending)

@@ -38,6 +38,8 @@ class FarmMetrics:
     breaker_tripped: bool = False
     #: corrupt cache records quarantined during this run
     cache_corrupt: int = 0
+    #: jobs quarantined as poisoned by the supervisor during this run
+    poisoned: int = 0
     wall_clock_secs: float = 0.0
     #: (attempt, backoff_secs) per retry, in order
     retry_events: list = field(default_factory=list)
@@ -75,6 +77,7 @@ class FarmMetrics:
         self.fallback_serial = self.fallback_serial or other.fallback_serial
         self.breaker_tripped = self.breaker_tripped or other.breaker_tripped
         self.cache_corrupt += other.cache_corrupt
+        self.poisoned += other.poisoned
         self.wall_clock_secs += other.wall_clock_secs
         self.retry_events.extend(other.retry_events)
         self.latency.merge(other.latency)
@@ -90,6 +93,7 @@ class FarmMetrics:
             "fallback_serial": self.fallback_serial,
             "breaker_tripped": self.breaker_tripped,
             "cache_corrupt": self.cache_corrupt,
+            "poisoned": self.poisoned,
             "wall_clock_secs": round(self.wall_clock_secs, 6),
             "mean_latency_secs": round(self.mean_latency_secs, 6),
             "max_latency_secs": round(self.max_latency_secs, 6),
@@ -116,6 +120,8 @@ class FarmMetrics:
             metrics.counter("farm.breaker_tripped").inc()
         if self.cache_corrupt:
             metrics.counter("cache.corrupt").inc(self.cache_corrupt)
+        if self.poisoned:
+            metrics.counter("farm.jobs.poisoned").inc(self.poisoned)
         metrics.histogram(
             "farm.jobs.latency", bounds=self.latency.bounds
         ).merge(self.latency)
@@ -141,6 +147,11 @@ class FarmMetrics:
             )
         elif self.fallback_serial:
             lines.append("note          : process pool unavailable, ran serially")
+        if self.poisoned:
+            lines.append(
+                f"poisoned      : {self.poisoned} job(s) quarantined "
+                "(see poisoned.jsonl)"
+            )
         if self.cache_corrupt:
             lines.append(
                 f"cache corrupt : {self.cache_corrupt} record(s) quarantined"

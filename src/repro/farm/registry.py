@@ -28,6 +28,7 @@ BUILTIN_MEASURES: dict[str, str] = {
     "table8.measure": "repro.experiments.table8:_measure",
     "table9.measure": "repro.experiments.table9:_measure",
     "chaos.probe": "repro.faults.infra:chaos_probe",
+    "chaos.kill_probe": "repro.faults.infra:killable_probe",
     "sampling.interval": "repro.sampling.runner:interval_measure",
 }
 

@@ -32,7 +32,16 @@ Resolutions
 ``absorbed:retry``
     the farm re-ran jobs lost to a killed or hung worker.
 ``absorbed:quarantine``
-    corrupt cache records were skipped and the values recomputed.
+    corrupt cache records were skipped and the values recomputed —
+    or poisoned jobs were quarantined with machine-readable reasons
+    while the rest of the batch completed exactly.
+``absorbed:resume``
+    the service master was SIGKILLed mid-batch and ``resume`` replayed
+    the journaled remainder exactly once, bit-identical.
+``absorbed:miss``
+    cache GC evicted entries under a live reader: existing mappings
+    kept their pages (POSIX unlink semantics), fresh lookups missed
+    cleanly and recompiled.
 ``skipped:not_triggered``
     the schedule never found a viable target (short run, no trapped
     granule yet, ...).  Not a contract violation — nothing happened.
@@ -146,7 +155,7 @@ class ChaosReport:
             f"seed={self.seed} plan_seed={self.plan.get('seed', 0):#x}",
             f"audits    : {self.audits} ({self.audit_checks:,} invariant checks)",
         ]
-        for plane in ("machine", "infra"):
+        for plane in ("machine", "infra", "service"):
             plane_outcomes = [o for o in self.outcomes if o.plane == plane]
             if not plane_outcomes:
                 continue
@@ -419,6 +428,261 @@ def _run_cache_garble(specs: list[FaultSpec], tmp: Path) -> FaultOutcome:
 
 
 # ---------------------------------------------------------------------------
+# service plane: crash/resume, poison storms, GC vs. readers
+# ---------------------------------------------------------------------------
+
+
+def _service_farm_config(cache_dir: Path, **overrides: Any) -> "FarmConfig":
+    defaults: dict[str, Any] = dict(
+        max_workers=1,
+        cache_dir=cache_dir,
+        backoff_base=0.01,
+        backoff_max=0.02,
+    )
+    defaults.update(overrides)
+    return FarmConfig(**defaults)
+
+
+def _run_service_crash(specs: list[FaultSpec], tmp: Path) -> FaultOutcome:
+    """SIGKILL the service master mid-batch, resume, verify identity.
+
+    A child process runs the batch serially under a journal; the job at
+    the scheduled index SIGKILLs the master (while a sentinel file
+    exists), leaving k committed jobs, one leased, the rest queued.
+    The parent deletes the sentinel, resumes on the same directories,
+    and demands bit-identical values, exactly-once replay and a clean
+    journal.
+    """
+    import subprocess
+    import sys
+
+    kind = FaultKind.SERVICE_CRASH
+    kill_at = next(
+        (
+            when for spec in specs for when in sorted(spec.occurrences())
+            if 0 < when < _INFRA_JOBS
+        ),
+        2,
+    )
+    cache_dir = tmp / kind.value
+    sentinel = tmp / f"{kind.value}.sentinel"
+    sentinel.write_text("armed\n")
+    src_root = str(Path(__file__).resolve().parents[2])
+    child = (
+        "import sys\n"
+        f"sys.path.insert(0, {src_root!r})\n"
+        "from repro.farm import FarmService, ServiceConfig, FarmConfig, Job\n"
+        f"cfg = ServiceConfig(farm=FarmConfig(max_workers=1, "
+        f"cache_dir={str(cache_dir)!r}))\n"
+        "svc = FarmService(cfg)\n"
+        "jobs = [Job('chaos.kill_probe', {'scale': 1.0, "
+        f"'sentinel': {str(sentinel)!r}, 'kill_seed': {kill_at}}}, seed=s)\n"
+        f"        for s in range({_INFRA_JOBS})]\n"
+        "svc.run(jobs, client='chaos', batch='crash')\n"
+    )
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-c", child],
+            capture_output=True, text=True, timeout=120,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        return FaultOutcome(
+            kind.value, "service", "skipped:not_triggered",
+            detail=f"child process could not run: {exc!r}",
+        )
+    if proc.returncode == 0:
+        return FaultOutcome(
+            kind.value, "service", "SILENT", applied=0,
+            detail="scheduled SIGKILL never fired; the batch completed",
+        )
+    sentinel.unlink(missing_ok=True)
+
+    from repro.farm.service import FarmService, ServiceConfig
+
+    svc = FarmService(
+        ServiceConfig(farm=_service_farm_config(cache_dir))
+    )
+    counts_before = svc.journal.counts()
+    incomplete = counts_before["queued"] + counts_before["leased"]
+    if incomplete == 0 or counts_before["done"] != kill_at:
+        return FaultOutcome(
+            kind.value, "service", "SILENT", applied=1,
+            detail=(
+                f"journal does not reflect the crash point: {counts_before} "
+                f"(expected {kill_at} done, {_INFRA_JOBS - kill_at} unfinished)"
+            ),
+        )
+    report = svc.resume()
+    jobs = [
+        Job(
+            "chaos.kill_probe",
+            {
+                "scale": 1.0,
+                "sentinel": str(sentinel),
+                "kill_seed": kill_at,
+            },
+            seed=s,
+        )
+        for s in range(_INFRA_JOBS)
+    ]
+    values = svc.farm.run_jobs(jobs)
+    counts = svc.journal.counts()
+    clean = counts["queued"] == 0 and counts["leased"] == 0
+    exact = values == _expected_values()
+    once = (
+        report["executed"] + report["reconciled"] == _INFRA_JOBS - kill_at
+    )
+    if exact and clean and once:
+        return FaultOutcome(
+            kind.value, "service", "absorbed:resume", applied=1,
+            detail=(
+                f"SIGKILL after {kill_at} of {_INFRA_JOBS} jobs; resume "
+                f"re-executed {report['executed']}, reconciled "
+                f"{report['reconciled']}, values bit-identical, journal clean"
+            ),
+        )
+    return FaultOutcome(
+        kind.value, "service", "SILENT", applied=1,
+        detail=(
+            f"resume broke the contract: exact={exact} clean={clean} "
+            f"exactly_once={once} values={values} journal={counts}"
+        ),
+    )
+
+
+def _run_poison_storm(specs: list[FaultSpec], tmp: Path) -> FaultOutcome:
+    """Several jobs deterministically kill every worker they touch; the
+    supervisor must quarantine each with a reason while the healthy
+    jobs complete exactly."""
+    from repro.errors import PoisonedJobsError
+    from repro.farm.service import FarmService, ServiceConfig
+    from repro.farm.supervisor import POISON_FILE, SupervisorConfig
+
+    kind = FaultKind.POISON_STORM
+    toxic = frozenset(
+        when for spec in specs for when in spec.occurrences()
+        if when < _INFRA_JOBS - 1  # keep at least one healthy job
+    )
+    if not toxic:
+        return FaultOutcome(
+            kind.value, "service", "skipped:not_triggered",
+            detail=f"no scheduled job index below {_INFRA_JOBS - 1}",
+        )
+    cache_dir = tmp / kind.value
+    svc = FarmService(
+        ServiceConfig(
+            farm=_service_farm_config(
+                cache_dir,
+                max_workers=2,
+                max_retries=2 * len(toxic) + 3,
+                worker_faults=WorkerFaults(kills=toxic, persistent=True),
+            ),
+            supervisor=SupervisorConfig(
+                poison_strikes=2, flap_threshold=99
+            ),
+        )
+    )
+    ticket = svc.run(_probe_jobs(), client="chaos", batch="storm")
+    run = svc.farm.last_run
+    if (
+        ticket.state == "done"
+        and run is not None
+        and run.fallback_serial
+        and not run.retries
+    ):
+        return FaultOutcome(
+            kind.value, "service", "skipped:pool_unavailable",
+            detail="no process pool in this environment; fault never fired",
+        )
+    expected = _expected_values()
+    healthy_exact = ticket.results is not None and all(
+        ticket.results[i] == expected[i]
+        for i in range(_INFRA_JOBS)
+        if i not in toxic
+    )
+    reasons_ok = (
+        ticket.state == "poisoned"
+        and len(ticket.reasons) == len(toxic)
+        and all(
+            reason.get("code") == "poisoned"
+            and reason.get("workers_killed", 0) >= 2
+            for reason in ticket.reasons.values()
+        )
+    )
+    ledgered = (cache_dir / POISON_FILE).exists()
+    journaled = svc.journal.counts()["poisoned"] == len(toxic)
+    if healthy_exact and reasons_ok and ledgered and journaled:
+        return FaultOutcome(
+            kind.value, "service", "absorbed:quarantine",
+            applied=len(toxic),
+            detail=(
+                f"{len(toxic)} poisoned job(s) quarantined with "
+                "machine-readable reasons; healthy values exact; "
+                "journal and poisoned.jsonl agree"
+            ),
+        )
+    return FaultOutcome(
+        kind.value, "service", "SILENT", applied=len(toxic),
+        detail=(
+            f"storm mishandled: state={ticket.state} "
+            f"healthy_exact={healthy_exact} reasons_ok={reasons_ok} "
+            f"ledgered={ledgered} journaled={journaled}"
+        ),
+    )
+
+
+def _run_gc_reader_race(tmp: Path) -> FaultOutcome:
+    """Evict the whole stream tier while a reader holds live mappings:
+    the mapping must keep its pages, fresh lookups must miss cleanly."""
+    import numpy as np
+
+    from repro.farm.gc import CacheGC
+    from repro.streams.store import StreamStore
+
+    kind = FaultKind.GC_READER_RACE
+    store_dir = tmp / kind.value
+    store = StreamStore(store_dir)
+    key = "deadbeef" * 8  # a 64-char hex key, like real fingerprints
+    blob = np.arange(2048, dtype=np.int64)
+    mapped = store.put(key, blob)
+    assert mapped is not None
+    before = (int(mapped[0]), int(mapped[-1]), int(mapped.sum()))
+
+    collector = CacheGC(budget_bytes=0)
+    report = collector.collect_stream_tier(store_dir)
+    if report.evicted == 0:
+        return FaultOutcome(
+            kind.value, "service", "SILENT", applied=0,
+            detail="GC under a zero budget evicted nothing",
+        )
+    after = (int(mapped[0]), int(mapped[-1]), int(mapped.sum()))
+    fresh = StreamStore(store_dir)
+    miss = fresh.get(key) is None
+    replaced = fresh.put(key, blob)
+    replay = (
+        replaced is not None
+        and (int(replaced[0]), int(replaced[-1]), int(replaced.sum()))
+        == before
+    )
+    if after == before and miss and replay:
+        return FaultOutcome(
+            kind.value, "service", "absorbed:miss",
+            applied=report.evicted,
+            detail=(
+                "live mapping kept its pages through the eviction; "
+                "fresh lookup missed cleanly and the re-put round-tripped"
+            ),
+        )
+    return FaultOutcome(
+        kind.value, "service", "SILENT", applied=report.evicted,
+        detail=(
+            f"race mishandled: mapping_stable={after == before} "
+            f"clean_miss={miss} replay={replay}"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
 # the entry point
 # ---------------------------------------------------------------------------
 
@@ -455,4 +719,22 @@ def run_chaos(
                 report.outcomes.append(
                     _run_cache_garble(by_kind[FaultKind.CACHE_GARBLE], tmp)
                 )
+
+    service = plan.service_specs()
+    if service:
+        by_kind = {}
+        for spec in service:
+            by_kind.setdefault(spec.kind, []).append(spec)
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-svc-") as tmpdir:
+            tmp = Path(tmpdir)
+            if FaultKind.SERVICE_CRASH in by_kind:
+                report.outcomes.append(
+                    _run_service_crash(by_kind[FaultKind.SERVICE_CRASH], tmp)
+                )
+            if FaultKind.POISON_STORM in by_kind:
+                report.outcomes.append(
+                    _run_poison_storm(by_kind[FaultKind.POISON_STORM], tmp)
+                )
+            if FaultKind.GC_READER_RACE in by_kind:
+                report.outcomes.append(_run_gc_reader_race(tmp))
     return report

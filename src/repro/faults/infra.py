@@ -108,6 +108,28 @@ def chaos_probe(seed: int = 0, scale: float = 1.0) -> float:
     return round(scale * (seed * seed + 3 * seed + 1), 6)
 
 
+def killable_probe(
+    seed: int = 0,
+    scale: float = 1.0,
+    sentinel: str = "",
+    kill_seed: int = -1,
+) -> float:
+    """:func:`chaos_probe` that SIGKILLs its own process on one seed.
+
+    The service-plane crash scenario: while the ``sentinel`` file
+    exists, executing the job with ``seed == kill_seed`` kills the
+    process outright (no cleanup, no journal commit) — exactly the
+    mid-batch SIGKILL a resumable service must survive.  The parent
+    deletes the sentinel before resuming, so the replayed job runs
+    normally and returns the probe value.
+    """
+    import signal
+
+    if sentinel and seed == kill_seed and Path(sentinel).exists():
+        os.kill(os.getpid(), signal.SIGKILL)
+    return chaos_probe(seed, scale)
+
+
 def garble_cache_records(
     directory: str | Path, indices: tuple[int, ...] = (0,)
 ) -> int:

@@ -37,6 +37,7 @@ Fault semantics (all between chunks, on granule/line boundaries):
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -44,6 +45,13 @@ import numpy as np
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
 from repro.machine.dma import DMAEngine
 from repro.machine.memory import GRANULE_BYTES
+
+logger = logging.getLogger(__name__)
+
+#: in-memory ledger entry cap; beyond it the oldest half rotates out so
+#: a fault storm cannot grow the ledger without bound (applied counts
+#: stay exact — they are tallied at append time, not by scanning)
+LEDGER_CAP = 4096
 
 
 @dataclass
@@ -83,6 +91,9 @@ class MachineFaultInjector:
             [plan.seed & 0xFFFFFFFF, trial_seed & 0xFFFFFFFF]
         )
         self.ledger: list[Injection] = []
+        self.ledger_rotations = 0
+        self._applied_counts: dict[FaultKind, int] = {}
+        self._rotation_logged = False
         self.dropped_clears: list[tuple[int, int]] = []
         self._pending_drops = 0
         self._drop_entries: list[Injection] = []
@@ -109,6 +120,8 @@ class MachineFaultInjector:
             if self._pending_drops > 0:
                 self._pending_drops -= 1
                 self.dropped_clears.append((pa, size))
+                if len(self.dropped_clears) > LEDGER_CAP:
+                    del self.dropped_clears[: LEDGER_CAP // 2]
                 entry = self._drop_entries.pop(0)
                 entry.pa = pa
                 entry.granule = pa // GRANULE_BYTES
@@ -139,11 +152,31 @@ class MachineFaultInjector:
             self._inject(spec, index, tid, vas)
 
     def injections_applied(self, kind: FaultKind | None = None) -> int:
-        return sum(
-            1
-            for entry in self.ledger
-            if entry.applied and (kind is None or entry.kind is kind)
-        )
+        if kind is not None:
+            return self._applied_counts.get(kind, 0)
+        return sum(self._applied_counts.values())
+
+    def _ledger_append(self, entry: Injection) -> None:
+        """Record an injection, rotating the oldest half past the cap.
+
+        The applied tally is taken here (entries never flip ``applied``
+        later), so rotation loses narrative detail but never counts.
+        """
+        if entry.applied:
+            self._applied_counts[entry.kind] = (
+                self._applied_counts.get(entry.kind, 0) + 1
+            )
+        self.ledger.append(entry)
+        if len(self.ledger) > LEDGER_CAP:
+            del self.ledger[: LEDGER_CAP // 2]
+            self.ledger_rotations += 1
+            if not self._rotation_logged:
+                self._rotation_logged = True
+                logger.warning(
+                    "fault ledger exceeded %d entries; rotating the "
+                    "oldest half out (counts stay exact; further "
+                    "rotations are silent)", LEDGER_CAP,
+                )
 
     # ------------------------------------------------------------------
     # per-kind implementations
@@ -171,7 +204,7 @@ class MachineFaultInjector:
             self._drop_entries.append(entry)
         else:  # pragma: no cover - the plan split keeps infra kinds out
             raise AssertionError(f"not a machine-plane fault: {kind}")
-        self.ledger.append(entry)
+        self._ledger_append(entry)
 
     def _sample_pa(self, tid: int, vas: np.ndarray) -> int:
         """A physical address the just-run chunk actually touched."""

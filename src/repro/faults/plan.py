@@ -7,7 +7,7 @@ random choice any injector makes is drawn from a generator seeded by
 ``(plan, seed)`` — the property that turns "it broke once in the farm"
 into a unit test.
 
-Faults live on two planes:
+Faults live on three planes:
 
 * the **machine plane** breaks the simulated hardware the way §3/§4 of
   the paper says real hardware breaks Tapeworm: correctable single-bit
@@ -15,10 +15,14 @@ Faults live on two planes:
   regenerate ECC over planted traps, spurious traps, and dropped
   trap-clear operations;
 * the **infrastructure plane** breaks the execution farm around the
-  simulation: killed workers, hung workers, and garbled cache records.
+  simulation: killed workers, hung workers, and garbled cache records;
+* the **service plane** breaks the long-running service around the
+  farm: the master SIGKILLed mid-batch (then resumed from the job
+  journal), jobs that deterministically poison every worker, and cache
+  GC evicting entries under a live reader.
 
-Machine-plane schedules are in units of executed *chunks*; infra-plane
-schedules are in units of *job index* within a batch.
+Machine-plane schedules are in units of executed *chunks*; infra- and
+service-plane schedules are in units of *job index* within a batch.
 """
 
 from __future__ import annotations
@@ -35,6 +39,9 @@ from repro.errors import ConfigError
 class FaultPlane(enum.Enum):
     MACHINE = "machine"
     INFRA = "infra"
+    #: the long-running service around the farm: crash/resume, poison
+    #: storms, cache GC racing readers
+    SERVICE = "service"
 
 
 class FaultKind(enum.Enum):
@@ -56,6 +63,12 @@ class FaultKind(enum.Enum):
     WORKER_HANG = "worker_hang"
     #: on-disk cache record corrupted
     CACHE_GARBLE = "cache_garble"
+    #: the service master SIGKILLed mid-batch, then resumed
+    SERVICE_CRASH = "service_crash"
+    #: several jobs deterministically kill every worker they touch
+    POISON_STORM = "poison_storm"
+    #: cache GC evicts entries while a reader holds live mappings
+    GC_READER_RACE = "gc_reader_race"
 
     @property
     def plane(self) -> FaultPlane:
@@ -65,6 +78,12 @@ class FaultKind(enum.Enum):
             FaultKind.CACHE_GARBLE,
         ):
             return FaultPlane.INFRA
+        if self in (
+            FaultKind.SERVICE_CRASH,
+            FaultKind.POISON_STORM,
+            FaultKind.GC_READER_RACE,
+        ):
+            return FaultPlane.SERVICE
         return FaultPlane.MACHINE
 
 
@@ -132,6 +151,11 @@ class FaultPlan:
 
     def infra_specs(self) -> tuple[FaultSpec, ...]:
         return tuple(s for s in self.specs if s.kind.plane is FaultPlane.INFRA)
+
+    def service_specs(self) -> tuple[FaultSpec, ...]:
+        return tuple(
+            s for s in self.specs if s.kind.plane is FaultPlane.SERVICE
+        )
 
     def __iter__(self) -> Iterator[FaultSpec]:
         return iter(self.specs)
@@ -210,5 +234,8 @@ def default_plan(seed: int = 0xFA017) -> FaultPlan:
                 params={"hang_secs": 5.0},
             ),
             FaultSpec(FaultKind.CACHE_GARBLE, count=1, start=0),
+            FaultSpec(FaultKind.SERVICE_CRASH, count=1, start=2),
+            FaultSpec(FaultKind.POISON_STORM, count=2, start=0, every=1),
+            FaultSpec(FaultKind.GC_READER_RACE, count=1, start=0),
         ),
     )

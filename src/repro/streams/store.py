@@ -62,25 +62,47 @@ class StreamStore:
         self,
         directory: str | Path = DEFAULT_STORE_DIR,
         enabled: bool = True,
+        sharded: bool = False,
     ) -> None:
         self.directory = Path(directory)
         self.enabled = enabled
+        #: write new blobs into two-level shard dirs (``ab/cd/<key>``)
+        #: instead of the flat directory; reads always check both
+        #: layouts, so flipping this (or a GC migration) never hides
+        #: an existing entry
+        self.sharded = sharded
         self.hits = 0
         self.misses = 0
         self.puts = 0
         self.corrupt = 0
         self.bytes_mapped = 0
         self.bytes_written = 0
+        #: entries a clear left in place under a live journal pin
+        self.pinned_skips = 0
         self._mapped: dict[str, np.ndarray] = {}
         self._corruption_logged = False
 
     # -- paths
 
+    def _shard_dir(self, key: str) -> Path:
+        return self.directory / key[:2] / key[2:4]
+
+    def _entry_path(self, key: str, suffix: str) -> Path:
+        """Where ``key``'s blob/sidecar lives: whichever of the flat
+        and sharded locations exists, else the layout ``put`` targets."""
+        flat = self.directory / f"{key}{suffix}"
+        if flat.exists():
+            return flat
+        sharded = self._shard_dir(key) / f"{key}{suffix}"
+        if sharded.exists():
+            return sharded
+        return sharded if self.sharded else flat
+
     def _blob_path(self, key: str) -> Path:
-        return self.directory / f"{key}.npy"
+        return self._entry_path(key, ".npy")
 
     def _sidecar_path(self, key: str) -> Path:
-        return self.directory / f"{key}.json"
+        return self._entry_path(key, ".json")
 
     @property
     def _quarantine_dir(self) -> Path:
@@ -228,7 +250,12 @@ class StreamStore:
         total_bytes = 0
         total_refs = 0
         if self.directory.is_dir():
-            for sidecar_path in sorted(self.directory.glob("*.json")):
+            sidecars = sorted(self.directory.glob("*.json")) + sorted(
+                self.directory.glob(
+                    "[0-9a-f][0-9a-f]/[0-9a-f][0-9a-f]/*.json"
+                )
+            )
+            for sidecar_path in sidecars:
                 try:
                     sidecar = json.loads(sidecar_path.read_text())
                 except (json.JSONDecodeError, OSError):
@@ -260,7 +287,7 @@ class StreamStore:
             },
         }
 
-    def clear(self) -> int:
+    def clear(self, pinned: frozenset[str] | set[str] = frozenset()) -> int:
         """Delete every blob, sidecar and quarantined file; returns the
         number of blobs dropped.
 
@@ -268,13 +295,19 @@ class StreamStore:
         that does not resolve to inside the store directory — a symlink
         planted in the cache cannot steer the unlink elsewhere, and a
         mis-set ``--dir`` cannot silently eat an unrelated tree.
+
+        Entries whose key appears in ``pinned`` — a live journal lease
+        still references them — survive the clear, counted in
+        :attr:`pinned_skips`.
         """
         if not self.directory.is_dir():
             self._mapped.clear()
             return 0
         victims: list[Path] = []
+        shard_glob = "[0-9a-f][0-9a-f]/[0-9a-f][0-9a-f]"
         for pattern in ("*.npy", "*.json", "*.tmp"):
             victims.extend(self.directory.glob(pattern))
+            victims.extend(self.directory.glob(f"{shard_glob}/{pattern}"))
         if self._quarantine_dir.is_dir():
             victims.extend(self._quarantine_dir.iterdir())
         for path in victims:
@@ -283,6 +316,16 @@ class StreamStore:
                     f"refusing to clear {path}: it escapes the stream store "
                     f"directory {self.directory}"
                 )
+        if pinned:
+            spared = {
+                path
+                for path in victims
+                if path.suffix in (".npy", ".json") and path.stem in pinned
+            }
+            self.pinned_skips += sum(
+                1 for p in spared if p.suffix == ".npy"
+            )
+            victims = [p for p in victims if p not in spared]
         dropped = sum(1 for p in victims if p.suffix == ".npy")
         for path in victims:
             try:
@@ -294,5 +337,9 @@ class StreamStore:
                 self._quarantine_dir.rmdir()
             except OSError:
                 pass
-        self._mapped.clear()
+        self._mapped = {
+            key: array
+            for key, array in self._mapped.items()
+            if key in pinned
+        }
         return dropped

@@ -1,0 +1,114 @@
+"""Admission control: bounded depth, fair share, shed-to-serial."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.farm import AdmissionConfig, AdmissionController, Job
+from repro.telemetry.registry import MetricsRegistry
+
+
+def _jobs(n, base_seed=0):
+    return [Job("test.double", {}, seed=base_seed + i) for i in range(n)]
+
+
+class TestBoundedDepth:
+    def test_under_the_cap_admits_normally(self):
+        controller = AdmissionController(AdmissionConfig(max_queue_depth=10))
+        ticket = controller.submit(_jobs(4))
+        assert not ticket.degraded
+        assert controller.depth == 4
+        assert controller.shed == 0
+
+    def test_over_the_cap_degrades_instead_of_rejecting(self):
+        controller = AdmissionController(AdmissionConfig(max_queue_depth=4))
+        first = controller.submit(_jobs(3))
+        burst = controller.submit(_jobs(3, base_seed=10))
+        assert not first.degraded
+        assert burst.degraded  # admitted anyway — nothing is rejected
+        assert controller.admitted == 2
+        assert controller.shed == 1
+        assert controller.tickets_queued == 2
+
+    def test_shed_breaker_latches_serial_mode(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_queue_depth=2, shed_breaker=2)
+        )
+        controller.submit(_jobs(2))
+        controller.submit(_jobs(2, base_seed=10))  # shed 1
+        controller.submit(_jobs(2, base_seed=20))  # shed 2 -> latch
+        assert controller.degraded_latched
+        controller.drain_order()  # queue empties
+        # latched: even an under-cap submission stays degraded...
+        latched = controller.submit(_jobs(1, base_seed=30))
+        assert latched.degraded
+        # ...but an under-cap admission resets the breaker for the next
+        fresh = controller.submit(_jobs(1, base_seed=40))
+        assert controller.depth <= 2 or fresh.degraded
+
+    def test_under_cap_submission_resets_the_shed_streak(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_queue_depth=4, shed_breaker=2)
+        )
+        controller.submit(_jobs(4))  # fills the queue
+        controller.submit(_jobs(1, base_seed=10))  # shed 1
+        controller.drain_order()
+        controller.submit(_jobs(1, base_seed=20))  # under cap: streak resets
+        controller.submit(_jobs(9, base_seed=30))  # shed, but streak == 1
+        assert not controller.degraded_latched
+
+
+class TestFairShare:
+    def test_round_robin_across_clients(self):
+        controller = AdmissionController(AdmissionConfig(max_queue_depth=100))
+        a1 = controller.submit(_jobs(1), client="a")
+        a2 = controller.submit(_jobs(1, base_seed=1), client="a")
+        a3 = controller.submit(_jobs(1, base_seed=2), client="a")
+        b1 = controller.submit(_jobs(1, base_seed=3), client="b")
+        order = controller.drain_order()
+        # client a cannot starve client b: b's one ticket drains second
+        assert order[0] is a1
+        assert order[1] is b1
+        assert order[2:] == [a2, a3]
+
+    def test_next_ticket_returns_none_when_empty(self):
+        controller = AdmissionController()
+        assert controller.next_ticket() is None
+        controller.submit(_jobs(1))
+        assert controller.next_ticket() is not None
+        assert controller.next_ticket() is None
+
+
+class TestReporting:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            AdmissionConfig(max_queue_depth=0)
+        with pytest.raises(ConfigError):
+            AdmissionConfig(shed_breaker=-1)
+
+    def test_ticket_summary_shape(self):
+        controller = AdmissionController()
+        ticket = controller.submit(_jobs(2), client="c", batch="b")
+        summary = ticket.summary()
+        assert summary == {
+            "ticket": 1,
+            "client": "c",
+            "batch": "b",
+            "jobs": 2,
+            "degraded": False,
+            "state": "queued",
+            "error": "",
+        }
+
+    def test_publish_into_registry(self):
+        controller = AdmissionController(AdmissionConfig(max_queue_depth=2))
+        controller.submit(_jobs(2), client="a")
+        controller.submit(_jobs(2, base_seed=10), client="b")
+        registry = MetricsRegistry()
+        controller.publish(registry)
+        snap = registry.snapshot()
+        assert snap["farm.service.queue_depth"] == 4
+        assert snap["farm.service.clients"] == 2
+        assert snap["farm.service.admitted"] == 2
+        assert snap["farm.service.shed"] == 1

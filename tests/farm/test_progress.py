@@ -60,6 +60,7 @@ class TestSummary:
             "fallback_serial",
             "breaker_tripped",
             "cache_corrupt",
+            "poisoned",
             "wall_clock_secs",
             "mean_latency_secs",
             "max_latency_secs",

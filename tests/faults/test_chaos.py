@@ -84,6 +84,45 @@ class TestInfraPlane:
         assert report.ok
 
 
+class TestServicePlane:
+    def test_sigkill_mid_batch_is_absorbed_by_resume(self):
+        plan = FaultPlan(
+            seed=2,
+            specs=(FaultSpec(FaultKind.SERVICE_CRASH, start=2),),
+        )
+        report = run_chaos(plan, refs=_REFS)
+        (outcome,) = report.outcomes
+        assert outcome.resolution == "absorbed:resume"
+        assert outcome.plane == "service"
+        assert report.ok
+
+    def test_poison_storm_is_quarantined(self):
+        plan = FaultPlan(
+            seed=3,
+            specs=(
+                FaultSpec(FaultKind.POISON_STORM, start=0, count=2, every=1),
+            ),
+        )
+        report = run_chaos(plan, refs=_REFS)
+        (outcome,) = report.outcomes
+        assert outcome.resolution in (
+            "absorbed:quarantine", "skipped:pool_unavailable"
+        )
+        if outcome.resolution == "absorbed:quarantine":
+            assert outcome.applied == 2
+        assert report.ok
+
+    def test_gc_reader_race_resolves_to_a_clean_miss(self):
+        plan = FaultPlan(
+            seed=4,
+            specs=(FaultSpec(FaultKind.GC_READER_RACE, start=0),),
+        )
+        report = run_chaos(plan, refs=_REFS)
+        (outcome,) = report.outcomes
+        assert outcome.resolution == "absorbed:miss"
+        assert report.ok
+
+
 class TestFullDefaultPlan:
     @pytest.mark.slow
     def test_default_plan_has_no_silent_faults(self):

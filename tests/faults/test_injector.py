@@ -100,6 +100,49 @@ class TestPerKind:
         assert injector._schedule == {}
 
 
+class TestLedgerCap:
+    def _injector(self):
+        _, _, tapeworm, _, _ = _booted()
+        return MachineFaultInjector(
+            tapeworm, _plan(FaultKind.ECC_SINGLE), trial_seed=0
+        )
+
+    def test_ledger_rotates_but_counts_stay_exact(self, caplog):
+        from repro.faults.injector import LEDGER_CAP, Injection
+
+        injector = self._injector()
+        total = LEDGER_CAP * 2 + 10
+        with caplog.at_level("WARNING", logger="repro.faults.injector"):
+            for i in range(total):
+                injector._ledger_append(
+                    Injection(FaultKind.ECC_SINGLE, chunk_index=i, detail="x")
+                )
+        assert len(injector.ledger) <= LEDGER_CAP
+        assert injector.ledger_rotations >= 2
+        # rotation loses narrative detail, never counts
+        assert injector.injections_applied() == total
+        assert injector.injections_applied(FaultKind.ECC_SINGLE) == total
+        # the survivors are the newest entries
+        assert injector.ledger[-1].chunk_index == total - 1
+        warned = [
+            r for r in caplog.records if "rotating" in r.getMessage()
+        ]
+        assert len(warned) == 1  # log-once: later rotations are silent
+
+    def test_unapplied_entries_are_kept_but_not_counted(self):
+        from repro.faults.injector import Injection
+
+        injector = self._injector()
+        injector._ledger_append(
+            Injection(
+                FaultKind.ECC_SINGLE, chunk_index=0, detail="no target",
+                applied=False,
+            )
+        )
+        assert len(injector.ledger) == 1
+        assert injector.injections_applied() == 0
+
+
 class TestReplay:
     def test_same_plan_and_seed_replays_the_same_ledger(self):
         plan = FaultPlan(

@@ -36,14 +36,19 @@ class TestFaultSpec:
 class TestPlaneSplit:
     def test_every_kind_has_exactly_one_plane(self):
         for kind in FaultKind:
-            assert kind.plane in (FaultPlane.MACHINE, FaultPlane.INFRA)
+            assert kind.plane in (
+                FaultPlane.MACHINE, FaultPlane.INFRA, FaultPlane.SERVICE
+            )
 
     def test_plan_splits_by_plane(self):
         plan = default_plan()
         machine = {spec.kind for spec in plan.machine_specs()}
         infra = {spec.kind for spec in plan.infra_specs()}
+        service = {spec.kind for spec in plan.service_specs()}
         assert not machine & infra
-        assert machine | infra == set(FaultKind)
+        assert not machine & service
+        assert not infra & service
+        assert machine | infra | service == set(FaultKind)
 
 
 class TestSerialization:

@@ -199,14 +199,45 @@ class TestMain:
     def test_empty_dir_exits_two(self, tmp_path):
         assert trend.main(["--results-dir", str(tmp_path)]) == 2
 
-    def test_unreadable_file_exits_two(self, tmp_path, capsys):
-        results = self._dir_with(tmp_path, 10.0)
+    def test_unreadable_file_warns_and_skips(self, tmp_path, capsys):
+        """A rotted envelope must not blind the gate to the healthy
+        ones: it is skipped with a warning, the rest still compare."""
+        results = self._dir_with(tmp_path, 10.0, 12.0)
         (tmp_path / "BENCH_ROT.json").write_text("{broken")
         code = trend.main(
             ["--results-dir", str(results), "--check-regressions"]
         )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "BENCH_ROT" in captured.err
+        assert "skipped" in captured.err
+        assert "1 file(s) skipped" in captured.out
+        assert "no gated regressions" in captured.out
+
+    def test_skipped_files_cannot_mask_a_regression(self, tmp_path, capsys):
+        results = self._dir_with(tmp_path, 10.0, 1.0)
+        (tmp_path / "BENCH_ROT.json").write_text("{broken")
+        code = trend.main(
+            ["--results-dir", str(results), "--check-regressions"]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_all_files_unreadable_exits_two(self, tmp_path, capsys):
+        (tmp_path / "BENCH_A.json").write_text("{broken")
+        (tmp_path / "BENCH_B.json").write_text("not json")
+        code = trend.main(["--results-dir", str(tmp_path)])
         assert code == 2
-        assert "BENCH_ROT" in capsys.readouterr().err
+        assert "no numeric metrics" in capsys.readouterr().err
+
+    def test_json_output_lists_skipped_files(self, tmp_path, capsys):
+        results = self._dir_with(tmp_path, 10.0)
+        (tmp_path / "BENCH_ROT.json").write_text("{broken")
+        code = trend.main(["--results-dir", str(results), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["skipped"]) == 1
+        assert "BENCH_ROT" in payload["skipped"][0]
 
     def test_extra_file_joins_the_comparison(self, tmp_path, capsys):
         results = self._dir_with(tmp_path, 10.0)
