@@ -26,11 +26,15 @@ from repro._types import Component, Indexing, TrapMechanism
 from repro.caches import (
     CacheConfig,
     CacheStats,
+    GridConfig,
+    GridSweepReport,
+    GridSweepSimulator,
     SetAssociativeCache,
     SimulatedTLB,
     StackSimulator,
     TLBConfig,
     TwoLevelCache,
+    run_grid_sweep,
 )
 from repro.core import (
     HandlerCostModel,
@@ -83,7 +87,11 @@ __all__ = [
     "SetAssociativeCache",
     "SimulatedTLB",
     "TwoLevelCache",
+    "GridConfig",
+    "GridSweepReport",
+    "GridSweepSimulator",
     "StackSimulator",
+    "run_grid_sweep",
     "HandlerCostModel",
     "SetSampler",
     "Tapeworm",

@@ -7,7 +7,7 @@ independent of the driving style — the integration tests rely on the two
 drivers producing identical miss counts over the same structure.
 """
 
-from repro.caches.config import CacheConfig, TLBConfig
+from repro.caches.config import CacheConfig, GridConfig, TLBConfig
 from repro.caches.replacement import (
     FIFOPolicy,
     LRUPolicy,
@@ -17,6 +17,14 @@ from repro.caches.replacement import (
 )
 from repro.caches.cache import SetAssociativeCache, MissOutcome
 from repro.caches.kernels import GroupedSetKernel, supports_policy
+from repro.caches.gridsweep import (
+    DistanceHistogram,
+    GridSweepReport,
+    GridSweepSimulator,
+    grid_rows,
+    grid_supported,
+    run_grid_sweep,
+)
 from repro.caches.pipeline import (
     KernelProgram,
     KernelRegistry,
@@ -24,6 +32,7 @@ from repro.caches.pipeline import (
     cache_request,
     compile_kernel,
     default_registry,
+    grid_request,
     scan_request,
     sweep_request,
     tlb_request,
@@ -35,7 +44,15 @@ from repro.caches.stats import CacheStats
 
 __all__ = [
     "CacheConfig",
+    "GridConfig",
     "TLBConfig",
+    "DistanceHistogram",
+    "GridSweepReport",
+    "GridSweepSimulator",
+    "grid_request",
+    "grid_rows",
+    "grid_supported",
+    "run_grid_sweep",
     "ReplacementPolicy",
     "LRUPolicy",
     "FIFOPolicy",

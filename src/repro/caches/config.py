@@ -71,6 +71,81 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
+class GridConfig:
+    """Geometry of one all-associativity ``(sets × ways)`` sweep grid.
+
+    Every cell ``(S, A)`` names the LRU cache ``CacheConfig(size=S *
+    A * line_bytes, associativity=A)`` — the one-pass grid engine
+    (:mod:`repro.caches.gridsweep`) prices all of them from one stack-
+    distance pass per set count.  Axes are normalized to sorted,
+    ascending tuples so equal grids compare (and fingerprint) equal
+    regardless of the order a caller listed them in.
+    """
+
+    set_counts: tuple[int, ...]
+    ways: tuple[int, ...]
+    line_bytes: int = 4 * WORD_SIZE
+    indexing: Indexing = Indexing.PHYSICAL
+
+    def __post_init__(self) -> None:
+        for name in ("set_counts", "ways"):
+            values = tuple(getattr(self, name))
+            if not values:
+                raise ConfigError(f"grid {name} must be non-empty")
+            if len(set(values)) != len(values):
+                raise ConfigError(f"duplicate grid {name}: {values}")
+            for value in values:
+                if not _is_power_of_two(value):
+                    raise ConfigError(
+                        f"grid {name} must be powers of two, got {value}"
+                    )
+            object.__setattr__(self, name, tuple(sorted(values)))
+        if not _is_power_of_two(self.line_bytes):
+            raise ConfigError(
+                f"line_bytes must be a power of two, got {self.line_bytes}"
+            )
+        if self.line_bytes < WORD_SIZE:
+            raise ConfigError(
+                f"line_bytes must be at least one word, got {self.line_bytes}"
+            )
+
+    @property
+    def max_ways(self) -> int:
+        return self.ways[-1]
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.set_counts) * len(self.ways)
+
+    @property
+    def line_shift(self) -> int:
+        return self.line_bytes.bit_length() - 1
+
+    def cells(self) -> tuple[tuple[int, int], ...]:
+        """Every ``(set_count, ways)`` grid point, row-major."""
+        return tuple(
+            (n_sets, ways) for n_sets in self.set_counts for ways in self.ways
+        )
+
+    def config_for(self, n_sets: int, ways: int) -> CacheConfig:
+        """The per-config :class:`CacheConfig` behind one grid cell."""
+        return CacheConfig(
+            size_bytes=n_sets * ways * self.line_bytes,
+            line_bytes=self.line_bytes,
+            associativity=ways,
+            indexing=self.indexing,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.set_counts)}x{len(self.ways)} grid "
+            f"(sets {','.join(map(str, self.set_counts))} × "
+            f"ways {','.join(map(str, self.ways))}), "
+            f"{self.line_bytes}B lines, {self.indexing.value}-indexed"
+        )
+
+
+@dataclass(frozen=True)
 class TLBConfig:
     """Geometry of one simulated TLB.
 

@@ -132,6 +132,82 @@ def grouped_stack_pass(
     return misses
 
 
+def first_touch_mask(keys: np.ndarray, seen: set) -> np.ndarray:
+    """Boolean mask of compulsory references: True where a chunk
+    position is its key's first occurrence in the *whole* stream.
+
+    ``seen`` is the caller's cross-chunk set of every key ever
+    referenced; it is updated in place with this chunk's keys.  The mask
+    is set-count independent (a key's first touch is a property of the
+    stream, not of any geometry), so the all-associativity sweep
+    computes it once per chunk and shares it across every set-count
+    pass.
+    """
+    unique, first_index = np.unique(keys, return_index=True)
+    mask = np.zeros(len(keys), dtype=bool)
+    fresh = [
+        index
+        for key, index in zip(unique.tolist(), first_index.tolist())
+        if key not in seen
+    ]
+    if fresh:
+        mask[fresh] = True
+        seen.update(keys[fresh].tolist())
+    return mask
+
+
+def grouped_distance_pass(
+    stacks: list[list[int]],
+    max_depth: int | None,
+    set_list: list[int],
+    key_list: list,
+    cold_list: list[bool],
+    distances: list[int],
+) -> tuple[int, int]:
+    """Per-set LRU stack-*distance* extraction over contiguous runs.
+
+    The all-associativity generalization of :func:`grouped_stack_pass`:
+    instead of replaying one fixed associativity, record each found
+    reference's LRU depth ``d`` — by stack inclusion the reference then
+    hits in *every* associativity ``A > d`` at this set count, so one
+    pass prices the whole ways axis.  Inputs follow the grouped-pass
+    contract (sorted by set, consecutive duplicates collapsed);
+    ``stacks`` holds each set's keys most-recent-first, truncated to
+    ``max_depth`` entries (``None`` = unbounded, the fully-associative
+    profiler's mode); ``cold_list`` flags first-ever references (from
+    :func:`first_touch_mask`); found depths are appended to
+    ``distances``.  Returns ``(cold, overflow)`` — references absent
+    from their bounded stack split into compulsory misses and
+    truncation-overflow (depth >= ``max_depth``, a miss at every
+    associativity the sweep prices).  Mutates ``stacks`` in place.
+    """
+    cold = 0
+    overflow = 0
+    n = len(set_list)
+    i = 0
+    while i < n:
+        s = set_list[i]
+        stack = stacks[s]
+        while i < n and set_list[i] == s:
+            key = key_list[i]
+            try:
+                depth = stack.index(key)
+            except ValueError:
+                if cold_list[i]:
+                    cold += 1
+                else:
+                    overflow += 1
+                if max_depth is not None and len(stack) >= max_depth:
+                    stack.pop()
+                stack.insert(0, key)
+            else:
+                distances.append(depth)
+                if depth:
+                    stack.insert(0, stack.pop(depth))
+            i += 1
+    return cold, overflow
+
+
 def collapse_consecutive(
     sets_sorted: np.ndarray, keys_sorted: np.ndarray
 ) -> np.ndarray:

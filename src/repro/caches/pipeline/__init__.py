@@ -42,6 +42,7 @@ from repro.caches.pipeline.request import (
     KernelRequest,
     cache_request,
     fingerprint_request,
+    grid_request,
     scan_request,
     sweep_request,
     tlb_request,
@@ -65,6 +66,7 @@ __all__ = [
     "compile_kernel",
     "default_registry",
     "fingerprint_request",
+    "grid_request",
     "read_ledger",
     "reset_default_registry",
     "run_pipeline",

@@ -19,7 +19,11 @@ The rules (also documented in docs/INTERNALS.md):
   grouping would permute — the request is routed to the exact
   per-reference path with the reason recorded;
 * **force_general** pins the per-reference path for differential
-  testing, again with the reason recorded.
+  testing, again with the reason recorded;
+* **grid** requests (all-associativity sweeps) always take the
+  one-pass stack-distance kernel — the normalize pass already rejected
+  every policy but LRU, the only one with the inclusion property the
+  sweep's exactness rests on.
 
 Every report carries its ``reasons`` tuple so telemetry, the compile
 ledger and the equivalence tests can all see *why* a configuration was
@@ -41,7 +45,7 @@ KERNEL_PATHS = (
     "general",
     "tlb_grouped",
     "tlb_general",
-    "dm_sweep",
+    "grid",
     "scan",
 )
 
@@ -90,8 +94,10 @@ def analyze(request: KernelRequest) -> CapabilityReport:
         if request.policy in GROUPABLE_POLICIES:
             return CapabilityReport("tlb_grouped")
         return CapabilityReport("tlb_general", _general_reasons(request))
-    if request.kind == "dm_sweep":
-        return CapabilityReport("dm_sweep")
+    if request.kind == "grid":
+        # exactness rests on LRU stack inclusion (the normalize pass
+        # already rejected every other policy)
+        return CapabilityReport("grid", ("lru-stack-inclusion",))
     if request.kind == "scan":
         return CapabilityReport("scan")
     raise ConfigError(f"unknown kernel kind {request.kind!r}")

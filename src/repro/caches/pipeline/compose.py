@@ -28,6 +28,8 @@ of the same configuration.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro._types import Indexing
@@ -36,6 +38,8 @@ from repro.caches.kernels import (
     MAX_SPACES,
     collapse_consecutive,
     dm_grouped_pass,
+    first_touch_mask,
+    grouped_distance_pass,
     grouped_stack_pass,
 )
 from repro.errors import ConfigError
@@ -267,39 +271,187 @@ def compose_tlb_general(build) -> dict:
 
 
 # ---------------------------------------------------------------------------
-# the multi-size direct-mapped sweep
+# the all-associativity (sets × ways) grid sweep
 # ---------------------------------------------------------------------------
 
-def compose_dm_sweep(build) -> dict:
-    """One pass over every power-of-two DM size, sharing argsorts.
+class GridState:
+    """Mutable grid-sweep state, one per simulator.
 
-    Each size runs the exact :func:`dm_grouped_pass`; the stable
-    set-order argsort is shared across sizes with equal set counts.
-    Returns per-size miss counts in config order.
+    ``stacks`` holds one structure per set count: bounded
+    most-recent-first key stacks for the distance pass, or resident-key
+    arrays in the direct-mapped (``max_ways == 1``) specialization.
+    ``hists``/``overflow``/``cold`` are the three-part capped distance
+    histogram the extractor prices every associativity from; ``seen``
+    is the cross-chunk first-touch key set shared by all set counts.
     """
-    configs = build.request.sweep
-    line_shift = configs[0].line_shift
-    set_counts = tuple(config.n_sets for config in configs)
 
-    def make_state(policy=None) -> list[np.ndarray]:
-        return [
-            np.full(n_sets, -1, dtype=np.int64) for n_sets in set_counts
+    __slots__ = (
+        "stacks",
+        "hists",
+        "overflow",
+        "cold",
+        "refs",
+        "seen",
+        "passes",
+        "distance_secs",
+    )
+
+    def __init__(
+        self, set_counts: tuple[int, ...], max_ways: int, dm: bool
+    ) -> None:
+        if dm:
+            self.stacks = [
+                np.full(n_sets, -1, dtype=np.int64) for n_sets in set_counts
+            ]
+        else:
+            self.stacks = [
+                [[] for _ in range(n_sets)] for n_sets in set_counts
+            ]
+        self.hists = [
+            np.zeros(max_ways, dtype=np.int64) for _ in set_counts
         ]
+        self.overflow = [0] * len(set_counts)
+        self.cold = 0
+        self.refs = 0
+        self.seen: set[int] = set()
+        self.passes = 0
+        self.distance_secs = 0.0
 
-    def run(states, addresses, tid: int = 0) -> list[int]:
-        lines = np.asarray(addresses, dtype=np.int64) >> line_shift
-        order_cache: dict[int, np.ndarray] = {}
-        misses = []
-        for state, n_sets in zip(states, set_counts):
-            sets = lines & (n_sets - 1)
-            order = order_cache.get(n_sets)
-            if order is None:
+
+def compose_grid(build) -> dict:
+    """One stack-distance pass per set count prices every ways column.
+
+    For each requested set count the chunk is stable-sorted by set and
+    replayed through :func:`grouped_distance_pass` with per-set stacks
+    bounded at the grid's largest associativity: a recorded depth ``d``
+    means a hit at every ``A > d`` (LRU stack inclusion), so the capped
+    histogram plus its cold/overflow split yields the *exact* miss
+    count of every ways column from that one pass.  Compulsory
+    (first-touch) misses are geometry-independent and computed once per
+    chunk, shared across set counts.  A ``max_ways == 1`` grid — the
+    ``sweep_request`` adapter's shape — drops to the pure-numpy
+    :func:`dm_grouped_pass` per set count, keeping the old dm_sweep
+    kernel's speed.
+    """
+    grid = build.request.grid
+    line_shift = grid.line_shift
+    set_counts = grid.set_counts
+    ways = grid.ways
+    max_ways = grid.max_ways
+    virtual = grid.indexing is Indexing.VIRTUAL
+    space_of = _space_fn(grid.indexing)
+    dm_only = max_ways == 1
+
+    def make_state(policy=None) -> GridState:
+        return GridState(set_counts, max_ways, dm_only)
+
+    if dm_only:
+        def run(state: GridState, addresses, tid: int = 0) -> int:
+            addresses = np.asarray(addresses, dtype=np.int64)
+            n = len(addresses)
+            if n == 0:
+                return 0
+            start = time.perf_counter()
+            space = space_of(tid)
+            lines = addresses >> line_shift
+            keys = lines * MAX_SPACES + space if virtual else lines
+            cold = int(np.count_nonzero(first_touch_mask(keys, state.seen)))
+            state.cold += cold
+            for index, n_sets in enumerate(set_counts):
+                misses = dm_grouped_pass(
+                    state.stacks[index], lines & (n_sets - 1), keys
+                )
+                # a DM hit is exactly a distance-0 reference; the
+                # misses beyond the (set-count independent) compulsory
+                # ones are conflict overflow
+                state.hists[index][0] += n - misses
+                state.overflow[index] += misses - cold
+                state.passes += 1
+            state.refs += n
+            state.distance_secs += time.perf_counter() - start
+            return n
+    else:
+        def run(state: GridState, addresses, tid: int = 0) -> int:
+            addresses = np.asarray(addresses, dtype=np.int64)
+            n = len(addresses)
+            if n == 0:
+                return 0
+            start = time.perf_counter()
+            space = space_of(tid)
+            lines = addresses >> line_shift
+            keys = lines * MAX_SPACES + space if virtual else lines
+            cold_mask = first_touch_mask(keys, state.seen)
+            state.cold += int(np.count_nonzero(cold_mask))
+            for index, n_sets in enumerate(set_counts):
+                sets = lines & (n_sets - 1)
                 order = np.argsort(sets, kind="stable")
-                order_cache[n_sets] = order
-            misses.append(dm_grouped_pass(state, sets, lines, order))
-        return misses
+                sets_sorted = sets[order]
+                keys_sorted = keys[order]
+                keep = collapse_consecutive(sets_sorted, keys_sorted)
+                kept = int(np.count_nonzero(keep))
+                distances: list[int] = []
+                _, overflow = grouped_distance_pass(
+                    state.stacks[index],
+                    max_ways,
+                    sets_sorted[keep].tolist(),
+                    keys_sorted[keep].tolist(),
+                    cold_mask[order][keep].tolist(),
+                    distances,
+                )
+                hist = state.hists[index]
+                # collapsed consecutive duplicates are guaranteed
+                # distance-0 hits that do not disturb LRU state
+                hist[0] += n - kept
+                if distances:
+                    hist += np.bincount(
+                        np.asarray(distances, dtype=np.int64),
+                        minlength=max_ways,
+                    )
+                state.overflow[index] += overflow
+                state.passes += 1
+            state.refs += n
+            state.distance_secs += time.perf_counter() - start
+            return n
 
-    return {"run": run, "make_state": make_state, "phase_name": None}
+    def extract(state: GridState) -> dict:
+        """Exact per-cell miss counts + per-set-count histograms."""
+        miss_counts: dict[tuple[int, int], int] = {}
+        hists: dict[int, dict] = {}
+        for index, n_sets in enumerate(set_counts):
+            counts = state.hists[index]
+            hists[n_sets] = {
+                "counts": [int(c) for c in counts],
+                "overflow": int(state.overflow[index]),
+                "cold": int(state.cold),
+            }
+            cumulative = np.cumsum(counts)
+            for a in ways:
+                miss_counts[(n_sets, a)] = state.refs - int(
+                    cumulative[a - 1]
+                )
+        return {
+            "refs": state.refs,
+            "cold": state.cold,
+            "passes": state.passes,
+            "distance_secs": state.distance_secs,
+            "miss_counts": miss_counts,
+            "hists": hists,
+        }
+
+    def occupancy(state: GridState) -> int:
+        """Resident lines at the largest set count (diagnostics)."""
+        last = state.stacks[-1]
+        if dm_only:
+            return int(np.count_nonzero(last >= 0))
+        return sum(len(entries) for entries in last)
+
+    return {
+        "run": run,
+        "make_state": make_state,
+        "extract": extract,
+        "occupancy": occupancy,
+        "phase_name": "kernels.grid_pass",
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -374,6 +526,6 @@ COMPOSERS = {
     "general": compose_cache_general,
     "tlb_grouped": compose_tlb_grouped,
     "tlb_general": compose_tlb_general,
-    "dm_sweep": compose_dm_sweep,
+    "grid": compose_grid,
     "scan": compose_scan,
 }

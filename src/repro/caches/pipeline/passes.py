@@ -70,6 +70,8 @@ class KernelProgram:
     make_state: Callable | None = None
     resident_keys: Callable | None = None
     occupancy: Callable | None = None
+    #: grid kernels: (state) -> exact per-cell misses + histograms
+    extract: Callable | None = None
     #: scan kernels: candidate-mask collection + rescan binding
     collect: Callable | None = None
     granules_of: Callable | None = None
@@ -109,15 +111,15 @@ class NormalizeRequestPass(KernelPass):
             raise ConfigError("cache kernel request carries no CacheConfig")
         if request.kind == "tlb" and request.tlb is None:
             raise ConfigError("tlb kernel request carries no TLBConfig")
-        if request.kind == "dm_sweep":
-            if not request.sweep:
-                raise ConfigError("dm_sweep request carries no configs")
-            for config in request.sweep:
-                if config.associativity != 1:
-                    raise ConfigError(
-                        "dm_sweep requires direct-mapped configs, got "
-                        f"{config.describe()}"
-                    )
+        if request.kind == "grid":
+            if request.grid is None:
+                raise ConfigError("grid kernel request carries no GridConfig")
+            if request.policy not in (None, "lru"):
+                raise ConfigError(
+                    f"grid sweeps are exact for LRU only (stack "
+                    f"inclusion); got {request.policy!r} — run those "
+                    f"configurations per-config instead"
+                )
         if request.policy is not None:
             make_policy(request.policy)  # raises on unknown names
 

@@ -23,15 +23,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.caches.config import CacheConfig, TLBConfig
+from repro.caches.config import CacheConfig, GridConfig, TLBConfig
 from repro.errors import ConfigError
 
 #: Salt mixed into every kernel fingerprint.  Bump the version suffix
 #: whenever a change alters what the pipeline composes for a request.
-KERNEL_CODE_VERSION = "repro-kernels-pipeline-v1"
+#: v2: the bespoke dm_sweep kernel became the ways=(1,) column of the
+#: all-associativity ``grid`` kind.
+KERNEL_CODE_VERSION = "repro-kernels-pipeline-v2"
 
 #: the kinds of kernel the pipeline knows how to compose
-KERNEL_KINDS = ("cache", "tlb", "dm_sweep", "scan")
+KERNEL_KINDS = ("cache", "tlb", "grid", "scan")
 
 
 @dataclass(frozen=True)
@@ -39,7 +41,7 @@ class KernelRequest:
     """One fully-normalized kernel configuration.
 
     ``kind`` selects the geometry field that applies (``cache``,
-    ``tlb``, ``sweep`` — or none for ``scan``, which is configured by
+    ``tlb``, ``grid`` — or none for ``scan``, which is configured by
     ``mechanisms`` + ``granule_shift``).  ``profile`` asks for a phase
     timer composed *around* the kernel; ``force_general`` pins the
     per-reference path regardless of capability analysis.
@@ -48,7 +50,7 @@ class KernelRequest:
     kind: str
     cache: CacheConfig | None = None
     tlb: TLBConfig | None = None
-    sweep: tuple[CacheConfig, ...] = ()
+    grid: GridConfig | None = None
     policy: str | None = None
     force_general: bool = False
     profile: bool = False
@@ -113,15 +115,52 @@ def tlb_request(
     )
 
 
+def grid_request(
+    grid: GridConfig, policy=None, profile: bool | None = None
+) -> KernelRequest:
+    """The request for one all-associativity ``(sets × ways)`` sweep
+    kernel.  Exact for LRU only (stack inclusion); the normalize pass
+    rejects other policies — route those to per-config kernels."""
+    return KernelRequest(
+        kind="grid",
+        grid=grid,
+        policy=_policy_name(policy),
+        profile=_profile_default(profile),
+    )
+
+
 def sweep_request(
     configs: tuple[CacheConfig, ...], profile: bool | None = None
 ) -> KernelRequest:
-    """The request for one multi-size direct-mapped sweep kernel."""
-    return KernelRequest(
-        kind="dm_sweep",
-        sweep=tuple(configs),
-        profile=_profile_default(profile),
+    """The request for one multi-size direct-mapped sweep kernel.
+
+    Since the grid engine subsumed the bespoke dm_sweep kernel this is
+    an adapter: the power-of-two DM sizes become the ``ways=(1,)``
+    column of a :class:`~repro.caches.config.GridConfig` (a DM cache of
+    ``S`` sets is exactly the 1-way column cell at set count ``S``).
+    """
+    configs = tuple(configs)
+    if not configs:
+        raise ConfigError("dm sweep request carries no configs")
+    for config in configs:
+        if config.associativity != 1:
+            raise ConfigError(
+                f"dm sweep requires direct-mapped configs, got "
+                f"{config.describe()}"
+            )
+    line_sizes = {config.line_bytes for config in configs}
+    indexings = {config.indexing for config in configs}
+    if len(line_sizes) != 1 or len(indexings) != 1:
+        raise ConfigError(
+            "dm sweep configs must share one line size and indexing"
+        )
+    grid = GridConfig(
+        set_counts=tuple(config.n_sets for config in configs),
+        ways=(1,),
+        line_bytes=configs[0].line_bytes,
+        indexing=configs[0].indexing,
     )
+    return grid_request(grid, profile=profile)
 
 
 def scan_request(

@@ -7,6 +7,13 @@ structures: one pass over an address stream yields the miss ratio of
 *every* capacity at once, via the LRU stack-distance distribution.  The
 workload calibration tests also use it to pin the synthetic workloads'
 locality profiles.
+
+The stack search itself is the ``sets=1`` column of the grid engine:
+:func:`~repro.caches.kernels.grouped_distance_pass` in unbounded mode
+(``max_depth=None``), with first-touch references short-circuited
+through :func:`~repro.caches.kernels.first_touch_mask` instead of a
+full-stack scan — the same primitives
+:mod:`repro.caches.gridsweep` runs per set count with capped stacks.
 """
 
 from __future__ import annotations
@@ -14,6 +21,12 @@ from __future__ import annotations
 from collections import Counter
 
 import numpy as np
+
+from repro.caches.kernels import (
+    collapse_consecutive,
+    first_touch_mask,
+    grouped_distance_pass,
+)
 
 
 class StackSimulator:
@@ -27,26 +40,36 @@ class StackSimulator:
             raise ValueError(f"line_bytes must be a power of two: {line_bytes}")
         self.line_shift = line_bytes.bit_length() - 1
         self._stack: list[int] = []  # most recent first
-        self._position: dict[int, int] = {}  # line -> approximate index
+        self._seen: set[int] = set()
         self.distances: Counter[int] = Counter()
         self.n_refs = 0
 
     def process(self, addresses: np.ndarray) -> None:
         """Fold a chunk of byte addresses into the distance profile."""
-        stack = self._stack
-        distances = self.distances
         lines = np.asarray(addresses, dtype=np.int64) >> self.line_shift
-        self.n_refs += len(lines)
-        for line in lines.tolist():
-            try:
-                depth = stack.index(line)
-            except ValueError:
-                distances[self.COLD] += 1
-                stack.insert(0, line)
-                continue
-            distances[depth] += 1
-            if depth:
-                stack.insert(0, stack.pop(depth))
+        n = len(lines)
+        if n == 0:
+            return
+        self.n_refs += n
+        cold_mask = first_touch_mask(lines, self._seen)
+        # consecutive duplicates are guaranteed distance-0 references
+        # that leave the stack unchanged
+        keep = collapse_consecutive(lines, lines)
+        kept = int(np.count_nonzero(keep))
+        if kept < n:
+            self.distances[0] += n - kept
+        distances: list[int] = []
+        cold, _ = grouped_distance_pass(
+            [self._stack],
+            None,  # unbounded: the full distance distribution
+            [0] * kept,
+            lines[keep].tolist(),
+            cold_mask[keep].tolist(),
+            distances,
+        )
+        if cold:
+            self.distances[self.COLD] += cold
+        self.distances.update(distances)
 
     def miss_ratio(self, capacity_lines: int) -> float:
         """Miss ratio of a ``capacity_lines``-line fully-associative LRU

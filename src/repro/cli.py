@@ -110,6 +110,21 @@ def _parse_size(text: str) -> int:
         raise argparse.ArgumentTypeError(f"bad size: {text!r}") from None
 
 
+def _int_list(text: str) -> tuple[int, ...]:
+    """'64,128,256' -> (64, 128, 256)."""
+    try:
+        values = tuple(
+            int(part) for part in text.split(",") if part.strip()
+        )
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad integer list: {text!r}"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError(f"empty integer list: {text!r}")
+    return values
+
+
 def _components(names: str) -> frozenset[Component]:
     if names == "all":
         return frozenset(Component)
@@ -583,6 +598,55 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"manifest log (default {telemetry.DEFAULT_MANIFEST_PATH})",
     )
     sm_stats.add_argument("--json", action="store_true", help="emit JSON")
+
+    sweep = sub.add_parser(
+        "sweep", help="one-pass multi-configuration sweeps"
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+    sw_grid = sweep_sub.add_parser(
+        "grid",
+        help="all-associativity (sets × ways) LRU grid from one "
+             "stack-distance pass per set count, bit-equal to running "
+             "every configuration separately",
+    )
+    sw_grid.add_argument(
+        "--workload", choices=WORKLOAD_NAMES, default="mpeg_play"
+    )
+    sw_grid.add_argument(
+        "--sets", type=_int_list, default=(64, 128, 256, 512),
+        metavar="S1,S2,...", help="power-of-two set counts (grid rows)",
+    )
+    sw_grid.add_argument(
+        "--ways", type=_int_list, default=(1, 2, 4, 8),
+        metavar="A1,A2,...",
+        help="power-of-two associativities (grid columns)",
+    )
+    sw_grid.add_argument(
+        "--line", type=_parse_size, default=16, metavar="BYTES",
+        help="line size (default 16)",
+    )
+    sw_grid.add_argument(
+        "--indexing", choices=("physical", "virtual"), default="physical"
+    )
+    sw_grid.add_argument(
+        "--budget", choices=tuple(sorted(BUDGET_REFS)), default="quick"
+    )
+    sw_grid.add_argument(
+        "--refs", type=int, default=None, metavar="N",
+        help="explicit reference budget (overrides --budget)",
+    )
+    sw_grid.add_argument("--seed", type=int, default=0)
+    sw_grid.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="farm workers for the (single) sweep job; 1 runs in-process",
+    )
+    sw_grid.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the farm result cache",
+    )
+    sw_grid.add_argument("--json", action="store_true", help="emit JSON")
+    _add_stream_flags(sw_grid)
+    _add_telemetry_flags(sw_grid)
 
     sub.add_parser("workloads", help="list workload models")
 
@@ -1308,6 +1372,117 @@ def _sample_geometry(args: argparse.Namespace) -> tuple[int, int]:
     return total_refs, interval_refs
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """One-pass grid sweep: one cached farm job, every cell's misses."""
+    from repro._types import Indexing
+    from repro.caches.config import GridConfig
+    from repro.caches.gridsweep import grid_job, grid_rows
+    from repro.farm import Farm, FarmConfig
+
+    _attach_kernel_ledger()
+    grid = GridConfig(
+        set_counts=tuple(args.sets),
+        ways=tuple(args.ways),
+        line_bytes=args.line,
+        indexing=Indexing(args.indexing),
+    )
+    total_refs = (
+        args.refs if args.refs is not None else BUDGET_REFS[args.budget]
+    )
+    stream_session = _begin_streams(args)
+    session = _begin_telemetry(args)
+    started = time.perf_counter()
+    try:
+        farm = Farm(
+            FarmConfig(
+                max_workers=max(1, args.jobs),
+                use_cache=not args.no_cache,
+                stream_transport=(
+                    stream_session.transport() if stream_session else None
+                ),
+            )
+        )
+        job = grid_job(args.workload, total_refs, grid, seed=args.seed)
+        payload = farm.run_jobs([job])[0]
+    except BaseException:
+        if session is not None:
+            telemetry.deactivate()
+        _finish_streams(stream_session, None)
+        raise
+    elapsed = time.perf_counter() - started
+    if stream_session is not None and session is not None:
+        stream_session.publish_metrics(session.metrics)
+    _finish_streams(stream_session, session)
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        miss_counts = payload["miss_counts"]
+        rows = []
+        for n_sets in grid.set_counts:
+            row: list[Any] = [n_sets]
+            for ways in grid.ways:
+                row.append(f"{miss_counts[f'{n_sets}x{ways}']:,}")
+            rows.append(row)
+        print(format_table(
+            ["sets \\ ways", *[str(w) for w in grid.ways]],
+            rows,
+            title=(
+                f"{args.workload}: exact misses over {payload['refs']:,} "
+                f"refs ({grid.describe()})"
+            ),
+        ))
+        hist = payload["stack_distance_hist"]
+        largest = str(grid.set_counts[-1])
+        print(
+            f"passes        : {payload['passes']} distance passes for "
+            f"{grid.n_cells} configurations"
+        )
+        print(
+            f"cold misses   : {hist[largest]['cold']:,} "
+            f"(compulsory, geometry-independent)"
+        )
+        print(f"wall clock    : {elapsed:.2f}s")
+        if farm.last_run is not None:
+            print(f"farm ({farm.config.max_workers} worker(s))")
+            print(farm.last_run.render())
+
+    manifest = telemetry.RunManifest(
+        kind="sweep",
+        name="grid",
+        configuration=(
+            f"{args.workload}, {grid.describe()}, refs={total_refs}"
+        ),
+        config_hash=telemetry.config_hash(
+            {
+                "workload": args.workload,
+                "total_refs": total_refs,
+                "set_counts": list(grid.set_counts),
+                "ways": list(grid.ways),
+                "line_bytes": grid.line_bytes,
+                "indexing": grid.indexing.value,
+            }
+        ),
+        seed=args.seed,
+        wall_clock_secs=elapsed,
+        metrics=session.metrics.snapshot() if session is not None else {},
+        results={
+            "workload": args.workload,
+            "refs": payload["refs"],
+            "cells": grid.n_cells,
+            "passes": payload["passes"],
+            "miss_counts": payload["miss_counts"],
+            "stack_distance_hist": payload["stack_distance_hist"],
+            "rows": grid_rows(payload),
+            "farm": (
+                farm.last_run.summary() if farm.last_run is not None else {}
+            ),
+        },
+    )
+    _finish_telemetry(args, session, [manifest])
+    return 0
+
+
 def _cmd_sample(args: argparse.Namespace) -> int:
     if args.sample_command == "stats":
         return _cmd_sample_stats(args)
@@ -1723,6 +1898,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "farm": _cmd_farm,
         "kernels": _cmd_kernels,
         "streams": _cmd_streams,
+        "sweep": _cmd_sweep,
         "sample": _cmd_sample,
         "telemetry": _cmd_telemetry,
         "chaos": _cmd_chaos,

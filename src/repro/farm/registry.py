@@ -30,6 +30,7 @@ BUILTIN_MEASURES: dict[str, str] = {
     "chaos.probe": "repro.faults.infra:chaos_probe",
     "chaos.kill_probe": "repro.faults.infra:killable_probe",
     "sampling.interval": "repro.sampling.runner:interval_measure",
+    "grid.sweep": "repro.caches.gridsweep:grid_measure",
 }
 
 #: runtime registrations, by name

@@ -38,7 +38,15 @@ SWEEP_CYCLES_PER_ADDRESS_PER_SIZE = 14
 
 
 class MultiSizeDMSweep:
-    """Exact one-pass simulation of every power-of-two DM size."""
+    """Exact one-pass simulation of every power-of-two DM size.
+
+    Since PR 10 this is the ``ways=(1,)`` column of the all-
+    associativity grid engine: ``sweep_request`` adapts the size list
+    into a :class:`~repro.caches.config.GridConfig` and the compiled
+    grid kernel's direct-mapped specialization runs one pure-numpy
+    :func:`~repro.caches.kernels.dm_grouped_pass` per set count — the
+    same exact kernel Cache2000's DM fast path uses.
+    """
 
     def __init__(
         self,
@@ -53,11 +61,11 @@ class MultiSizeDMSweep:
             raise ConfigError("duplicate sizes in sweep")
         self.line_shift = self.configs[0].line_shift
         program = compile_kernel(sweep_request(self.configs))
-        #: the pipeline's capability report (always the dm_sweep kernel)
+        #: the pipeline's capability report (always the grid kernel)
         self.capabilities = program.capabilities
         self._run = program.run
-        self._states = program.make_state()
-        self.misses = [0] * len(self.configs)
+        self._extract = program.extract
+        self._state = program.make_state()
         self.refs = 0
         self.processing_cycles = 0
         self._cycles_per_ref = (
@@ -65,26 +73,24 @@ class MultiSizeDMSweep:
         )
 
     def simulate_chunk(self, addresses: np.ndarray) -> None:
-        """Fold one chunk into every size's miss count.
-
-        The compiled sweep kernel runs one
-        :func:`~repro.caches.kernels.dm_grouped_pass` per size — the
-        same exact direct-mapped kernel Cache2000's fast path uses —
-        with the stable set-order argsort shared across sizes of equal
-        set count.
-        """
+        """Fold one chunk into every size's miss count."""
         n = len(addresses)
         if n == 0:
             return
-        for index, misses in enumerate(self._run(self._states, addresses)):
-            self.misses[index] += misses
+        self._run(self._state, addresses)
         self.refs += n
         self.processing_cycles += n * self._cycles_per_ref
 
+    @property
+    def misses(self) -> list[int]:
+        """Per-size miss counts, in ascending-size config order."""
+        counts = self._extract(self._state)["miss_counts"]
+        return [counts[(config.n_sets, 1)] for config in self.configs]
+
     def miss_counts(self) -> dict[int, int]:
         return {
-            config.size_bytes: self.misses[index]
-            for index, config in enumerate(self.configs)
+            config.size_bytes: misses
+            for config, misses in zip(self.configs, self.misses)
         }
 
     def check_monotonicity(self) -> bool:

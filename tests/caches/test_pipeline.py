@@ -78,7 +78,7 @@ class TestCapabilities:
         )
 
     def test_scan_and_sweep_have_single_paths(self):
-        assert analyze(sweep_request((DM,))).selected == "dm_sweep"
+        assert analyze(sweep_request((DM,))).selected == "grid"
         assert (
             analyze(scan_request(True, False, False, 4)).selected == "scan"
         )
@@ -113,11 +113,22 @@ class TestFingerprints:
     def test_fingerprint_is_salted_with_the_code_version(self):
         # the salt is baked into the hash: same request, same print,
         # and the version constant is pinned so a bump is a loud diff
-        assert KERNEL_CODE_VERSION == "repro-kernels-pipeline-v1"
+        assert KERNEL_CODE_VERSION == "repro-kernels-pipeline-v2"
 
     def test_dm_sweep_rejects_associative_members(self):
         with pytest.raises(ConfigError):
             run_pipeline(sweep_request((CFG,)))
+
+    def test_grid_rejects_non_lru_policies(self):
+        from repro.caches.config import GridConfig
+        from repro.caches.pipeline import grid_request
+
+        grid = GridConfig((16, 32), (1, 2))
+        with pytest.raises(ConfigError):
+            run_pipeline(grid_request(grid, make_policy("fifo")))
+        with pytest.raises(ConfigError):
+            run_pipeline(grid_request(grid, make_policy("random")))
+        assert run_pipeline(grid_request(grid)).extract is not None
 
     def test_unknown_policy_is_rejected_at_normalize(self):
         import dataclasses

@@ -1,0 +1,124 @@
+"""Bit-equality of the one-pass grid engine against per-config paths.
+
+The grid sweep's correctness contract: for every ``(set-count × ways)``
+cell, over physical and virtual indexing and multi-tid chunk sequences,
+the single-pass engine's miss count equals (1) the per-config
+``Cache2000`` fast path (PR 8 compiled pipeline kernels) and (2) the
+exact per-reference path (``force_general_path=True``) — and each
+set-count's capped distance histogram partitions the whole reference
+stream (``counts + overflow + cold == refs``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._types import Indexing
+from repro.caches.config import GridConfig
+from repro.caches.gridsweep import GridSweepSimulator
+from repro.tracing.cache2000 import Cache2000
+
+INDEXINGS = (Indexing.PHYSICAL, Indexing.VIRTUAL)
+
+
+def _chunks(seed: int, n_chunks: int = 6) -> list[tuple[np.ndarray, int]]:
+    """Multi-tid chunk sequence with reuse (tight spans force evictions)."""
+    rng = np.random.default_rng(seed)
+    chunks = []
+    for _ in range(n_chunks):
+        n = int(rng.integers(200, 3000))
+        span = 1 << int(rng.integers(10, 15))
+        base = int(rng.integers(0, 4)) * 4096
+        addresses = (
+            base + (rng.integers(0, span, n) & ~3)
+        ).astype(np.int64)
+        chunks.append((addresses, int(rng.integers(0, 3))))
+    return chunks
+
+
+def _grid_counts(grid, chunks):
+    sweep = GridSweepSimulator(grid)
+    for addresses, tid in chunks:
+        sweep.simulate_chunk(addresses, tid=tid)
+    return sweep, sweep.miss_counts()
+
+
+@pytest.mark.parametrize("indexing", INDEXINGS)
+@pytest.mark.parametrize("seed", (11, 23))
+def test_grid_matches_per_config_fast_path(indexing, seed):
+    grid = GridConfig((16, 32, 64, 128), (1, 2, 4, 8), indexing=indexing)
+    chunks = _chunks(seed)
+    sweep, counts = _grid_counts(grid, chunks)
+    for n_sets, ways in grid.cells():
+        reference = Cache2000(grid.config_for(n_sets, ways))
+        for addresses, tid in chunks:
+            reference.simulate_chunk(addresses, tid=tid)
+        assert counts[(n_sets, ways)] == reference.stats.total_misses, (
+            n_sets,
+            ways,
+        )
+    for n_sets, hist in sweep.distance_histograms().items():
+        assert hist.total == sweep.refs
+
+
+@pytest.mark.parametrize("indexing", INDEXINGS)
+def test_grid_matches_exact_per_reference_path(indexing):
+    # smaller grid: the per-reference path is interpreter-bound
+    grid = GridConfig((8, 16), (1, 2, 4), indexing=indexing)
+    chunks = _chunks(37, n_chunks=4)
+    _, counts = _grid_counts(grid, chunks)
+    for n_sets, ways in grid.cells():
+        reference = Cache2000(
+            grid.config_for(n_sets, ways), force_general_path=True
+        )
+        for addresses, tid in chunks:
+            reference.simulate_chunk(addresses, tid=tid)
+        assert counts[(n_sets, ways)] == reference.stats.total_misses
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    set_bits=st.lists(
+        st.integers(2, 6), min_size=1, max_size=3, unique=True
+    ),
+    way_bits=st.lists(
+        st.integers(0, 3), min_size=1, max_size=3, unique=True
+    ),
+    indexing=st.sampled_from(INDEXINGS),
+)
+def test_grid_equivalence_fuzzed(seed, set_bits, way_bits, indexing):
+    grid = GridConfig(
+        set_counts=tuple(1 << b for b in set_bits),
+        ways=tuple(1 << b for b in way_bits),
+        indexing=indexing,
+    )
+    chunks = _chunks(seed, n_chunks=3)
+    sweep, counts = _grid_counts(grid, chunks)
+    hists = sweep.distance_histograms()
+    for n_sets, ways in grid.cells():
+        reference = Cache2000(grid.config_for(n_sets, ways))
+        for addresses, tid in chunks:
+            reference.simulate_chunk(addresses, tid=tid)
+        assert counts[(n_sets, ways)] == reference.stats.total_misses
+        assert hists[n_sets].misses_at(ways) == counts[(n_sets, ways)]
+        assert hists[n_sets].total == sweep.refs
+
+
+def test_dm_column_matches_multisize_sweep():
+    """The ways=1 column is exactly the refactored MultiSizeDMSweep."""
+    from repro.tracing.multisize import MultiSizeDMSweep
+
+    grid = GridConfig((64, 128, 256), (1,))
+    chunks = _chunks(5)
+    _, counts = _grid_counts(grid, chunks)
+    sweep = MultiSizeDMSweep(
+        tuple(16 * n_sets for n_sets in grid.set_counts)
+    )
+    for addresses, _ in chunks:
+        sweep.simulate_chunk(addresses)
+    assert sweep.miss_counts() == {
+        16 * n_sets: counts[(n_sets, 1)] for n_sets in grid.set_counts
+    }
+    assert sweep.check_monotonicity()

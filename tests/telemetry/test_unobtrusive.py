@@ -163,6 +163,42 @@ class TestBitIdentical:
         assert record["results"]["misses"] == report.stats.total_misses
 
 
+class TestGridSweepUnobtrusive:
+    """The pin extends to grid sweeps: telemetry cannot perturb them."""
+
+    def _sweep(self):
+        from repro.caches.config import GridConfig
+        from repro.caches.gridsweep import run_grid_sweep
+
+        grid = GridConfig((32, 64), (1, 2, 4))
+        return run_grid_sweep(get_workload("espresso"), 25_000, grid)
+
+    def test_grid_report_identical_with_and_without_telemetry(self):
+        baseline = self._sweep()
+        with enabled() as session:
+            observed = self._sweep()
+
+        # wall-clock timing is the only field allowed to differ
+        assert dataclasses.replace(
+            observed, distance_secs=baseline.distance_secs
+        ) == baseline
+
+        # while the session genuinely observed the sweep
+        snapshot = session.metrics.snapshot()
+        assert snapshot["sweep.grid.passes"] == observed.passes
+        assert snapshot["sweep.grid.configs"] == observed.grid.n_cells
+        spans = [s for s in session.spans.spans if s.name == "sweep.grid"]
+        assert len(spans) == 1
+        assert spans[0].args["workload"] == "espresso"
+
+    def test_grid_metrics_agree_with_report(self):
+        with enabled() as session:
+            report = self._sweep()
+        snapshot = session.metrics.snapshot()
+        assert snapshot["sweep.grid.passes"] == report.passes
+        assert snapshot["sweep.grid.configs"] == len(report.miss_counts)
+
+
 class TestBoundedTrace:
     def test_tiny_ring_drops_but_run_is_unaffected(self):
         baseline = _run()

@@ -106,6 +106,68 @@ class TestCommands:
             main(["reproduce", "figure99"])
 
 
+class TestSweepCommand:
+    SWEEP = [
+        "sweep", "grid", "--workload", "espresso", "--refs", "20000",
+        "--sets", "32,64", "--ways", "1,2",
+    ]
+
+    def test_grid_table(self, capsys):
+        assert main(self.SWEEP) == 0
+        out = capsys.readouterr().out
+        assert "sets" in out and "ways" in out
+        assert "passes" in out
+
+    def test_grid_json_matches_per_config_runs(self, capsys):
+        assert main(self.SWEEP + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["miss_counts"]) == {
+            "32x1", "32x2", "64x1", "64x2"
+        }
+        assert set(payload["stack_distance_hist"]) == {"32", "64"}
+        for hist in payload["stack_distance_hist"].values():
+            assert (
+                sum(hist["counts"]) + hist["overflow"] + hist["cold"]
+                == payload["refs"]
+            )
+
+        from repro.caches.config import GridConfig
+        from repro.tracing.cache2000 import Cache2000
+        from repro.tracing.pixie import PixieTracer
+        from repro.workloads import get_workload
+
+        grid = GridConfig((32, 64), (1, 2))
+        reference = Cache2000(grid.config_for(64, 2))
+        tracer = PixieTracer(get_workload("espresso"))
+        for chunk in tracer.trace_chunks(20000):
+            reference.simulate_chunk(chunk.addresses, tid=chunk.tid)
+        assert (
+            payload["miss_counts"]["64x2"]
+            == reference.stats.total_misses
+        )
+
+    def test_grid_writes_schema_valid_manifest(self, tmp_path, capsys):
+        manifest_path = tmp_path / "manifests.jsonl"
+        assert main(
+            self.SWEEP + ["--manifest-out", str(manifest_path)]
+        ) == 0
+        capsys.readouterr()
+        records = [
+            json.loads(line)
+            for line in manifest_path.read_text().splitlines()
+        ]
+        (record,) = records
+        assert validate_record(record) == []
+        assert record["kind"] == "sweep"
+        assert record["name"] == "grid"
+        assert "stack_distance_hist" in record["results"]
+        assert len(record["results"]["rows"]) == 4
+
+    def test_grid_bad_axis_list_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "grid", "--sets", "64,banana"])
+
+
 class TestTelemetryOutputs:
     RUN = [
         "run", "--workload", "espresso", "--cache-size", "2K",
